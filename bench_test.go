@@ -1,0 +1,229 @@
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation (§5). Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the paper's metric as custom units alongside
+// ns/op: benefit ratios for Figures 8-10 (BR_RC/BR_CC), DIR vs OPT
+// latency for Figures 11-12 (dir_ms/opt_ms/speedup), and optimizer wall
+// time for Table 2 (rc_ms/cc_ms).
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// Thin indirections keep the benchmark bodies readable.
+var (
+	coreDefaultConfig        = core.DefaultConfig
+	optimizerRelationCentric = optimizer.RelationCentric
+	optimizerGreedy          = optimizer.RelationCentricGreedy
+)
+
+// benchOpts keeps benchmark datasets small enough for iteration while
+// preserving every effect the paper reports (fanouts, facet hierarchies,
+// disk-bound cache ratios).
+func benchOpts() bench.Options {
+	return bench.Options{MedCard: 60, FinCard: 20, Seed: 2021, Reps: 1, CachePages: 64}
+}
+
+func newBenchEnv(b *testing.B, name string) *bench.Env {
+	b.Helper()
+	env, err := bench.NewEnv(name, benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkFigure8 regenerates Figure 8: benefit ratio vs space
+// constraint on MED for uniform and Zipf workloads.
+func BenchmarkFigure8(b *testing.B) {
+	benchVaryingSpace(b, "MED", bench.DefaultSpacePcts)
+}
+
+// BenchmarkFigure9 regenerates Figure 9: benefit ratio vs space
+// constraint on FIN.
+func BenchmarkFigure9(b *testing.B) {
+	benchVaryingSpace(b, "FIN", append([]float64{0.001}, bench.DefaultSpacePcts...))
+}
+
+func benchVaryingSpace(b *testing.B, dataset string, pcts []float64) {
+	env := newBenchEnv(b, dataset)
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipf} {
+		for _, pct := range pcts {
+			b.Run(fmt.Sprintf("%s/space=%g%%", dist, pct), func(b *testing.B) {
+				var pts []bench.BRPoint
+				var err error
+				for i := 0; i < b.N; i++ {
+					pts, err = bench.VaryingSpace(env, dist, []float64{pct})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(pts[0].RC, "BR_RC")
+				b.ReportMetric(pts[0].CC, "BR_CC")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10: benefit ratio vs Jaccard
+// thresholds on FIN at a 50% space constraint.
+func BenchmarkFigure10(b *testing.B) {
+	env := newBenchEnv(b, "FIN")
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipf} {
+		for _, th := range bench.DefaultThetaPairs {
+			b.Run(fmt.Sprintf("%s/theta=%g_%g", dist, th[0], th[1]), func(b *testing.B) {
+				var pts []bench.ThetaPoint
+				var err error
+				for i := 0; i < b.N; i++ {
+					pts, err = bench.VaryingThetas(env, dist, [][2]float64{th})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(pts[0].RC, "BR_RC")
+				b.ReportMetric(pts[0].CC, "BR_CC")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11: the Q1-Q12 microbenchmark on
+// both backends, reporting DIR and OPT latency per query.
+func BenchmarkFigure11(b *testing.B) {
+	for _, dataset := range []string{"MED", "FIN"} {
+		env := newBenchEnv(b, dataset)
+		for _, backend := range []bench.Backend{bench.Memstore, bench.Diskstore} {
+			b.Run(fmt.Sprintf("%s/%s", dataset, backend), func(b *testing.B) {
+				var rows []bench.MicroRow
+				var err error
+				for i := 0; i < b.N; i++ {
+					rows, err = bench.Microbenchmark(env, []bench.Backend{backend})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				var dir, opt float64
+				for _, r := range rows {
+					dir += r.DirMs
+					opt += r.OptMs
+				}
+				b.ReportMetric(dir, "dir_ms")
+				b.ReportMetric(opt, "opt_ms")
+				if opt > 0 {
+					b.ReportMetric(dir/opt, "speedup")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates Figure 12: total latency of the 15-query
+// Zipf workload, DIR vs OPT per backend.
+func BenchmarkFigure12(b *testing.B) {
+	for _, dataset := range []string{"MED", "FIN"} {
+		env := newBenchEnv(b, dataset)
+		for _, backend := range []bench.Backend{bench.Memstore, bench.Diskstore} {
+			b.Run(fmt.Sprintf("%s/%s", dataset, backend), func(b *testing.B) {
+				var rows []bench.WorkloadRow
+				var err error
+				for i := 0; i < b.N; i++ {
+					rows, err = bench.WorkloadLatency(env, []bench.Backend{backend})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(rows[0].DirMs, "dir_ms")
+				b.ReportMetric(rows[0].OptMs, "opt_ms")
+				b.ReportMetric(rows[0].Speedup, "speedup")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: RC and CC optimization time at
+// 25/50/75% space constraints.
+func BenchmarkTable2(b *testing.B) {
+	for _, dataset := range []string{"MED", "FIN"} {
+		env := newBenchEnv(b, dataset)
+		for _, pct := range []int{25, 50, 75} {
+			b.Run(fmt.Sprintf("%s/space=%d%%", dataset, pct), func(b *testing.B) {
+				var rows []bench.EffRow
+				var err error
+				for i := 0; i < b.N; i++ {
+					rows, err = bench.Efficiency(env, []int{pct})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(rows[0].RCms, "rc_ms")
+				b.ReportMetric(rows[0].CCms, "cc_ms")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationKnapsack quantifies what the FPTAS knapsack buys over
+// greedy benefit/cost selection at a 25% budget (ablation of DESIGN.md
+// item 7 / Algorithm 8's design choice).
+func BenchmarkAblationKnapsack(b *testing.B) {
+	for _, dataset := range []string{"MED", "FIN"} {
+		env := newBenchEnv(b, dataset)
+		b.Run(dataset, func(b *testing.B) {
+			var fptas, greedy float64
+			for i := 0; i < b.N; i++ {
+				in, err := env.Inputs(nil, coreDefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				total, err := in.NSCCost()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rc, err := optimizerRelationCentric(in, total/4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gr, err := optimizerGreedy(in, total/4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fb, err := in.BenefitRatio(rc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gb, err := in.BenefitRatio(gr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fptas, greedy = fb, gb
+			}
+			b.ReportMetric(fptas, "BR_fptas")
+			b.ReportMetric(greedy, "BR_greedy")
+		})
+	}
+}
+
+// BenchmarkMotivating regenerates the §1 examples on the disk backend.
+func BenchmarkMotivating(b *testing.B) {
+	env := newBenchEnv(b, "MED")
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Motivating(env, bench.Diskstore)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Speedup, r.Example+"_speedup")
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command pgsbench regenerates the paper's evaluation: every figure and
+// table of §5 plus the §1 motivating examples, printed as text tables.
+//
+// Usage:
+//
+//	pgsbench -exp all
+//	pgsbench -exp fig11 -med-card 200 -fin-card 60
+//	pgsbench -exp table2
+//
+// Experiments: fig8, fig9, fig10, fig11, fig12, table2, motivating, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgsbench: ")
+	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|all")
+	medCard := flag.Int("med-card", 120, "MED base cardinality per concept")
+	finCard := flag.Int("fin-card", 40, "FIN base cardinality per concept")
+	seed := flag.Int64("seed", 2021, "generation seed")
+	reps := flag.Int("reps", 3, "query repetitions per measurement")
+	cache := flag.Int("cache-pages", 64, "diskstore page cache size")
+	flag.Parse()
+
+	opts := bench.Options{
+		MedCard: *medCard, FinCard: *finCard, Seed: *seed,
+		Reps: *reps, CachePages: *cache,
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+
+	var med, fin *bench.Env
+	env := func(name string) *bench.Env {
+		var e **bench.Env
+		if name == "MED" {
+			e = &med
+		} else {
+			e = &fin
+		}
+		if *e == nil {
+			v, err := bench.NewEnv(name, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			*e = v
+			fmt.Printf("[%s] %d concepts, %d relationships; %d instances, %d links\n",
+				name, len(v.Ontology.Concepts), len(v.Ontology.Relationships),
+				v.Dataset.NumInstances(), v.Dataset.NumLinks())
+		}
+		return *e
+	}
+	backends := []bench.Backend{bench.Memstore, bench.Diskstore}
+
+	ran := false
+	if run("fig8") {
+		ran = true
+		for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipf} {
+			pts, err := bench.VaryingSpace(env("MED"), dist, bench.DefaultSpacePcts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(bench.FormatBRTable(fmt.Sprintf("Figure 8 — varying space constraints (MED, %s workload)", dist), pts))
+		}
+	}
+	if run("fig9") {
+		ran = true
+		pcts := append([]float64{0.001}, bench.DefaultSpacePcts...)
+		for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipf} {
+			pts, err := bench.VaryingSpace(env("FIN"), dist, pcts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(bench.FormatBRTable(fmt.Sprintf("Figure 9 — varying space constraints (FIN, %s workload)", dist), pts))
+		}
+	}
+	if run("fig10") {
+		ran = true
+		for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipf} {
+			pts, err := bench.VaryingThetas(env("FIN"), dist, bench.DefaultThetaPairs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(bench.FormatThetaTable(fmt.Sprintf("Figure 10 — varying Jaccard thresholds (FIN, %s workload)", dist), pts))
+		}
+	}
+	if run("fig11") {
+		ran = true
+		var rows []bench.MicroRow
+		for _, name := range []string{"MED", "FIN"} {
+			r, err := bench.Microbenchmark(env(name), backends)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, r...)
+		}
+		fmt.Println(bench.FormatMicroTable("Figure 11 — microbenchmark Q1-Q12 (DIR vs OPT)", rows))
+	}
+	if run("fig12") {
+		ran = true
+		var rows []bench.WorkloadRow
+		for _, name := range []string{"MED", "FIN"} {
+			r, err := bench.WorkloadLatency(env(name), backends)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, r...)
+		}
+		fmt.Println(bench.FormatWorkloadTable("Figure 12 — total query latency, 15-query Zipf workload", rows))
+	}
+	if run("table2") {
+		ran = true
+		var rows []bench.EffRow
+		for _, name := range []string{"MED", "FIN"} {
+			r, err := bench.Efficiency(env(name), []int{25, 50, 75})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, r...)
+		}
+		fmt.Println(bench.FormatEffTable("Table 2 — optimization time of RC and CC", rows))
+	}
+	if run("motivating") {
+		ran = true
+		rows, err := bench.Motivating(env("MED"), bench.Diskstore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatMotivating(rows))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,134 @@
+// Command pgsopt optimizes a property graph schema from an ontology, the
+// paper's end-to-end pipeline: ontology (+ optional space budget and
+// workload distribution) in, Cypher-style schema DDL out.
+//
+// Usage:
+//
+//	pgsopt -ontology med.json                   # Algorithm 5, no budget
+//	pgsopt -ontology med.json -budget-pct 25    # PGSG at 25% of Cost(NSC)
+//	pgsopt -ontology med.json -algo rc -theta1 0.9 -theta2 0.1
+//	pgsgen -dataset MED | pgsopt -ontology -    # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgsopt: ")
+	path := flag.String("ontology", "", "ontology JSON file ('-' for stdin)")
+	budgetPct := flag.Float64("budget-pct", -1, "space budget as % of Cost(NSC); negative = unconstrained (Algorithm 5)")
+	algo := flag.String("algo", "pgsg", "algorithm: pgsg, rc, cc, nsc, dir")
+	theta1 := flag.Float64("theta1", 0.66, "inheritance Jaccard upper threshold")
+	theta2 := flag.Float64("theta2", 0.33, "inheritance Jaccard lower threshold")
+	dist := flag.String("workload", "uniform", "workload summary: uniform or zipf")
+	nq := flag.Int("queries", 200, "workload size used to derive access frequencies")
+	seed := flag.Int64("seed", 2021, "workload sampling seed")
+	showMapping := flag.Bool("mapping", false, "also print the instance-level mapping")
+	flag.Parse()
+
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var o *ontology.Ontology
+	var err error
+	if *path == "-" {
+		o, err = ontology.Read(os.Stdin)
+	} else {
+		o, err = ontology.ReadFile(*path)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.Config{Theta1: *theta1, Theta2: *theta2}
+	var af *ontology.AccessFrequencies
+	switch *dist {
+	case "uniform":
+		af = nil
+	case "zipf":
+		wl, werr := workload.Generate(o, *nq, workload.Zipf, *seed)
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		af = wl.AF
+	default:
+		log.Fatalf("unknown workload %q", *dist)
+	}
+
+	in, err := optimizer.NewInputs(o, nil, af, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, err := in.NSCCost()
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := -1.0
+	if *budgetPct >= 0 {
+		budget = total * *budgetPct / 100
+	}
+
+	var plan *optimizer.Plan
+	switch *algo {
+	case "pgsg":
+		if budget < 0 {
+			plan, err = optimizer.NSC(in)
+		} else {
+			plan, err = optimizer.PGSG(in, budget)
+		}
+	case "rc":
+		if budget < 0 {
+			budget = total
+		}
+		plan, err = optimizer.RelationCentric(in, budget)
+	case "cc":
+		if budget < 0 {
+			budget = total
+		}
+		plan, err = optimizer.ConceptCentric(in, budget)
+	case "nsc":
+		plan, err = optimizer.NSC(in)
+	case "dir":
+		plan, err = optimizer.Direct(in)
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	br, err := in.BenefitRatio(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- algorithm: %s  benefit: %.1f (BR %.3f)  space: %.0f / %.0f bytes  time: %s\n",
+		plan.Algorithm, plan.Benefit, br, plan.Cost, total, plan.Elapsed)
+	fmt.Printf("-- nodes: %d  edges: %d  list properties: %d\n",
+		len(plan.Result.PGS.Nodes), len(plan.Result.PGS.Edges), plan.Result.PGS.NumListProps())
+	fmt.Println(plan.Result.PGS.DDL())
+
+	if *showMapping {
+		fmt.Println("-- mapping:")
+		for _, mg := range plan.Result.Mapping.Merges {
+			fmt.Printf("--   merge %-14s %s\n", mg.Kind, mg.RelKey)
+		}
+		for _, lp := range plan.Result.Mapping.ListProps {
+			dir := ""
+			if lp.Reverse {
+				dir = " (reverse)"
+			}
+			fmt.Printf("--   replicate %s.%s -> %s.`%s`%s\n", lp.Neighbor, lp.Prop, lp.Carrier, lp.Key, dir)
+		}
+	}
+}

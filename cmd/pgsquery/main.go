@@ -1,0 +1,132 @@
+// Command pgsquery runs ad-hoc Cypher queries against a generated dataset
+// under both the direct and the optimized schema, showing the rewritten
+// query, both result sets, and the work counters side by side — the
+// fastest way to inspect what the optimizer does to a specific query.
+//
+// Usage:
+//
+//	pgsquery -dataset MED 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, size(COLLECT(i.desc))'
+//	pgsquery -dataset FIN -budget-pct 25 -localize 'MATCH (s:Person)-[:holds]->(a:Account) RETURN a.accountId'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cypher"
+	"repro/internal/datagen"
+	"repro/internal/loader"
+	"repro/internal/optimizer"
+	"repro/internal/query"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+	"repro/internal/storage/memstore"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgsquery: ")
+	dataset := flag.String("dataset", "MED", "dataset: MED or FIN")
+	card := flag.Int("card", 60, "base cardinality per concept")
+	seed := flag.Int64("seed", 2021, "data generation seed")
+	budgetPct := flag.Float64("budget-pct", -1, "space budget as % of Cost(NSC); negative = unconstrained")
+	localize := flag.Bool("localize", false, "also localize scalar neighbor lookups (paper's Q6 behaviour)")
+	maxRows := flag.Int("rows", 10, "result rows to print per schema")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: pgsquery [flags] 'MATCH ... RETURN ...'")
+	}
+	src := flag.Arg(0)
+	parsed, err := cypher.Parse(src)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+
+	var o = datagen.MED()
+	if *dataset == "FIN" {
+		o = datagen.FIN()
+	} else if *dataset != "MED" {
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+	ds, err := datagen.Generate(o, datagen.Options{Seed: *seed, BaseCard: *card})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Optimize for this query's own access pattern, like the paper's
+	// workload summaries.
+	af, err := workload.AFFromQueries(o, []workload.Query{{Name: "q", Text: src}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := optimizer.NewInputs(o, ds.Stats, af, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var plan *optimizer.Plan
+	if *budgetPct < 0 {
+		plan, err = optimizer.NSC(in)
+	} else {
+		total, terr := in.NSCCost()
+		if terr != nil {
+			log.Fatal(terr)
+		}
+		plan, err = optimizer.PGSG(in, total**budgetPct/100)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rewritten, notes, err := rewrite.Rewrite(parsed, plan.Result.Mapping, rewrite.Options{LocalizeScalarLookups: *localize})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, opt := memstore.New(), memstore.New()
+	if _, _, err := loader.Load(dir, ds, nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := loader.Load(opt, ds, plan.Result.Mapping); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DIR query: %s\n", parsed)
+	fmt.Printf("OPT query: %s\n", rewritten)
+	for _, n := range notes {
+		fmt.Printf("  rewrite: %s\n", n)
+	}
+	fmt.Println()
+	show(dir, parsed, "DIR", *maxRows)
+	fmt.Println()
+	show(opt, rewritten, "OPT", *maxRows)
+}
+
+func show(g storage.Graph, q *cypher.Query, tag string, maxRows int) {
+	var st query.Stats
+	res, err := query.RunWithStats(g, q, &st)
+	if err != nil {
+		log.Fatalf("%s: %v", tag, err)
+	}
+	fmt.Printf("%s: %d rows | %d vertices scanned, %d edges traversed, %d properties read\n",
+		tag, len(res.Rows), st.VerticesScanned, st.EdgesTraversed, st.PropsRead)
+	fmt.Printf("  %s\n", strings.Join(res.Columns, " | "))
+	for i, row := range res.Rows {
+		if i == maxRows {
+			fmt.Printf("  ... (%d more)\n", len(res.Rows)-maxRows)
+			break
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+			if len(parts[j]) > 40 {
+				parts[j] = parts[j][:37] + "..."
+			}
+		}
+		fmt.Printf("  %s\n", strings.Join(parts, " | "))
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import "repro/internal/ontology"
+
+// Result bundles everything schema generation produces: the property graph
+// schema, the instance-level mapping for the loader and rewriter, and the
+// rule set that was applied.
+type Result struct {
+	PGS     *PGS
+	Mapping *Mapping
+	Rules   *RuleSet
+}
+
+// Optimize applies the enabled rule set to the ontology and generates the
+// schema and mapping. It is the shared engine behind Algorithm 5 and the
+// space-constrained algorithms of §4.
+func Optimize(o *ontology.Ontology, rules *RuleSet, cfg Config) (*Result, error) {
+	g, err := NewGraph(o, rules, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.Close()
+	return &Result{PGS: g.GeneratePGS(), Mapping: g.BuildMapping(), Rules: rules}, nil
+}
+
+// NSC implements Algorithm 5: apply every rule exhaustively with no space
+// constraint. By Theorem 3 the result is unique.
+func NSC(o *ontology.Ontology, cfg Config) (*Result, error) {
+	return Optimize(o, AllRules(o), cfg)
+}
+
+// Direct produces the baseline direct-mapping schema (DIR in the paper's
+// evaluation): every concept becomes a node type, every relationship an
+// edge type, and no rule is applied.
+func Direct(o *ontology.Ontology) (*Result, error) {
+	return Optimize(o, NewRuleSet(), DefaultConfig())
+}

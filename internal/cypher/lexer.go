@@ -1,0 +1,188 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokInt
+	tokFloat
+	tokPunct // single punctuation: ( ) [ ] { } : , . - < > = +
+	tokNe    // <>
+	tokLe    // <=
+	tokGe    // >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer splits Cypher text into tokens. Identifiers may be backquoted to
+// include arbitrary characters (used for replicated list properties such
+// as `Indication.desc`).
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '`':
+			if err := l.lexBackquoted(); err != nil {
+				return nil, err
+			}
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '<':
+			if l.peek(1) == '>' {
+				l.emit(token{kind: tokNe, text: "<>", pos: l.pos})
+				l.pos += 2
+			} else if l.peek(1) == '=' {
+				l.emit(token{kind: tokLe, text: "<=", pos: l.pos})
+				l.pos += 2
+			} else {
+				l.punct()
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit(token{kind: tokGe, text: ">=", pos: l.pos})
+				l.pos += 2
+			} else {
+				l.punct()
+			}
+		case strings.ContainsRune("()[]{}:,.-=+*", rune(c)):
+			l.punct()
+		default:
+			return nil, fmt.Errorf("cypher: unexpected character %q at position %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) punct() {
+	l.emit(token{kind: tokPunct, text: l.src[l.pos : l.pos+1], pos: l.pos})
+	l.pos++
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexBackquoted() error {
+	start := l.pos
+	l.pos++ // opening backquote
+	for l.pos < len(l.src) && l.src[l.pos] != '`' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("cypher: unterminated backquoted identifier at position %d", start)
+	}
+	l.emit(token{kind: tokIdent, text: l.src[start+1 : l.pos], pos: start})
+	l.pos++ // closing backquote
+	return nil
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			switch next {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '\'', '"':
+				b.WriteByte(next)
+			default:
+				b.WriteByte(next)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == quote {
+			l.emit(token{kind: tokString, text: b.String(), pos: start})
+			l.pos++
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("cypher: unterminated string at position %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	kind := tokInt
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		kind = tokFloat
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	l.emit(token{kind: kind, text: l.src[start:l.pos], pos: start})
+}

@@ -1,0 +1,229 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/ontology"
+)
+
+// TestMEDMatchesPaperStatistics checks §5.1: 43 concepts, 78 properties,
+// 58 relationships (11 inheritance, 5 1:1, 30 1:M, 12 M:N) plus the two
+// union relationships of the Figure 2 motif (see DESIGN.md).
+func TestMEDMatchesPaperStatistics(t *testing.T) {
+	o := MED()
+	if got := len(o.Concepts); got != 43 {
+		t.Errorf("MED concepts = %d, want 43", got)
+	}
+	if got := o.NumProps(); got != 78 {
+		t.Errorf("MED properties = %d, want 78", got)
+	}
+	counts := o.CountByType()
+	want := map[ontology.RelType]int{
+		ontology.Inheritance: 11,
+		ontology.OneToOne:    5,
+		ontology.OneToMany:   30,
+		ontology.ManyToMany:  12,
+		ontology.Union:       2,
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("MED %s relationships = %d, want %d", k, counts[k], v)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("MED invalid: %v", err)
+	}
+}
+
+// TestFINMatchesPaperStatistics checks §5.1: 96 properties and 138
+// relationships (4 union, 69 inheritance, 30 1:M; remainder 15 1:1 and 20
+// M:N). Concepts are 28 + the 2 union concepts the published unions need.
+func TestFINMatchesPaperStatistics(t *testing.T) {
+	o := FIN()
+	if got := len(o.Concepts); got != 30 {
+		t.Errorf("FIN concepts = %d, want 30 (28 + 2 union concepts)", got)
+	}
+	if got := o.NumProps(); got != 96 {
+		t.Errorf("FIN properties = %d, want 96", got)
+	}
+	if got := len(o.Relationships); got != 138 {
+		t.Errorf("FIN relationships = %d, want 138", got)
+	}
+	counts := o.CountByType()
+	want := map[ontology.RelType]int{
+		ontology.Union:       4,
+		ontology.Inheritance: 69,
+		ontology.OneToMany:   30,
+		ontology.OneToOne:    15,
+		ontology.ManyToMany:  20,
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("FIN %s relationships = %d, want %d", k, counts[k], v)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("FIN invalid: %v", err)
+	}
+}
+
+// TestQueryMotifsPresent: the microbenchmark queries need these concepts
+// and relationships to exist.
+func TestQueryMotifsPresent(t *testing.T) {
+	med := MED()
+	for _, c := range []string{"Drug", "Risk", "ContraIndication", "DrugInteraction", "DrugLabInteraction", "DrugRoute", "Indication"} {
+		if med.Concept(c) == nil {
+			t.Errorf("MED missing %s", c)
+		}
+	}
+	fin := FIN()
+	for _, c := range []string{"AutonomousAgent", "Person", "ContractParty", "Corporation", "Contract"} {
+		if fin.Concept(c) == nil {
+			t.Errorf("FIN missing %s", c)
+		}
+	}
+	if !fin.Concept("Corporation").HasProp("hasLegalName") {
+		t.Error("Corporation.hasLegalName missing (Q7)")
+	}
+	if !fin.Concept("Contract").HasProp("hasEffectiveDate") {
+		t.Error("Contract.hasEffectiveDate missing (Q11)")
+	}
+}
+
+func TestOntologiesDeterministic(t *testing.T) {
+	if MED().String() != MED().String() {
+		t.Error("MED not deterministic")
+	}
+	if FIN().String() != FIN().String() {
+		t.Error("FIN not deterministic")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	o := MED()
+	a, err := Generate(o, Options{Seed: 5, BaseCard: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(o, Options{Seed: 5, BaseCard: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumInstances() != b.NumInstances() || a.NumLinks() != b.NumLinks() {
+		t.Error("generation not deterministic in counts")
+	}
+	for c, ext := range a.Extents {
+		for i, inst := range ext {
+			for k, v := range inst.Props {
+				if !b.Extents[c][i].Props[k].Equal(v) {
+					t.Fatalf("prop mismatch at %s[%d].%s", c, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	o := MED()
+	ds, err := Generate(o, Options{Seed: 1, BaseCard: 40, ParentOnlyFrac: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union concept Risk: extent = facets of its two members only.
+	wantRisk := len(ds.Extents["ContraIndication"]) + len(ds.Extents["BlackBoxWarning"])
+	if got := len(ds.Extents["Risk"]); got != wantRisk {
+		t.Errorf("Risk extent = %d, want %d", got, wantRisk)
+	}
+	// Parent concept: own (25%) + one facet per child instance.
+	wantDI := 10 + len(ds.Extents["DrugFoodInteraction"]) + len(ds.Extents["DrugLabInteraction"])
+	if got := len(ds.Extents["DrugInteraction"]); got != wantDI {
+		t.Errorf("DrugInteraction extent = %d, want %d", got, wantDI)
+	}
+	// Ordinary concept.
+	if got := len(ds.Extents["Patient"]); got != 40 {
+		t.Errorf("Patient extent = %d, want 40", got)
+	}
+	// Stats reflect the actual data.
+	if err := ds.Stats.Validate(o); err != nil {
+		t.Errorf("stats incomplete: %v", err)
+	}
+	if ds.Stats.Card("Risk") != wantRisk {
+		t.Errorf("stats Risk card = %d, want %d", ds.Stats.Card("Risk"), wantRisk)
+	}
+}
+
+func TestGenerateLinkShapes(t *testing.T) {
+	o := MED()
+	ds, err := Generate(o, Options{Seed: 2, BaseCard: 30, Fanout: 4, Degree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1:M: every destination instance has exactly one source link.
+	treat := ds.Links["Drug-[treat]->Indication"]
+	if len(treat) != len(ds.Extents["Indication"]) {
+		t.Errorf("treat links = %d, want %d", len(treat), len(ds.Extents["Indication"]))
+	}
+	seenDst := map[int]int{}
+	for _, l := range treat {
+		seenDst[l.Dst]++
+		if l.Src < 0 || l.Src >= len(ds.Extents["Drug"]) {
+			t.Fatalf("treat src out of range: %d", l.Src)
+		}
+	}
+	for d, n := range seenDst {
+		if n != 1 {
+			t.Errorf("indication %d has %d sources, want 1", d, n)
+		}
+	}
+	// Inheritance: one dedicated parent facet per child instance.
+	isa := ds.Links["DrugInteraction-[isA]->DrugFoodInteraction"]
+	if len(isa) != len(ds.Extents["DrugFoodInteraction"]) {
+		t.Errorf("isA links = %d, want %d", len(isa), len(ds.Extents["DrugFoodInteraction"]))
+	}
+	seenSrc := map[int]bool{}
+	for _, l := range isa {
+		if seenSrc[l.Src] {
+			t.Error("parent facet shared between children")
+		}
+		seenSrc[l.Src] = true
+	}
+	// 1:1: index pairing.
+	for _, l := range ds.Links["Indication-[is]->Condition"] {
+		if l.Src != l.Dst {
+			t.Errorf("1:1 link not index-paired: %+v", l)
+		}
+	}
+}
+
+func TestGenerateRejectsInvalidOntology(t *testing.T) {
+	o := ontology.New()
+	o.AddConcept("A")
+	o.AddRelationship("r", "A", "Missing", ontology.OneToMany)
+	if _, err := Generate(o, Options{Seed: 1}); err == nil {
+		t.Error("invalid ontology accepted")
+	}
+}
+
+func TestFacetChainDepth(t *testing.T) {
+	// Grandchild instances must have facets at both ancestor levels.
+	o := ontology.New()
+	o.AddConcept("GP")
+	o.AddConcept("P")
+	o.AddConcept("C")
+	o.AddRelationship("isA", "GP", "P", ontology.Inheritance)
+	o.AddRelationship("isA", "P", "C", ontology.Inheritance)
+	ds, err := Generate(o, Options{Seed: 3, BaseCard: 8, ParentOnlyFrac: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C: 8 own. P: 2 own + 8 facets = 10. GP: 2 own + 10 facets = 12.
+	if got := len(ds.Extents["C"]); got != 8 {
+		t.Errorf("C = %d, want 8", got)
+	}
+	if got := len(ds.Extents["P"]); got != 10 {
+		t.Errorf("P = %d, want 10", got)
+	}
+	if got := len(ds.Extents["GP"]); got != 12 {
+		t.Errorf("GP = %d, want 12", got)
+	}
+}

@@ -1,0 +1,299 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ontology"
+)
+
+// Instance is one entity occurrence of a concept.
+type Instance struct {
+	Concept string
+	Ordinal int
+	Props   map[string]graph.Value
+	// OriginConcept/OriginOrdinal identify the entity this instance
+	// represents: facet instances (the parent/union-concept side of
+	// inheritance and union links) keep the identity of the leaf
+	// instance they were created for, so an entity reachable through
+	// several relationships (diamond inheritance, union + isA between
+	// the same pair) gets exactly one facet per ancestor concept.
+	OriginConcept string
+	OriginOrdinal int
+}
+
+// Link is one relationship occurrence between two instances, identified by
+// their ordinals within the source and destination extents.
+type Link struct {
+	Src int
+	Dst int
+}
+
+// Dataset is generated instance data conforming to an ontology. For
+// inheritance and union relationships, each destination (child/member)
+// instance has a dedicated source (parent facet/union facet) instance
+// linked to it; parents may additionally have own instances that belong
+// to no child.
+type Dataset struct {
+	Ontology *ontology.Ontology
+	// Extents maps concept name to its instances (facets included).
+	Extents map[string][]*Instance
+	// Links maps Relationship.Key() to its instance links.
+	Links map[string][]Link
+	// Stats holds the actual cardinalities, usable as optimizer input.
+	Stats *ontology.Stats
+}
+
+// Options configures data generation.
+type Options struct {
+	Seed int64
+	// BaseCard is the number of own instances per ordinary concept
+	// (default 200).
+	BaseCard int
+	// Fanout is the average destination count per source of a 1:M
+	// relationship (default 4).
+	Fanout int
+	// Degree is the neighbor count per destination instance of an M:N
+	// relationship (default 3).
+	Degree int
+	// ParentOnlyFrac is the fraction of BaseCard kept as parent-only
+	// instances for inheritance parents (default 0.25).
+	ParentOnlyFrac float64
+	// DistinctValues bounds the distinct values per property (default
+	// 32); smaller values make joins and aggregations denser.
+	DistinctValues int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BaseCard == 0 {
+		o.BaseCard = 200
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 4
+	}
+	if o.Degree == 0 {
+		o.Degree = 3
+	}
+	if o.ParentOnlyFrac == 0 {
+		o.ParentOnlyFrac = 0.25
+	}
+	if o.DistinctValues == 0 {
+		o.DistinctValues = 32
+	}
+	return o
+}
+
+// Generate produces a deterministic dataset for the ontology.
+func Generate(o *ontology.Ontology, opts Options) (*Dataset, error) {
+	opts = opts.withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ds := &Dataset{
+		Ontology: o,
+		Extents:  map[string][]*Instance{},
+		Links:    map[string][]Link{},
+		Stats:    ontology.NewStats(24),
+	}
+
+	// Union concepts have no own instances — their extent is exactly the
+	// facets of their members. Inheritance parents keep a parent-only
+	// share.
+	isUnion := map[string]bool{}
+	isParent := map[string]bool{}
+	for _, r := range o.Relationships {
+		switch r.Type {
+		case ontology.Union:
+			isUnion[r.Src] = true
+		case ontology.Inheritance:
+			isParent[r.Src] = true
+		}
+	}
+	for _, c := range o.Concepts {
+		var own int
+		switch {
+		case isUnion[c.Name]:
+			own = 0
+		case isParent[c.Name]:
+			own = int(float64(opts.BaseCard) * opts.ParentOnlyFrac)
+		default:
+			own = opts.BaseCard
+		}
+		for k := 0; k < own; k++ {
+			ds.addInstance(o, c.Name, opts, rng)
+		}
+	}
+
+	// Facet-creating relationships must run destination-first: a parent
+	// facet is created for every destination instance, including facets
+	// added by deeper relationships. Facets are deduplicated by origin
+	// entity, so an entity reachable over several paths (diamond
+	// inheritance, union and isA between the same pair) appears exactly
+	// once per ancestor concept.
+	facetRels := make([]*ontology.Relationship, 0)
+	for _, r := range o.Relationships {
+		if r.Type == ontology.Inheritance || r.Type == ontology.Union {
+			facetRels = append(facetRels, r)
+		}
+	}
+	ordered, err := orderFacetRels(facetRels)
+	if err != nil {
+		return nil, err
+	}
+	type originKey struct {
+		concept, originConcept string
+		originOrdinal          int
+	}
+	facetOf := map[originKey]int{}
+	for _, r := range ordered {
+		for dstIdx, dst := range ds.Extents[r.Dst] {
+			key := originKey{r.Src, dst.OriginConcept, dst.OriginOrdinal}
+			facet, ok := facetOf[key]
+			if !ok {
+				facet = ds.addInstance(o, r.Src, opts, rng)
+				f := ds.Extents[r.Src][facet]
+				f.OriginConcept, f.OriginOrdinal = dst.OriginConcept, dst.OriginOrdinal
+				facetOf[key] = facet
+			}
+			ds.Links[r.Key()] = append(ds.Links[r.Key()], Link{Src: facet, Dst: dstIdx})
+		}
+	}
+
+	// Plain relationships.
+	for _, r := range o.Relationships {
+		srcN, dstN := len(ds.Extents[r.Src]), len(ds.Extents[r.Dst])
+		if srcN == 0 || dstN == 0 {
+			continue
+		}
+		switch r.Type {
+		case ontology.OneToOne:
+			n := srcN
+			if dstN < n {
+				n = dstN
+			}
+			for k := 0; k < n; k++ {
+				ds.Links[r.Key()] = append(ds.Links[r.Key()], Link{Src: k, Dst: k})
+			}
+		case ontology.OneToMany:
+			// Every destination has exactly one source; expected fanout
+			// is dstN/srcN (the generator's dimensioning knob, not a hard
+			// guarantee per source).
+			for d := 0; d < dstN; d++ {
+				ds.Links[r.Key()] = append(ds.Links[r.Key()], Link{Src: rng.Intn(srcN), Dst: d})
+			}
+		case ontology.ManyToMany:
+			for d := 0; d < dstN; d++ {
+				seen := map[int]bool{}
+				for k := 0; k < opts.Degree; k++ {
+					s := rng.Intn(srcN)
+					if seen[s] {
+						continue
+					}
+					seen[s] = true
+					ds.Links[r.Key()] = append(ds.Links[r.Key()], Link{Src: s, Dst: d})
+				}
+			}
+		}
+	}
+
+	for c, ext := range ds.Extents {
+		ds.Stats.ConceptCard[c] = len(ext)
+	}
+	for _, r := range o.Relationships {
+		ds.Stats.RelCard[r.Key()] = len(ds.Links[r.Key()])
+	}
+	return ds, nil
+}
+
+// addInstance appends a new instance with deterministic property values
+// and returns its ordinal.
+func (ds *Dataset) addInstance(o *ontology.Ontology, concept string, opts Options, rng *rand.Rand) int {
+	c := o.Concept(concept)
+	ord := len(ds.Extents[concept])
+	inst := &Instance{
+		Concept: concept, Ordinal: ord, Props: map[string]graph.Value{},
+		OriginConcept: concept, OriginOrdinal: ord,
+	}
+	for _, p := range c.Props {
+		v := rng.Intn(opts.DistinctValues)
+		switch p.Type {
+		case ontology.TInt:
+			inst.Props[p.Name] = graph.I(int64(v))
+		case ontology.TFloat:
+			inst.Props[p.Name] = graph.F(float64(v) / 2)
+		case ontology.TBool:
+			inst.Props[p.Name] = graph.B(v%2 == 0)
+		default:
+			inst.Props[p.Name] = graph.S(fmt.Sprintf("%s_%s_%d", concept, p.Name, v))
+		}
+	}
+	ds.Extents[concept] = append(ds.Extents[concept], inst)
+	return ord
+}
+
+// orderFacetRels sorts inheritance/union relationships so that any
+// relationship producing instances of concept X runs before relationships
+// that consume X's extent (i.e. whose destination is X). Fails on cycles
+// through the combined inheritance+union graph.
+func orderFacetRels(rels []*ontology.Relationship) ([]*ontology.Relationship, error) {
+	// Dependency: rel (x, y) must run after every rel (y, z).
+	bySrc := map[string][]*ontology.Relationship{}
+	for _, r := range rels {
+		bySrc[r.Src] = append(bySrc[r.Src], r)
+	}
+	for _, rs := range bySrc {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Key() < rs[j].Key() })
+	}
+	var order []*ontology.Relationship
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(concept string) error
+	visit = func(concept string) error {
+		switch state[concept] {
+		case 1:
+			return fmt.Errorf("datagen: inheritance/union cycle through %s", concept)
+		case 2:
+			return nil
+		}
+		state[concept] = 1
+		for _, r := range bySrc[concept] {
+			if err := visit(r.Dst); err != nil {
+				return err
+			}
+			order = append(order, r)
+		}
+		state[concept] = 2
+		return nil
+	}
+	var srcs []string
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	for _, s := range srcs {
+		if err := visit(s); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// NumInstances returns the total instance count across extents.
+func (ds *Dataset) NumInstances() int {
+	n := 0
+	for _, ext := range ds.Extents {
+		n += len(ext)
+	}
+	return n
+}
+
+// NumLinks returns the total link count.
+func (ds *Dataset) NumLinks() int {
+	n := 0
+	for _, ls := range ds.Links {
+		n += len(ls)
+	}
+	return n
+}

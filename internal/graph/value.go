@@ -1,0 +1,236 @@
+// Package graph defines the property value model shared by all graph
+// storage backends and the query engine: dynamically typed scalar values
+// plus LIST values (the replicated properties introduced by the paper's
+// 1:M and M:N rules).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates value kinds.
+type Kind uint8
+
+// Value kinds. KindNull is the zero Value.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+	KindList
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return "STRING"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindBool:
+		return "BOOLEAN"
+	case KindList:
+		return "LIST"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed property value. The zero Value is NULL.
+// Values are immutable once constructed.
+type Value struct {
+	kind Kind
+	num  uint64 // int64 bits, float64 bits, or bool
+	str  string
+	list []Value
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// S returns a STRING value.
+func S(s string) Value { return Value{kind: KindString, str: s} }
+
+// I returns an INT value.
+func I(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
+
+// F returns a DOUBLE value.
+func F(f float64) Value { return Value{kind: KindFloat, num: math.Float64bits(f)} }
+
+// B returns a BOOLEAN value.
+func B(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// L returns a LIST value wrapping vs (not copied).
+func L(vs ...Value) Value { return Value{kind: KindList, list: vs} }
+
+// FBits constructs a DOUBLE value from IEEE-754 bits; used by storage
+// backends that persist floats as raw bits.
+func FBits(b uint64) Value { return Value{kind: KindFloat, num: b} }
+
+// FloatBits returns the IEEE-754 bits of a float, the inverse of FBits.
+func FloatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload (empty unless KindString).
+func (v Value) Str() string { return v.str }
+
+// Int returns the integer payload (0 unless KindInt).
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		return 0
+	}
+	return int64(v.num)
+}
+
+// Float returns the float payload; INT values are widened.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return math.Float64frombits(v.num)
+	case KindInt:
+		return float64(int64(v.num))
+	default:
+		return 0
+	}
+}
+
+// Bool returns the boolean payload (false unless KindBool).
+func (v Value) Bool() bool { return v.kind == KindBool && v.num == 1 }
+
+// List returns the list payload (nil unless KindList).
+func (v Value) List() []Value { return v.list }
+
+// Len returns the list length, or 0 for non-lists.
+func (v Value) Len() int { return len(v.list) }
+
+// Equal reports deep equality. INT and DOUBLE compare numerically.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		if isNumeric(v.kind) && isNumeric(o.kind) {
+			return v.Float() == o.Float()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.str == o.str
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return v.num == o.num
+	}
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+// Compare orders two values; ok is false when the kinds are not mutually
+// comparable (e.g. list vs int, or anything vs NULL).
+func (v Value) Compare(o Value) (cmp int, ok bool) {
+	if isNumeric(v.kind) && isNumeric(o.kind) {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.kind == KindString && o.kind == KindString {
+		return strings.Compare(v.str, o.str), true
+	}
+	if v.kind == KindBool && o.kind == KindBool {
+		a, b := v.Bool(), o.Bool()
+		switch {
+		case a == b:
+			return 0, true
+		case !a:
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the value in Cypher literal style.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindInt:
+		return strconv.FormatInt(int64(v.num), 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.Bool())
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	default:
+		return "?"
+	}
+}
+
+// Key returns a canonical string usable as a grouping/map key; distinct
+// values yield distinct keys within a kind.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindString:
+		return "s" + v.str
+	case KindInt:
+		return "i" + strconv.FormatInt(int64(v.num), 10)
+	case KindFloat:
+		return "f" + strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case KindBool:
+		return "b" + strconv.FormatBool(v.Bool())
+	case KindList:
+		var b strings.Builder
+		b.WriteString("l[")
+		for _, e := range v.list {
+			b.WriteString(e.Key())
+			b.WriteByte(',')
+		}
+		b.WriteByte(']')
+		return b.String()
+	default:
+		return "?"
+	}
+}

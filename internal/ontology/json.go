@@ -1,0 +1,130 @@
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonOntology is the on-disk representation consumed by cmd/pgsopt and
+// emitted by cmd/pgsgen. It mirrors how OWL ontologies are summarized for
+// the optimizer: classes with data properties, object properties with a
+// cardinality type, plus isA/unionOf pseudo-relationships.
+type jsonOntology struct {
+	Concepts      []jsonConcept      `json:"concepts"`
+	Relationships []jsonRelationship `json:"relationships"`
+}
+
+type jsonConcept struct {
+	Name  string         `json:"name"`
+	Props []jsonProperty `json:"properties,omitempty"`
+}
+
+type jsonProperty struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type jsonRelationship struct {
+	Name string `json:"name"`
+	Src  string `json:"src"`
+	Dst  string `json:"dst"`
+	Type string `json:"type"`
+}
+
+var relTypeNames = map[string]RelType{
+	"1:1":         OneToOne,
+	"1:M":         OneToMany,
+	"M:N":         ManyToMany,
+	"union":       Union,
+	"inheritance": Inheritance,
+}
+
+var dataTypeNames = map[string]DataType{
+	"STRING":  TString,
+	"INT":     TInt,
+	"DOUBLE":  TFloat,
+	"BOOLEAN": TBool,
+}
+
+// MarshalJSON encodes the ontology in the documented JSON shape.
+func (o *Ontology) MarshalJSON() ([]byte, error) {
+	jo := jsonOntology{}
+	for _, c := range o.Concepts {
+		jc := jsonConcept{Name: c.Name}
+		for _, p := range c.Props {
+			jc.Props = append(jc.Props, jsonProperty{Name: p.Name, Type: p.Type.String()})
+		}
+		jo.Concepts = append(jo.Concepts, jc)
+	}
+	for _, r := range o.Relationships {
+		jo.Relationships = append(jo.Relationships, jsonRelationship{
+			Name: r.Name, Src: r.Src, Dst: r.Dst, Type: r.Type.String(),
+		})
+	}
+	return json.MarshalIndent(jo, "", "  ")
+}
+
+// UnmarshalJSON decodes the documented JSON shape and validates it.
+func (o *Ontology) UnmarshalJSON(data []byte) error {
+	var jo jsonOntology
+	if err := json.Unmarshal(data, &jo); err != nil {
+		return err
+	}
+	*o = *New()
+	for _, jc := range jo.Concepts {
+		props := make([]Property, 0, len(jc.Props))
+		for _, jp := range jc.Props {
+			dt, ok := dataTypeNames[jp.Type]
+			if !ok {
+				return fmt.Errorf("ontology: unknown data type %q for %s.%s", jp.Type, jc.Name, jp.Name)
+			}
+			props = append(props, Property{Name: jp.Name, Type: dt})
+		}
+		if o.Concept(jc.Name) != nil {
+			return fmt.Errorf("ontology: duplicate concept %s", jc.Name)
+		}
+		o.AddConcept(jc.Name, props...)
+	}
+	for _, jr := range jo.Relationships {
+		rt, ok := relTypeNames[jr.Type]
+		if !ok {
+			return fmt.Errorf("ontology: unknown relationship type %q for %s", jr.Type, jr.Name)
+		}
+		o.AddRelationship(jr.Name, jr.Src, jr.Dst, rt)
+	}
+	return o.Validate()
+}
+
+// Read decodes an ontology from JSON.
+func Read(r io.Reader) (*Ontology, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	o := New()
+	if err := o.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// ReadFile decodes an ontology from a JSON file.
+func ReadFile(path string) (*Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile encodes the ontology as JSON to a file.
+func (o *Ontology) WriteFile(path string) error {
+	data, err := o.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

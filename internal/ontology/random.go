@@ -1,0 +1,79 @@
+package ontology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomOntology generates a pseudo-random valid ontology with nConcepts
+// concepts and up to nRels relationships, deterministically from seed. It
+// is used by property-based tests across the repository (rule confluence,
+// DIR/OPT semantic equivalence, optimizer budget safety).
+//
+// Inheritance and union relationships only point from a lower-indexed
+// concept to a higher-indexed one, guaranteeing acyclicity. Concepts may
+// still play several roles at once (union member and parent, child and 1:M
+// source, ...), which is exactly the territory the paper's Theorem 3 proof
+// has to cover.
+func RandomOntology(seed int64, nConcepts, nRels int) *Ontology {
+	rng := rand.New(rand.NewSource(seed))
+	if nConcepts < 2 {
+		nConcepts = 2
+	}
+	o := New()
+	types := []DataType{TString, TInt, TFloat, TBool}
+	for i := 0; i < nConcepts; i++ {
+		nProps := rng.Intn(4)
+		props := make([]Property, 0, nProps)
+		for j := 0; j < nProps; j++ {
+			props = append(props, Property{
+				Name: fmt.Sprintf("p%d_%d", i, j),
+				Type: types[rng.Intn(len(types))],
+			})
+		}
+		o.AddConcept(fmt.Sprintf("C%d", i), props...)
+	}
+	// facetPair tracks concept pairs already connected by a
+	// facet-creating relationship (inheritance or union). A second such
+	// relationship between the same pair would make a concept both a
+	// subclass and a union member of the same concept — ontologically
+	// degenerate, and no real ontology (nor MED/FIN) contains it.
+	facetPair := map[[2]int]bool{}
+	for k := 0; k < nRels; k++ {
+		i := rng.Intn(nConcepts)
+		j := rng.Intn(nConcepts)
+		if i == j {
+			continue
+		}
+		t := RelType(rng.Intn(5))
+		if t == Inheritance || t == Union {
+			// Orient "downward" to keep the hierarchy acyclic.
+			if i > j {
+				i, j = j, i
+			}
+			if facetPair[[2]int{i, j}] {
+				continue
+			}
+			facetPair[[2]int{i, j}] = true
+		}
+		name := fmt.Sprintf("r%d", k)
+		if t == Inheritance {
+			name = "isA"
+		}
+		if t == Union {
+			name = "unionOf"
+		}
+		r := &Relationship{Name: name, Src: fmt.Sprintf("C%d", i), Dst: fmt.Sprintf("C%d", j), Type: t}
+		dup := false
+		for _, ex := range o.Relationships {
+			if ex.Key() == r.Key() {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			o.Relationships = append(o.Relationships, r)
+		}
+	}
+	return o
+}

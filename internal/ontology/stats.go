@@ -1,0 +1,210 @@
+package ontology
+
+import "fmt"
+
+// Stats holds the data characteristics of §4.2: instance cardinalities per
+// concept, edge cardinalities per relationship, and the average string
+// length used to size STRING properties in the cost model.
+type Stats struct {
+	// ConceptCard maps concept name to |ci|, its number of instances.
+	ConceptCard map[string]int
+	// RelCard maps Relationship.Key() to |r|, its number of edge instances.
+	RelCard map[string]int
+	// AvgStringLen is the assumed byte size of a STRING value.
+	AvgStringLen int
+}
+
+// NewStats returns empty statistics with the given average string size.
+func NewStats(avgStringLen int) *Stats {
+	return &Stats{
+		ConceptCard:  map[string]int{},
+		RelCard:      map[string]int{},
+		AvgStringLen: avgStringLen,
+	}
+}
+
+// DefaultStats synthesizes uniform statistics for an ontology: every
+// concept gets card instances, every relationship fanout× that many edges.
+// Used when no data characteristics are supplied (§4.2: "In case of no
+// prior knowledge ... uniform distribution").
+func DefaultStats(o *Ontology, card int) *Stats {
+	s := NewStats(16)
+	for _, c := range o.Concepts {
+		s.ConceptCard[c.Name] = card
+	}
+	for _, r := range o.Relationships {
+		switch r.Type {
+		case Union, Inheritance, OneToOne:
+			s.RelCard[r.Key()] = card
+		case OneToMany:
+			s.RelCard[r.Key()] = 4 * card
+		case ManyToMany:
+			s.RelCard[r.Key()] = 8 * card
+		}
+	}
+	return s
+}
+
+// PropSize returns the byte size of one value of the property (p.type in
+// Equations 4-5): fixed-width for numeric types, AvgStringLen for strings.
+func (s *Stats) PropSize(p Property) int {
+	if n := p.Type.FixedSize(); n > 0 {
+		return n
+	}
+	if s.AvgStringLen > 0 {
+		return s.AvgStringLen
+	}
+	return 16
+}
+
+// Card returns |c| for the concept, defaulting to 1 so cost formulas stay
+// positive when statistics are incomplete.
+func (s *Stats) Card(concept string) int {
+	if n, ok := s.ConceptCard[concept]; ok {
+		return n
+	}
+	return 1
+}
+
+// EdgeCard returns |r| for the relationship, defaulting to 1.
+func (s *Stats) EdgeCard(r *Relationship) int {
+	if n, ok := s.RelCard[r.Key()]; ok {
+		return n
+	}
+	return 1
+}
+
+// ConceptSize returns Size(ci) from Equation 2: the per-instance property
+// payload of the concept times its cardinality.
+func (s *Stats) ConceptSize(o *Ontology, concept string) int {
+	c := o.Concept(concept)
+	if c == nil {
+		return 1
+	}
+	per := 0
+	for _, p := range c.Props {
+		per += s.PropSize(p)
+	}
+	if per == 0 {
+		per = 1
+	}
+	return per * s.Card(concept)
+}
+
+// Validate checks that the statistics cover the ontology.
+func (s *Stats) Validate(o *Ontology) error {
+	for _, c := range o.Concepts {
+		if _, ok := s.ConceptCard[c.Name]; !ok {
+			return fmt.Errorf("stats: no cardinality for concept %s", c.Name)
+		}
+	}
+	for _, r := range o.Relationships {
+		if _, ok := s.RelCard[r.Key()]; !ok {
+			return fmt.Errorf("stats: no cardinality for relationship %s", r.Key())
+		}
+	}
+	return nil
+}
+
+// AccessFrequencies abstracts the workload summaries of §4.2: how often
+// queries touch each concept, relationship, and data property reached
+// through a relationship (AF(ci -r-> cj.Pj) in the paper).
+type AccessFrequencies struct {
+	// Concept maps concept name to AF(ci).
+	Concept map[string]float64
+	// Rel maps Relationship.Key() to AF(ci -r-> cj).
+	Rel map[string]float64
+	// RelProp maps Relationship.Key() then destination property name to
+	// AF(ci -r-> cj.p).
+	RelProp map[string]map[string]float64
+}
+
+// NewAccessFrequencies returns an empty summary.
+func NewAccessFrequencies() *AccessFrequencies {
+	return &AccessFrequencies{
+		Concept: map[string]float64{},
+		Rel:     map[string]float64{},
+		RelProp: map[string]map[string]float64{},
+	}
+}
+
+// UniformAF returns the uniform workload summary assumed when no workload
+// is known: every concept, relationship, and reachable property has
+// frequency 1.
+func UniformAF(o *Ontology) *AccessFrequencies {
+	af := NewAccessFrequencies()
+	for _, c := range o.Concepts {
+		af.Concept[c.Name] = 1
+	}
+	for _, r := range o.Relationships {
+		af.Rel[r.Key()] = 1
+		dst := o.Concept(r.Dst)
+		src := o.Concept(r.Src)
+		m := map[string]float64{}
+		if dst != nil {
+			for _, p := range dst.Props {
+				m[p.Name] = 1
+			}
+		}
+		// M:N relationships are optimized in both directions (§4.2.2), so
+		// source properties are also reachable "through" the relationship.
+		if r.Type == ManyToMany && src != nil {
+			for _, p := range src.Props {
+				m[p.Name] = 1
+			}
+		}
+		af.RelProp[r.Key()] = m
+	}
+	return af
+}
+
+// OfConcept returns AF(ci), defaulting to 1.
+func (af *AccessFrequencies) OfConcept(name string) float64 {
+	if f, ok := af.Concept[name]; ok {
+		return f
+	}
+	return 1
+}
+
+// OfRel returns AF(ci -r-> cj), defaulting to 1.
+func (af *AccessFrequencies) OfRel(r *Relationship) float64 {
+	if f, ok := af.Rel[r.Key()]; ok {
+		return f
+	}
+	return 1
+}
+
+// OfRelProp returns AF(ci -r-> cj.p), defaulting to OfRel(r) spread over a
+// single property.
+func (af *AccessFrequencies) OfRelProp(r *Relationship, prop string) float64 {
+	if m, ok := af.RelProp[r.Key()]; ok {
+		if f, ok := m[prop]; ok {
+			return f
+		}
+	}
+	return af.OfRel(r)
+}
+
+// AddRelProp accumulates frequency for a property accessed through a
+// relationship, keeping Rel in sync (a property access implies a
+// relationship access).
+func (af *AccessFrequencies) AddRelProp(r *Relationship, prop string, f float64) {
+	af.Rel[r.Key()] += f
+	m := af.RelProp[r.Key()]
+	if m == nil {
+		m = map[string]float64{}
+		af.RelProp[r.Key()] = m
+	}
+	m[prop] += f
+}
+
+// AddConcept accumulates frequency for direct accesses to a concept.
+func (af *AccessFrequencies) AddConcept(name string, f float64) {
+	af.Concept[name] += f
+}
+
+// AddRel accumulates frequency for traversals of a relationship that do not
+// read a specific destination property.
+func (af *AccessFrequencies) AddRel(r *Relationship, f float64) {
+	af.Rel[r.Key()] += f
+}

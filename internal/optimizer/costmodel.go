@@ -1,0 +1,234 @@
+// Package optimizer implements the space-constrained schema optimization
+// algorithms of §4: the cost-benefit model of Equations 3-5, the
+// concept-centric algorithm (Algorithm 7, PageRank-driven), the
+// relation-centric algorithm (Algorithm 8, knapsack-driven), and PGSG,
+// which returns whichever schema scores the higher total benefit.
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/knapsack"
+	"repro/internal/ontology"
+)
+
+// edgeBytes is the storage charged per replicated edge instance, so edge
+// copies (union/inheritance rules) and property replication (1:M/M:N
+// rules) share one space unit.
+const edgeBytes = 16
+
+// Inputs bundles everything the constrained algorithms consume: the
+// ontology, data characteristics, workload summaries, thresholds, and the
+// FPTAS precision.
+type Inputs struct {
+	Ontology *ontology.Ontology
+	Stats    *ontology.Stats
+	AF       *ontology.AccessFrequencies
+	Config   core.Config
+	// Epsilon is the FPTAS approximation parameter (default 0.1).
+	Epsilon float64
+
+	rels map[string]*ontology.Relationship
+	js   map[string]float64
+}
+
+// NewInputs validates and indexes the inputs. Stats defaults to uniform
+// synthetic statistics and AF to the uniform workload when nil.
+func NewInputs(o *ontology.Ontology, stats *ontology.Stats, af *ontology.AccessFrequencies, cfg core.Config) (*Inputs, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if stats == nil {
+		stats = ontology.DefaultStats(o, 1000)
+	}
+	if af == nil {
+		af = ontology.UniformAF(o)
+	}
+	js, err := core.JaccardScores(o)
+	if err != nil {
+		return nil, err
+	}
+	in := &Inputs{
+		Ontology: o, Stats: stats, AF: af, Config: cfg, Epsilon: 0.1,
+		rels: map[string]*ontology.Relationship{},
+		js:   js,
+	}
+	for _, r := range o.Relationships {
+		in.rels[r.Key()] = r
+	}
+	return in, nil
+}
+
+// Rel resolves a relationship key.
+func (in *Inputs) Rel(key string) *ontology.Relationship { return in.rels[key] }
+
+// CostBenefit evaluates Equations 3-5 for one rule application. Rule
+// applications with no structural effect (middle-band inheritance) return
+// (0, 0).
+func (in *Inputs) CostBenefit(app core.RuleApp) (benefit, cost float64, err error) {
+	r := in.rels[app.RelKey]
+	if r == nil {
+		return 0, 0, fmt.Errorf("optimizer: unknown relationship %s", app.RelKey)
+	}
+	switch r.Type {
+	case ontology.Union:
+		// Equation 3: benefit is the access frequency of the union
+		// relationship; cost is the edges copied from the union concept
+		// to the member.
+		benefit = in.AF.OfRel(r)
+		for _, rr := range in.Ontology.Rels(r.Src) {
+			if rr.Type == ontology.Union {
+				continue
+			}
+			cost += float64(in.Stats.EdgeCard(rr) * edgeBytes)
+		}
+		return benefit, cost, nil
+
+	case ontology.Inheritance:
+		js := in.js[r.Key()]
+		parent, child := in.Ontology.Concept(r.Src), in.Ontology.Concept(r.Dst)
+		switch {
+		case js > in.Config.Theta1:
+			// Child's properties materialize on parent instances, and
+			// the child's relationships re-attach to the parent.
+			benefit = in.AF.OfRel(r) * js
+			for _, p := range child.Props {
+				cost += float64(in.Stats.Card(child.Name) * in.Stats.PropSize(p))
+			}
+			for _, rr := range in.Ontology.Rels(child.Name) {
+				if rr.Type == ontology.Inheritance {
+					continue
+				}
+				cost += float64(in.Stats.EdgeCard(rr) * edgeBytes)
+			}
+		case js < in.Config.Theta2:
+			benefit = in.AF.OfRel(r) * js
+			if benefit == 0 {
+				// JS can be exactly 0; the traversal saving is still the
+				// relationship's access frequency scaled by how many
+				// parent properties move. Keep a small positive benefit
+				// so disjoint hierarchies remain selectable.
+				benefit = in.AF.OfRel(r) * in.Config.Theta2 / 2
+			}
+			for _, p := range parent.Props {
+				cost += float64(in.Stats.Card(parent.Name) * in.Stats.PropSize(p))
+			}
+			for _, rr := range in.Ontology.Rels(parent.Name) {
+				if rr.Type == ontology.Inheritance {
+					continue
+				}
+				cost += float64(in.Stats.EdgeCard(rr) * edgeBytes)
+			}
+		default:
+			return 0, 0, nil // middle band: keep the isA edge, no effect
+		}
+		return benefit, cost, nil
+
+	case ontology.OneToOne:
+		// Merging reduces vertices and saves a traversal; no replication.
+		return in.AF.OfRel(r), 0, nil
+
+	case ontology.OneToMany, ontology.ManyToMany:
+		// Equation 5, per (relationship, property, direction).
+		carrier := in.Ontology.Concept(r.Dst)
+		if app.Reverse {
+			carrier = in.Ontology.Concept(r.Src)
+		}
+		if app.Prop == "" || app.Prop == "*" {
+			return 0, 0, fmt.Errorf("optimizer: replication app %v needs a concrete property", app)
+		}
+		var pt *ontology.Property
+		for i := range carrier.Props {
+			if carrier.Props[i].Name == app.Prop {
+				pt = &carrier.Props[i]
+			}
+		}
+		if pt == nil {
+			return 0, 0, fmt.Errorf("optimizer: property %s not on %s", app.Prop, carrier.Name)
+		}
+		benefit = in.AF.OfRelProp(r, app.Prop)
+		cost = float64(in.Stats.EdgeCard(r) * in.Stats.PropSize(*pt))
+		return benefit, cost, nil
+	}
+	return 0, 0, fmt.Errorf("optimizer: unsupported relationship type %v", r.Type)
+}
+
+// appItem pairs a rule application with its scored cost/benefit.
+type appItem struct {
+	App     core.RuleApp
+	Benefit float64
+	Cost    float64
+}
+
+// effectiveApps enumerates all rule applications that have a structural
+// effect, with their cost/benefit.
+func (in *Inputs) effectiveApps() ([]appItem, error) {
+	var items []appItem
+	for _, app := range core.EnumerateApps(in.Ontology) {
+		b, c, err := in.CostBenefit(app)
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 && c == 0 {
+			continue
+		}
+		items = append(items, appItem{App: app, Benefit: b, Cost: c})
+	}
+	return items, nil
+}
+
+// NSCBenefit returns B_NSC: the total benefit of applying every effective
+// rule (the denominator of the paper's benefit ratio BR).
+func (in *Inputs) NSCBenefit() (float64, error) {
+	items, err := in.effectiveApps()
+	if err != nil {
+		return 0, err
+	}
+	t := 0.0
+	for _, it := range items {
+		t += it.Benefit
+	}
+	return t, nil
+}
+
+// NSCCost returns Cost(NSC) = S_NSC - S_DIR: the total space overhead of
+// applying every effective rule. The evaluation's space-constraint axis
+// is a percentage of this quantity.
+func (in *Inputs) NSCCost() (float64, error) {
+	items, err := in.effectiveApps()
+	if err != nil {
+		return 0, err
+	}
+	t := 0.0
+	for _, it := range items {
+		t += it.Cost
+	}
+	return t, nil
+}
+
+// solveKnapsack picks the near-optimal subset of scored applications under
+// the budget: zero-cost items are always taken (Proposition 1 requires
+// positive costs for the reduction; free items dominate trivially).
+func solveKnapsack(items []appItem, budget, eps float64) []appItem {
+	var chosen []appItem
+	var paid []appItem
+	var kn []knapsack.Item
+	for _, it := range items {
+		if it.Cost <= 0 {
+			if it.Benefit > 0 {
+				chosen = append(chosen, it)
+			}
+			continue
+		}
+		if it.Benefit <= 0 {
+			continue
+		}
+		paid = append(paid, it)
+		kn = append(kn, knapsack.Item{Benefit: it.Benefit, Cost: it.Cost})
+	}
+	for _, idx := range knapsack.Solve(kn, budget, eps) {
+		chosen = append(chosen, paid[idx])
+	}
+	return chosen
+}

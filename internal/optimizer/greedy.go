@@ -1,0 +1,61 @@
+package optimizer
+
+import (
+	"sort"
+	"time"
+)
+
+// RelationCentricGreedy is an ablation of Algorithm 8: identical scoring
+// (Equations 3-5) but selection by greedy benefit/cost density instead of
+// the FPTAS knapsack. DESIGN.md's ablation index uses it to quantify what
+// the knapsack actually buys.
+func RelationCentricGreedy(in *Inputs, budget float64) (*Plan, error) {
+	start := time.Now()
+	items, err := in.effectiveApps()
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, it := range items {
+		total += it.Cost
+	}
+	if budget >= total {
+		return in.fullBudgetPlan("RC-greedy", start)
+	}
+	sorted := make([]appItem, len(items))
+	copy(sorted, items)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		di, dj := density(sorted[i]), density(sorted[j])
+		if di != dj {
+			return di > dj
+		}
+		return sorted[i].Benefit > sorted[j].Benefit
+	})
+	remaining := budget
+	var chosen []appItem
+	for _, it := range sorted {
+		if it.Benefit <= 0 {
+			continue
+		}
+		if it.Cost <= remaining {
+			chosen = append(chosen, it)
+			remaining -= it.Cost
+		}
+	}
+	p, err := in.buildPlan("RC-greedy", chosen, start)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// density orders items by benefit per unit cost; free items rank first.
+func density(it appItem) float64 {
+	if it.Cost <= 0 {
+		if it.Benefit > 0 {
+			return 1e18
+		}
+		return 0
+	}
+	return it.Benefit / it.Cost
+}

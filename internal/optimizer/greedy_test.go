@@ -1,0 +1,82 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+)
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	in := fixture(t)
+	total, err := in.NSCCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, 0.1, 0.5, 1.0} {
+		p, err := RelationCentricGreedy(in, total*frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost > total*frac+1e-9 {
+			t.Errorf("greedy at %v%% spent %v of %v", frac*100, p.Cost, total*frac)
+		}
+	}
+}
+
+func TestGreedyFullBudgetMatchesNSC(t *testing.T) {
+	in := fixture(t)
+	total, _ := in.NSCCost()
+	nsc, err := NSC(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RelationCentricGreedy(in, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Result.PGS.Fingerprint() != nsc.Result.PGS.Fingerprint() {
+		t.Error("greedy at full budget differs from NSC")
+	}
+}
+
+// TestFPTASAtLeastMatchesGreedyOnAverage: the knapsack should beat (or
+// tie) the greedy density heuristic on most random instances — the reason
+// Algorithm 8 uses it.
+func TestFPTASAtLeastMatchesGreedyOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rcWins, greedyWins := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		o := ontology.RandomOntology(rng.Int63(), 10, 22)
+		in, err := NewInputs(o, nil, nil, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, err := in.NSCCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total == 0 {
+			continue
+		}
+		budget := total * 0.3
+		rc, err := RelationCentric(in, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := RelationCentricGreedy(in, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case rc.Benefit > gr.Benefit+1e-9:
+			rcWins++
+		case gr.Benefit > rc.Benefit+1e-9:
+			greedyWins++
+		}
+	}
+	if rcWins < greedyWins {
+		t.Errorf("FPTAS wins %d vs greedy wins %d", rcWins, greedyWins)
+	}
+}

@@ -1,0 +1,242 @@
+package optimizer
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/pagerank"
+)
+
+// Plan is the outcome of one optimization algorithm: the generated schema
+// artifacts plus the selection's accounting.
+type Plan struct {
+	Algorithm string // "NSC", "CC", "RC", or "DIR"
+	Result    *core.Result
+	// Benefit and Cost total the selected rule applications under
+	// Equations 3-5.
+	Benefit float64
+	Cost    float64
+	// Elapsed is the optimization wall time (Table 2).
+	Elapsed time.Duration
+}
+
+// BenefitRatio returns BR = B_SC / B_NSC (§5.1 "Methodology and metrics").
+func (in *Inputs) BenefitRatio(p *Plan) (float64, error) {
+	total, err := in.NSCBenefit()
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	return p.Benefit / total, nil
+}
+
+// Direct returns the unoptimized direct-mapping plan (the paper's DIR
+// baseline).
+func Direct(in *Inputs) (*Plan, error) {
+	res, err := core.Direct(in.Ontology)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Algorithm: "DIR", Result: res}, nil
+}
+
+// NSC runs Algorithm 5 (no space constraint) and accounts its benefit and
+// cost.
+func NSC(in *Inputs) (*Plan, error) {
+	start := time.Now()
+	items, err := in.effectiveApps()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.NSC(in.Ontology, in.Config)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Algorithm: "NSC", Result: res}
+	for _, it := range items {
+		p.Benefit += it.Benefit
+		p.Cost += it.Cost
+	}
+	p.Elapsed = time.Since(start)
+	return p, nil
+}
+
+// buildPlan materializes a schema from selected applications.
+func (in *Inputs) buildPlan(algorithm string, chosen []appItem, start time.Time) (*Plan, error) {
+	rules := core.NewRuleSet()
+	p := &Plan{Algorithm: algorithm}
+	for _, it := range chosen {
+		rules.Add(it.App)
+		p.Benefit += it.Benefit
+		p.Cost += it.Cost
+	}
+	res, err := core.Optimize(in.Ontology, rules, in.Config)
+	if err != nil {
+		return nil, err
+	}
+	p.Result = res
+	p.Elapsed = time.Since(start)
+	return p, nil
+}
+
+// fullBudgetPlan is returned by both constrained algorithms when the
+// budget covers every rule: per §5.2, at a 100% space constraint both
+// algorithms produce exactly the NSC schema.
+func (in *Inputs) fullBudgetPlan(algorithm string, start time.Time) (*Plan, error) {
+	p, err := NSC(in)
+	if err != nil {
+		return nil, err
+	}
+	p.Algorithm = algorithm
+	p.Elapsed = time.Since(start)
+	return p, nil
+}
+
+// RelationCentric implements Algorithm 8: score every rule application
+// with the cost-benefit model, select a near-optimal subset with the
+// knapsack FPTAS, and apply it.
+func RelationCentric(in *Inputs, budget float64) (*Plan, error) {
+	start := time.Now()
+	items, err := in.effectiveApps()
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, it := range items {
+		total += it.Cost
+	}
+	if budget >= total {
+		return in.fullBudgetPlan("RC", start)
+	}
+	eps := in.Epsilon
+	if eps == 0 {
+		eps = 0.1
+	}
+	chosen := solveKnapsack(items, budget, eps)
+	return in.buildPlan("RC", chosen, start)
+}
+
+// ConceptCentric implements Algorithm 7: rank concepts by Equation 2
+// (centrality × access frequency / size), then spend the budget on each
+// concept's relationships in rank order. Unlike the paper's listing —
+// which breaks after overshooting — we skip applications that do not fit,
+// so the budget is a hard cap (see DESIGN.md).
+func ConceptCentric(in *Inputs, budget float64) (*Plan, error) {
+	start := time.Now()
+	items, err := in.effectiveApps()
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, it := range items {
+		total += it.Cost
+	}
+	if budget >= total {
+		return in.fullBudgetPlan("CC", start)
+	}
+
+	pr := pagerank.OntologyPR(in.Ontology, pagerank.Options{})
+	type scored struct {
+		name  string
+		score float64
+	}
+	concepts := make([]scored, 0, len(in.Ontology.Concepts))
+	for _, c := range in.Ontology.Concepts {
+		size := float64(in.Stats.ConceptSize(in.Ontology, c.Name))
+		if size == 0 {
+			size = 1
+		}
+		concepts = append(concepts, scored{
+			name:  c.Name,
+			score: pr[c.Name] * in.AF.OfConcept(c.Name) / size,
+		})
+	}
+	sort.Slice(concepts, func(i, j int) bool {
+		if concepts[i].score != concepts[j].score {
+			return concepts[i].score > concepts[j].score
+		}
+		return concepts[i].name < concepts[j].name
+	})
+
+	// Index applications by the relationships touching each concept.
+	byRel := map[string][]appItem{}
+	for _, it := range items {
+		byRel[it.App.RelKey] = append(byRel[it.App.RelKey], it)
+	}
+	taken := map[core.RuleApp]bool{}
+	var chosen []appItem
+	remaining := budget
+	for _, c := range concepts {
+		rels := in.Ontology.Rels(c.name)
+		// Within a concept, spend on the most beneficial relationships
+		// first.
+		sort.Slice(rels, func(i, j int) bool {
+			bi, bj := relBenefit(byRel[rels[i].Key()]), relBenefit(byRel[rels[j].Key()])
+			if bi != bj {
+				return bi > bj
+			}
+			return rels[i].Key() < rels[j].Key()
+		})
+		for _, r := range rels {
+			for _, it := range byRel[r.Key()] {
+				if taken[it.App] || it.Benefit <= 0 {
+					continue
+				}
+				if it.Cost > remaining {
+					continue
+				}
+				taken[it.App] = true
+				chosen = append(chosen, it)
+				remaining -= it.Cost
+			}
+		}
+		if remaining <= 0 {
+			break
+		}
+	}
+	return in.buildPlan("CC", chosen, start)
+}
+
+func relBenefit(items []appItem) float64 {
+	t := 0.0
+	for _, it := range items {
+		t += it.Benefit
+	}
+	return t
+}
+
+// PGSG is the paper's schema generator: it runs both constrained
+// algorithms and returns the plan with the higher total benefit (§5.1:
+// "PGSG chooses the property graph schema with a higher total benefit
+// score from relation-centric and concept-centric algorithms").
+func PGSG(in *Inputs, budget float64) (*Plan, error) {
+	rc, err := RelationCentric(in, budget)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := ConceptCentric(in, budget)
+	if err != nil {
+		return nil, err
+	}
+	if cc.Benefit > rc.Benefit {
+		return cc, nil
+	}
+	return rc, nil
+}
+
+// Optimize is the top-level convenience: nil stats/AF default to uniform,
+// and a negative budget means unconstrained (Algorithm 5).
+func Optimize(o *ontology.Ontology, stats *ontology.Stats, af *ontology.AccessFrequencies, cfg core.Config, budget float64) (*Plan, error) {
+	in, err := NewInputs(o, stats, af, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return NSC(in)
+	}
+	return PGSG(in, budget)
+}

@@ -1,0 +1,400 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+)
+
+func str(n string) ontology.Property { return ontology.Property{Name: n, Type: ontology.TString} }
+func intp(n string) ontology.Property {
+	return ontology.Property{Name: n, Type: ontology.TInt}
+}
+
+// fixture builds a small ontology with hand-checkable statistics.
+func fixture(t *testing.T) *Inputs {
+	t.Helper()
+	o := ontology.New()
+	o.AddConcept("Drug", str("name"))
+	o.AddConcept("Indication", str("desc"), intp("code"))
+	o.AddConcept("Risk")
+	o.AddConcept("ContraIndication", str("cdesc"))
+	o.AddConcept("Parent", str("a"), str("b"))
+	o.AddConcept("Child", str("x")) // JS = 0 < θ2
+	o.AddConcept("Cond", str("note"))
+
+	o.AddRelationship("treat", "Drug", "Indication", ontology.OneToMany)
+	o.AddRelationship("cause", "Drug", "Risk", ontology.OneToMany)
+	o.AddRelationship("unionOf", "Risk", "ContraIndication", ontology.Union)
+	o.AddRelationship("isA", "Parent", "Child", ontology.Inheritance)
+	o.AddRelationship("watch", "Parent", "Cond", ontology.OneToMany)
+	o.AddRelationship("is", "Indication", "Cond", ontology.OneToOne)
+
+	stats := ontology.NewStats(10) // STRING = 10 bytes, INT = 8
+	for _, c := range o.Concepts {
+		stats.ConceptCard[c.Name] = 100
+	}
+	stats.RelCard["Drug-[treat]->Indication"] = 400
+	stats.RelCard["Drug-[cause]->Risk"] = 200
+	stats.RelCard["Risk-[unionOf]->ContraIndication"] = 100
+	stats.RelCard["Parent-[isA]->Child"] = 100
+	stats.RelCard["Parent-[watch]->Cond"] = 300
+	stats.RelCard["Indication-[is]->Cond"] = 100
+
+	in, err := NewInputs(o, stats, nil, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestCostBenefitUnion(t *testing.T) {
+	in := fixture(t)
+	b, c, err := in.CostBenefit(core.RuleApp{RelKey: "Risk-[unionOf]->ContraIndication"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Benefit = AF (uniform = 1). Cost = edges of Risk's non-union rels:
+	// cause has 200 edges × 16 bytes.
+	if b != 1 {
+		t.Errorf("union benefit = %v, want 1", b)
+	}
+	if want := float64(200 * 16); c != want {
+		t.Errorf("union cost = %v, want %v", c, want)
+	}
+}
+
+func TestCostBenefitOneToMany(t *testing.T) {
+	in := fixture(t)
+	b, c, err := in.CostBenefit(core.RuleApp{RelKey: "Drug-[treat]->Indication", Prop: "desc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 1 {
+		t.Errorf("benefit = %v", b)
+	}
+	// |r| × p.type = 400 × 10.
+	if want := 4000.0; c != want {
+		t.Errorf("cost = %v, want %v", c, want)
+	}
+	// INT property sizes differ.
+	_, c2, err := in.CostBenefit(core.RuleApp{RelKey: "Drug-[treat]->Indication", Prop: "code"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(400 * 8); c2 != want {
+		t.Errorf("int cost = %v, want %v", c2, want)
+	}
+}
+
+func TestCostBenefitInheritancePush(t *testing.T) {
+	in := fixture(t)
+	b, c, err := in.CostBenefit(core.RuleApp{RelKey: "Parent-[isA]->Child"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JS = 0 < θ2: parent pushes into child. Benefit keeps a small
+	// positive floor; cost = parent props on parent cardinality + parent's
+	// non-inheritance edges: (10+10)×100 + 300×16.
+	if b <= 0 {
+		t.Errorf("push-down benefit = %v, want > 0", b)
+	}
+	if want := float64(20*100 + 300*16); c != want {
+		t.Errorf("cost = %v, want %v", c, want)
+	}
+}
+
+func TestCostBenefitOneToOneIsFree(t *testing.T) {
+	in := fixture(t)
+	b, c, err := in.CostBenefit(core.RuleApp{RelKey: "Indication-[is]->Cond"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 1 || c != 0 {
+		t.Errorf("1:1 b=%v c=%v, want 1, 0", b, c)
+	}
+}
+
+func TestCostBenefitMiddleBandInert(t *testing.T) {
+	o := ontology.New()
+	o.AddConcept("P", str("a"), str("b"))
+	o.AddConcept("C", str("a"), str("c")) // JS = 1/3, middle band
+	o.AddRelationship("isA", "P", "C", ontology.Inheritance)
+	in, err := NewInputs(o, nil, nil, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, c, err := in.CostBenefit(core.RuleApp{RelKey: "P-[isA]->C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 || c != 0 {
+		t.Errorf("middle band b=%v c=%v, want 0, 0", b, c)
+	}
+}
+
+func TestNSCPlanAccountsEverything(t *testing.T) {
+	in := fixture(t)
+	p, err := NSC(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Benefit <= 0 || p.Cost <= 0 {
+		t.Errorf("NSC benefit=%v cost=%v", p.Benefit, p.Cost)
+	}
+	br, err := in.BenefitRatio(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != 1 {
+		t.Errorf("NSC BR = %v, want 1", br)
+	}
+}
+
+func TestFullBudgetMatchesNSC(t *testing.T) {
+	in := fixture(t)
+	nsc, err := NSC(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := in.NSCCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []func(*Inputs, float64) (*Plan, error){RelationCentric, ConceptCentric} {
+		p, err := alg(in, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Result.PGS.Fingerprint() != nsc.Result.PGS.Fingerprint() {
+			t.Errorf("%s at 100%% budget differs from NSC", p.Algorithm)
+		}
+		br, _ := in.BenefitRatio(p)
+		if br != 1 {
+			t.Errorf("%s BR at full budget = %v", p.Algorithm, br)
+		}
+	}
+}
+
+func TestZeroBudgetSelectsOnlyFreeRules(t *testing.T) {
+	in := fixture(t)
+	for _, alg := range []func(*Inputs, float64) (*Plan, error){RelationCentric, ConceptCentric} {
+		p, err := alg(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost != 0 {
+			t.Errorf("%s at zero budget spent %v", p.Algorithm, p.Cost)
+		}
+		// The free 1:1 rule should still be applied.
+		if p.Result.PGS.Node("Indication") == nil ||
+			p.Result.PGS.Node("Indication").Name != "IndicationCond" {
+			t.Errorf("%s did not apply the free 1:1 rule:\n%s", p.Algorithm, p.Result.PGS.DDL())
+		}
+	}
+}
+
+func TestBudgetSafetyProperty(t *testing.T) {
+	f := func(seed int64, budgetFrac uint8) bool {
+		o := ontology.RandomOntology(seed, 8, 16)
+		in, err := NewInputs(o, nil, nil, core.DefaultConfig())
+		if err != nil {
+			return false
+		}
+		total, err := in.NSCCost()
+		if err != nil {
+			return false
+		}
+		budget := total * float64(budgetFrac%101) / 100
+		rc, err := RelationCentric(in, budget)
+		if err != nil {
+			return false
+		}
+		cc, err := ConceptCentric(in, budget)
+		if err != nil {
+			return false
+		}
+		const slack = 1e-9
+		return rc.Cost <= budget+slack && cc.Cost <= budget+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRCNearOptimal: on small instances, RC's selected benefit is within
+// (1-ε) of the brute-force optimum over rule applications.
+func TestRCNearOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		o := ontology.RandomOntology(seed, 6, 10)
+		in, err := NewInputs(o, nil, nil, core.DefaultConfig())
+		if err != nil {
+			return false
+		}
+		items, err := in.effectiveApps()
+		if err != nil {
+			return false
+		}
+		if len(items) > 16 {
+			return true // brute force infeasible; skip
+		}
+		total := 0.0
+		for _, it := range items {
+			total += it.Cost
+		}
+		budget := total / 2
+		rc, err := RelationCentric(in, budget)
+		if err != nil {
+			return false
+		}
+		best := 0.0
+		for mask := 0; mask < 1<<len(items); mask++ {
+			b, c := 0.0, 0.0
+			for i, it := range items {
+				if mask&(1<<i) != 0 {
+					b += it.Benefit
+					c += it.Cost
+				}
+			}
+			if c <= budget && b > best {
+				best = b
+			}
+		}
+		return rc.Benefit >= (1-in.Epsilon)*best-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRCUsuallyBeatsCC reproduces the paper's main §5.2 observation: the
+// relation-centric algorithm's global ordering dominates the
+// concept-centric algorithm's local ordering on average.
+func TestRCUsuallyBeatsCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rcWins, ccWins := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		o := ontology.RandomOntology(rng.Int63(), 12, 26)
+		in, err := NewInputs(o, nil, nil, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, err := in.NSCCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total == 0 {
+			continue
+		}
+		budget := total * 0.25
+		rc, err := RelationCentric(in, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := ConceptCentric(in, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case rc.Benefit > cc.Benefit:
+			rcWins++
+		case cc.Benefit > rc.Benefit:
+			ccWins++
+		}
+	}
+	if rcWins <= ccWins {
+		t.Errorf("RC wins %d vs CC wins %d; expected RC to dominate", rcWins, ccWins)
+	}
+}
+
+func TestPGSGPicksBest(t *testing.T) {
+	in := fixture(t)
+	total, _ := in.NSCCost()
+	budget := total * 0.3
+	rc, err := RelationCentric(in, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := ConceptCentric(in, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := PGSG(in, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Benefit < rc.Benefit || best.Benefit < cc.Benefit {
+		t.Errorf("PGSG benefit %v below RC %v / CC %v", best.Benefit, rc.Benefit, cc.Benefit)
+	}
+}
+
+func TestBenefitRatioMonotoneInBudget(t *testing.T) {
+	in := fixture(t)
+	total, _ := in.NSCCost()
+	prev := -1.0
+	for _, frac := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} {
+		p, err := PGSG(in, total*frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := in.BenefitRatio(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br < prev-0.05 {
+			t.Errorf("BR dropped from %v to %v at budget %v%%", prev, br, frac*100)
+		}
+		if br < 0 || br > 1+1e-9 {
+			t.Errorf("BR out of range: %v", br)
+		}
+		prev = br
+	}
+}
+
+func TestOptimizeConvenience(t *testing.T) {
+	o := fixture(t).Ontology
+	p, err := Optimize(o, nil, nil, core.DefaultConfig(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithm != "NSC" {
+		t.Errorf("negative budget algorithm = %s", p.Algorithm)
+	}
+	p2, err := Optimize(o, nil, nil, core.DefaultConfig(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Algorithm != "RC" && p2.Algorithm != "CC" {
+		t.Errorf("constrained algorithm = %s", p2.Algorithm)
+	}
+}
+
+func TestDirectPlan(t *testing.T) {
+	in := fixture(t)
+	p, err := Direct(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Benefit != 0 || p.Cost != 0 {
+		t.Errorf("DIR accounting b=%v c=%v", p.Benefit, p.Cost)
+	}
+	if len(p.Result.PGS.Nodes) != len(in.Ontology.Concepts) {
+		t.Error("DIR dropped concepts")
+	}
+}
+
+func TestCostBenefitErrors(t *testing.T) {
+	in := fixture(t)
+	if _, _, err := in.CostBenefit(core.RuleApp{RelKey: "nope"}); err == nil {
+		t.Error("unknown relationship accepted")
+	}
+	if _, _, err := in.CostBenefit(core.RuleApp{RelKey: "Drug-[treat]->Indication", Prop: "*"}); err == nil {
+		t.Error("wildcard prop accepted by cost model")
+	}
+	if _, _, err := in.CostBenefit(core.RuleApp{RelKey: "Drug-[treat]->Indication", Prop: "absent"}); err == nil {
+		t.Error("missing prop accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package pagerank implements OntologyPR (Algorithm 6 of the paper): a
+// centrality analysis over a domain ontology that the concept-centric
+// schema optimization algorithm uses to rank concepts. Compared to plain
+// PageRank it (a) dissolves union concepts into their members, (b) runs
+// the random walk without inheritance edges and afterwards lets children
+// inherit their best ancestor's score, and (c) adds a reverse edge for
+// every relationship so in- and out-degree count equally.
+package pagerank
+
+import (
+	"sort"
+
+	"repro/internal/ontology"
+)
+
+// Options tunes the underlying PageRank iteration.
+type Options struct {
+	Damping   float64 // default 0.85
+	Tolerance float64 // L1 convergence threshold, default 1e-10
+	MaxIter   int     // default 200
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-10
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	return o
+}
+
+// OntologyPR computes the centrality score of every concept. Union
+// concepts (removed from the walk) receive score 0; every other concept
+// receives its converged PageRank, possibly upgraded to its best
+// inheritance ancestor's score.
+func OntologyPR(o *ontology.Ontology, opts Options) map[string]float64 {
+	opts = opts.withDefaults()
+
+	union := map[string]bool{}
+	for _, r := range o.Relationships {
+		if r.Type == ontology.Union {
+			union[r.Src] = true
+		}
+	}
+
+	// Build the undirected walk graph: all non-union, non-inheritance
+	// relationships, with union endpoints redistributed to members.
+	members := map[string][]string{} // union concept -> member concepts
+	for _, r := range o.Relationships {
+		if r.Type == ontology.Union {
+			members[r.Src] = append(members[r.Src], r.Dst)
+		}
+	}
+	// resolve expands an endpoint into non-union concepts (transitively,
+	// for unions of unions).
+	var resolve func(c string, seen map[string]bool) []string
+	resolve = func(c string, seen map[string]bool) []string {
+		if !union[c] {
+			return []string{c}
+		}
+		if seen[c] {
+			return nil
+		}
+		seen[c] = true
+		var out []string
+		for _, m := range members[c] {
+			out = append(out, resolve(m, seen)...)
+		}
+		return out
+	}
+
+	var nodes []string
+	idx := map[string]int{}
+	for _, c := range o.Concepts {
+		if union[c.Name] {
+			continue
+		}
+		idx[c.Name] = len(nodes)
+		nodes = append(nodes, c.Name)
+	}
+	n := len(nodes)
+	if n == 0 {
+		return map[string]float64{}
+	}
+	adj := make([][]int, n)
+	addEdge := func(a, b string) {
+		ia, oka := idx[a]
+		ib, okb := idx[b]
+		if !oka || !okb {
+			return
+		}
+		// Both directions: the reverse edge of Algorithm 6 makes the
+		// graph effectively undirected.
+		adj[ia] = append(adj[ia], ib)
+		adj[ib] = append(adj[ib], ia)
+	}
+	for _, r := range o.Relationships {
+		if r.Type == ontology.Union || r.Type == ontology.Inheritance {
+			continue
+		}
+		for _, s := range resolve(r.Src, map[string]bool{}) {
+			for _, d := range resolve(r.Dst, map[string]bool{}) {
+				if s != d {
+					addEdge(s, d)
+				}
+			}
+		}
+	}
+
+	pr := pageRank(adj, opts)
+
+	scores := map[string]float64{}
+	for i, name := range nodes {
+		scores[name] = pr[i]
+	}
+	for _, c := range o.Concepts {
+		if union[c.Name] {
+			scores[c.Name] = 0
+		}
+	}
+
+	// Re-attach inheritance: every concept inherits the maximum score
+	// along its ancestor chain (depth-first from roots, Algorithm 6's
+	// updatePR).
+	parents := map[string][]string{}
+	for _, r := range o.Relationships {
+		if r.Type == ontology.Inheritance {
+			parents[r.Dst] = append(parents[r.Dst], r.Src)
+		}
+	}
+	var best func(c string, seen map[string]bool) float64
+	best = func(c string, seen map[string]bool) float64 {
+		if seen[c] {
+			return 0
+		}
+		seen[c] = true
+		s := scores[c]
+		for _, p := range parents[c] {
+			if v := best(p, seen); v > s {
+				s = v
+			}
+		}
+		return s
+	}
+	names := make([]string, 0, len(scores))
+	for name := range scores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	updated := map[string]float64{}
+	for _, name := range names {
+		updated[name] = best(name, map[string]bool{})
+	}
+	return updated
+}
+
+// pageRank runs the power iteration on an adjacency list (already
+// symmetrized). Dangling nodes distribute uniformly.
+func pageRank(adj [][]int, opts Options) []float64 {
+	n := len(adj)
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		dangling := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for i, outs := range adj {
+			if len(outs) == 0 {
+				dangling += pr[i]
+				continue
+			}
+			share := pr[i] / float64(len(outs))
+			for _, j := range outs {
+				next[j] += share
+			}
+		}
+		base := (1-opts.Damping)/float64(n) + opts.Damping*dangling/float64(n)
+		delta := 0.0
+		for i := range next {
+			v := base + opts.Damping*next[i]
+			if d := v - pr[i]; d >= 0 {
+				delta += d
+			} else {
+				delta -= d
+			}
+			pr[i], next[i] = v, 0
+		}
+		if delta < opts.Tolerance {
+			break
+		}
+	}
+	return pr
+}

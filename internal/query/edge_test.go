@@ -1,0 +1,155 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/storage/memstore"
+)
+
+// Additional executor edge cases beyond the main battery.
+
+func TestLimitZero(t *testing.T) {
+	mem := memstore.New()
+	buildMedGraph(t, mem)
+	res := mustRun(t, mem, `MATCH (d:Drug) RETURN d.name LIMIT 0`)
+	if len(res.Rows) != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(res.Rows))
+	}
+}
+
+func TestOrderByNullsLast(t *testing.T) {
+	mem := memstore.New()
+	for i := 0; i < 3; i++ {
+		v, _ := mem.AddVertex("N")
+		if i != 1 { // leave one vertex without the property
+			if err := mem.SetProp(v, "x", graph.I(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res := mustRun(t, mem, `MATCH (n:N) RETURN n.x ORDER BY n.x`)
+	if !res.Rows[len(res.Rows)-1][0].IsNull() {
+		t.Errorf("NULL not sorted last: %v", res.Rows)
+	}
+}
+
+func TestCollectSkipsNulls(t *testing.T) {
+	mem := memstore.New()
+	for i := 0; i < 4; i++ {
+		v, _ := mem.AddVertex("N")
+		if i%2 == 0 {
+			if err := mem.SetProp(v, "x", graph.I(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res := mustRun(t, mem, `MATCH (n:N) RETURN size(COLLECT(n.x))`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("COLLECT kept nulls: %v", res.Rows)
+	}
+}
+
+func TestAvgOverEmptyGroupIsNull(t *testing.T) {
+	mem := memstore.New()
+	if _, err := mem.AddVertex("N"); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, mem, `MATCH (n:N) RETURN AVG(n.absent)`)
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("AVG over no values = %v, want null", res.Rows[0][0])
+	}
+}
+
+func TestSizeOfString(t *testing.T) {
+	mem := memstore.New()
+	v, _ := mem.AddVertex("N")
+	if err := mem.SetProp(v, "s", graph.S("hello")); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, mem, `MATCH (n:N) RETURN size(n.s)`)
+	if res.Rows[0][0].Int() != 5 {
+		t.Errorf("size(string) = %v", res.Rows[0][0])
+	}
+}
+
+func TestSelfLoopMatching(t *testing.T) {
+	// Merged graphs can contain self-loops; a two-node pattern may bind
+	// both variables to the same vertex (Cypher only forbids edge reuse).
+	mem := memstore.New()
+	v, _ := mem.AddVertex("N")
+	if _, err := mem.AddEdge(v, v, "r"); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, mem, `MATCH (a:N)-[:r]->(b:N) RETURN COUNT(*)`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("self-loop rows = %v", res.Rows[0][0])
+	}
+}
+
+func TestParallelEdgesProduceDistinctRows(t *testing.T) {
+	mem := memstore.New()
+	a, _ := mem.AddVertex("A")
+	b, _ := mem.AddVertex("B")
+	for i := 0; i < 3; i++ {
+		if _, err := mem.AddEdge(a, b, "r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustRun(t, mem, `MATCH (a:A)-[:r]->(b:B) RETURN COUNT(*)`)
+	if res.Rows[0][0].Int() != 3 {
+		t.Errorf("parallel edges rows = %v, want 3", res.Rows[0][0])
+	}
+}
+
+func TestGroupingByNullKey(t *testing.T) {
+	mem := memstore.New()
+	for i := 0; i < 3; i++ {
+		v, _ := mem.AddVertex("N")
+		if i == 0 {
+			if err := mem.SetProp(v, "g", graph.S("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res := mustRun(t, mem, `MATCH (n:N) RETURN n.g, COUNT(*)`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	total := int64(0)
+	for _, row := range res.Rows {
+		total += row[1].Int()
+	}
+	if total != 3 {
+		t.Errorf("group counts sum to %d, want 3", total)
+	}
+}
+
+func TestLongChainPattern(t *testing.T) {
+	mem := memstore.New()
+	const n = 6
+	ids := make([]storage.VID, n)
+	for i := range ids {
+		v, _ := mem.AddVertex("N")
+		if err := mem.SetProp(v, "i", graph.I(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = v
+	}
+	for i := 0; i+1 < n; i++ {
+		if _, err := mem.AddEdge(ids[i], ids[i+1], "next"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustRun(t, mem,
+		`MATCH (a:N)-[:next]->(b:N)-[:next]->(c:N)-[:next]->(d:N)-[:next]->(e:N) RETURN a.i, e.i`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("chain rows = %v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[1].Int()-row[0].Int() != 4 {
+			t.Errorf("chain endpoints %v", row)
+		}
+	}
+}

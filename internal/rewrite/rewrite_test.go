@@ -1,0 +1,350 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cypher"
+	"repro/internal/datagen"
+	"repro/internal/loader"
+	"repro/internal/query"
+	"repro/internal/storage/memstore"
+)
+
+type fixture struct {
+	mapping *core.Mapping
+	dir     *memstore.Store
+	opt     *memstore.Store
+}
+
+func buildFixture(t *testing.T, card int) *fixture {
+	t.Helper()
+	o := datagen.MED()
+	ds, err := datagen.Generate(o, datagen.Options{Seed: 11, BaseCard: card})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NSC(o, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{mapping: res.Mapping, dir: memstore.New(), opt: memstore.New()}
+	if _, _, err := loader.Load(f.dir, ds, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loader.Load(f.opt, ds, res.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func rowsOf(t *testing.T, res *query.Result) []string {
+	t.Helper()
+	query.SortRowsForComparison(res.Rows)
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = fmt.Sprint(r)
+	}
+	return out
+}
+
+// assertEquivalent runs src on DIR, its rewrite on OPT, and compares rows.
+func (f *fixture) assertEquivalent(t *testing.T, src string) {
+	t.Helper()
+	q := cypher.MustParse(src)
+	rq, notes, err := Rewrite(q, f.mapping, Options{})
+	if err != nil {
+		t.Fatalf("Rewrite(%q): %v", src, err)
+	}
+	rd, err := query.Run(f.dir, q)
+	if err != nil {
+		t.Fatalf("DIR run: %v", err)
+	}
+	ro, err := query.Run(f.opt, rq)
+	if err != nil {
+		t.Fatalf("OPT run (%s): %v", rq, err)
+	}
+	dr, or := rowsOf(t, rd), rowsOf(t, ro)
+	if len(dr) == 0 {
+		t.Fatalf("query %q matched nothing on DIR; fixture too small", src)
+	}
+	if fmt.Sprint(dr) != fmt.Sprint(or) {
+		t.Errorf("results differ for %q\nrewritten: %s\nnotes: %v\nDIR(%d): %.400v\nOPT(%d): %.400v",
+			src, rq, notes, len(dr), dr, len(or), or)
+	}
+}
+
+func TestUnionHopCollapse(t *testing.T) {
+	f := buildFixture(t, 20)
+	src := `MATCH (d:Drug)-[:cause]->(r:Risk)<-[:unionOf]-(ci:ContraIndication) RETURN d.name, ci.ciDesc`
+	q, notes, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Rels) != 1 {
+		t.Errorf("expected 1 hop after rewrite, got %s", q)
+	}
+	if len(notes) == 0 || !strings.Contains(notes[0], "union") {
+		t.Errorf("notes = %v", notes)
+	}
+	f.assertEquivalent(t, src)
+}
+
+func TestIsAHopCollapse(t *testing.T) {
+	f := buildFixture(t, 20)
+	src := `MATCH (dl:DrugLabInteraction)-[:isA]->(di:DrugInteraction) RETURN di.summary`
+	q, _, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Rels) != 0 || len(q.Patterns[0].Nodes) != 1 {
+		t.Errorf("hop not collapsed: %s", q)
+	}
+	// di renamed into dl: summary now read from the merged vertex.
+	if !strings.Contains(q.String(), "dl.summary") {
+		t.Errorf("property access not renamed: %s", q)
+	}
+	f.assertEquivalent(t, src)
+}
+
+func TestTwoLevelInheritanceChainCollapse(t *testing.T) {
+	f := buildFixture(t, 15)
+	// Treatment -> Procedure and Treatment -> Prescription are pushed
+	// down (JS=0): both hops collapse.
+	src := `MATCH (p:Procedure)-[:isA]->(tr:Treatment)<-[:isA]-(rx:Prescription) RETURN COUNT(*)`
+	q, _, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Rels) != 0 {
+		t.Errorf("chain not fully collapsed: %s", q)
+	}
+	// Note: COUNT(*) over a fully collapsed pattern counts vertices
+	// carrying all three labels; no vertex carries both Procedure and
+	// Prescription (distinct children), so both sides return 0 rows...
+	// DIR also returns 0 matches because a Treatment facet belongs to
+	// exactly one child. Equivalent.
+	f.assertEquivalent(t, src)
+}
+
+func TestOneToOneCollapse(t *testing.T) {
+	f := buildFixture(t, 20)
+	src := `MATCH (i:Indication)-[:is]->(c:Condition) RETURN i.desc, c.condName`
+	q, _, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Rels) != 0 {
+		t.Errorf("1:1 hop not collapsed: %s", q)
+	}
+	f.assertEquivalent(t, src)
+}
+
+func TestAggregationLocalization(t *testing.T) {
+	f := buildFixture(t, 20)
+	src := `MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, size(COLLECT(i.desc)) AS n`
+	q, notes, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Rels) != 0 {
+		t.Errorf("1:M hop not localized: %s", q)
+	}
+	if !strings.Contains(q.String(), "Indication.desc") {
+		t.Errorf("list property not referenced: %s", q)
+	}
+	if len(notes) == 0 {
+		t.Error("no rewrite notes")
+	}
+	// Row sets: DIR groups drugs with ≥1 indication; OPT returns every
+	// drug with its list size (possibly 0). Compare drugs with n>0.
+	rd, err := query.Run(f.dir, cypher.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := query.Run(f.opt, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirRows := map[string]int64{}
+	for _, row := range rd.Rows {
+		dirRows[row[0].Str()] += row[1].Int()
+	}
+	optRows := map[string]int64{}
+	for _, row := range ro.Rows {
+		if row[1].Int() > 0 {
+			optRows[row[0].Str()] += row[1].Int()
+		}
+	}
+	if len(dirRows) == 0 {
+		t.Fatal("no DIR rows")
+	}
+	if fmt.Sprint(dirRows) != fmt.Sprint(optRows) {
+		t.Errorf("aggregation mismatch:\nDIR: %v\nOPT: %v", dirRows, optRows)
+	}
+}
+
+func TestAnchoredAggregationEquivalence(t *testing.T) {
+	f := buildFixture(t, 20)
+	// Find a drug name that exists to anchor the pattern.
+	res, err := query.Run(f.dir, cypher.MustParse(`MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name LIMIT 1`))
+	if err != nil || len(res.Rows) == 0 {
+		t.Fatalf("no anchor drug: %v", err)
+	}
+	name := res.Rows[0][0].Str()
+	src := fmt.Sprintf(`MATCH (d:Drug {name: '%s'})-[:treat]->(i:Indication) RETURN COUNT(i.desc)`, name)
+	q, _, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "size(") {
+		t.Errorf("COUNT not rewritten to size: %s", q)
+	}
+	rd, _ := query.Run(f.dir, cypher.MustParse(src))
+	ro, err := query.Run(f.opt, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DIR: single global aggregate row. OPT: one row per anchored drug
+	// vertex (several drugs may share a name); their sizes must sum to
+	// the DIR count.
+	var sum int64
+	for _, row := range ro.Rows {
+		sum += row[0].Int()
+	}
+	if rd.Rows[0][0].Int() != sum {
+		t.Errorf("anchored count: DIR %v vs OPT sum %v", rd.Rows[0][0], sum)
+	}
+}
+
+func TestScalarLookupLocalizationOptIn(t *testing.T) {
+	f := buildFixture(t, 20)
+	src := `MATCH (d:Drug)-[:treat]->(i:Indication) RETURN i.desc`
+	// Off by default: traversal kept.
+	q, _, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Rels) != 1 {
+		t.Errorf("default rewrite should keep the hop: %s", q)
+	}
+	// Opt-in: hop removed, list property read.
+	q2, _, err := Rewrite(cypher.MustParse(src), f.mapping, Options{LocalizeScalarLookups: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.Patterns[0].Rels) != 0 {
+		t.Errorf("opt-in rewrite kept the hop: %s", q2)
+	}
+	// Flattened value multisets agree.
+	rd, _ := query.Run(f.dir, cypher.MustParse(src))
+	ro, err := query.Run(f.opt, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirVals := map[string]int{}
+	for _, row := range rd.Rows {
+		dirVals[row[0].Str()]++
+	}
+	optVals := map[string]int{}
+	for _, row := range ro.Rows {
+		for _, v := range row[0].List() {
+			optVals[v.Str()]++
+		}
+	}
+	if fmt.Sprint(dirVals) != fmt.Sprint(optVals) {
+		t.Errorf("flattened lookup mismatch:\nDIR %v\nOPT %v", dirVals, optVals)
+	}
+}
+
+func TestNoRewriteWithoutMapping(t *testing.T) {
+	f := buildFixture(t, 10)
+	empty := &core.Mapping{}
+	src := `MATCH (d:Drug)-[:cause]->(r:Risk)<-[:unionOf]-(ci:ContraIndication) RETURN d.name`
+	q, notes, err := Rewrite(cypher.MustParse(src), empty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 0 || len(q.Patterns[0].Rels) != 2 {
+		t.Errorf("empty mapping rewrote the query: %s %v", q, notes)
+	}
+	_ = f
+}
+
+func TestCountStarNotLocalized(t *testing.T) {
+	f := buildFixture(t, 15)
+	src := `MATCH (d:Drug)-[:treat]->(i:Indication) RETURN COUNT(*)`
+	q, _, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Rels) != 1 {
+		t.Errorf("COUNT(*) query must keep the traversal: %s", q)
+	}
+	f.assertEquivalent(t, src)
+}
+
+func TestDistinctAggregateNotLocalized(t *testing.T) {
+	f := buildFixture(t, 15)
+	src := `MATCH (d:Drug)-[:treat]->(i:Indication) RETURN COUNT(DISTINCT i.desc)`
+	q, _, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Rels) != 1 {
+		t.Errorf("DISTINCT aggregate must keep the traversal: %s", q)
+	}
+	f.assertEquivalent(t, src)
+}
+
+func TestWhereOnFarNodeBlocksLocalization(t *testing.T) {
+	f := buildFixture(t, 15)
+	src := `MATCH (d:Drug)-[:treat]->(i:Indication) WHERE i.desc <> 'x' RETURN COUNT(i.desc)`
+	q, _, err := Rewrite(cypher.MustParse(src), f.mapping, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns[0].Rels) != 1 {
+		t.Errorf("WHERE-constrained neighbor must keep the traversal: %s", q)
+	}
+	f.assertEquivalent(t, src)
+}
+
+// TestEquivalenceBattery runs a battery of DIR queries across every rule
+// type and checks exact row equality after rewriting.
+func TestEquivalenceBattery(t *testing.T) {
+	f := buildFixture(t, 25)
+	queries := []string{
+		// Union collapse inside longer patterns.
+		`MATCH (d:Drug)-[:cause]->(r:Risk)<-[:unionOf]-(b:BlackBoxWarning) RETURN d.name, b.route`,
+		// Inheritance collapse (parent property from child).
+		`MATCH (x:DrugFoodInteraction)-[:isA]->(p:DrugInteraction) RETURN x.riskLevel, p.summary`,
+		// Inheritance collapse with WHERE on merged property.
+		`MATCH (x:DrugLabInteraction)-[:isA]->(p:DrugInteraction) WHERE x.mechanism <> 'zzz' RETURN p.summary`,
+		// 1:1 collapse chained with 1:M traversal.
+		`MATCH (d:Drug)-[:treat]->(i:Indication)-[:is]->(c:Condition) RETURN d.name, c.note`,
+		// Multi-pattern join sharing a variable.
+		`MATCH (d:Drug)-[:treat]->(i:Indication), (d)-[:has]->(di:DrugInteraction) RETURN i.desc, di.summary`,
+		// Plain queries must survive rewriting untouched.
+		`MATCH (p:Patient) RETURN COUNT(*)`,
+		`MATCH (m:Manufacturer)-[:hasDrug]->(d:Drug) RETURN m.attr0, d.name`,
+	}
+	for _, src := range queries {
+		f.assertEquivalent(t, src)
+	}
+}
+
+func TestRewriteDoesNotMutateInput(t *testing.T) {
+	f := buildFixture(t, 10)
+	src := `MATCH (dl:DrugLabInteraction)-[:isA]->(di:DrugInteraction) RETURN di.summary`
+	q := cypher.MustParse(src)
+	before := q.String()
+	if _, _, err := Rewrite(q, f.mapping, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != before {
+		t.Errorf("input mutated:\nbefore %s\nafter  %s", before, q.String())
+	}
+}

@@ -1,0 +1,807 @@
+// Package diskstore implements storage.Graph as a Neo4j-style record
+// store: fixed-size vertex and edge records with linked-list adjacency,
+// fixed-size property records chained off vertices, and a variable-length
+// blob file for strings and lists — all accessed through a write-back LRU
+// page cache.
+//
+// It stands in for the paper's disk-based backend (Neo4j): every edge
+// traversal dereferences edge and vertex records that may or may not be
+// resident in the page cache, so schemas that need fewer traversals do
+// proportionally less I/O. The cache size is configurable to reproduce the
+// paper's observation that disk-based systems benefit most from schema
+// optimization.
+package diskstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+const (
+	vertexRecSize = 64
+	edgeRecSize   = 64
+	propRecSize   = 32
+	maxLabels     = 128
+)
+
+// Options configures a Store.
+type Options struct {
+	// PageSize is the cache page size in bytes (default 8192). Record
+	// sizes (64/64/32) must divide it.
+	PageSize int
+	// CachePages is the page cache capacity (default 256 pages = 2 MiB
+	// with the default page size).
+	CachePages int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = 8192
+	}
+	if o.CachePages == 0 {
+		o.CachePages = 256
+	}
+	return o
+}
+
+type manifest struct {
+	Labels      []string `json:"labels"`
+	Types       []string `json:"types"`
+	Keys        []string `json:"keys"`
+	NumVertices int64    `json:"num_vertices"`
+	NumEdges    int64    `json:"num_edges"`
+	NumProps    int64    `json:"num_props"`
+	BlobSize    int64    `json:"blob_size"`
+}
+
+// Store is a disk-backed property graph. Not safe for concurrent use.
+type Store struct {
+	dir   string
+	pager *pager
+	opts  Options
+
+	labels   []string
+	labelIDs map[string]int
+	types    []string
+	typeIDs  map[string]int
+	keys     []string
+	keyIDs   map[string]int
+
+	numVertices int64
+	numEdges    int64
+	numProps    int64
+	blobSize    int64
+
+	byLabel map[int][]storage.VID
+}
+
+var (
+	_ storage.Builder       = (*Store)(nil)
+	_ storage.StatsReporter = (*Store)(nil)
+)
+
+// Open creates (or reopens) a store in dir.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.PageSize%vertexRecSize != 0 || opts.PageSize%propRecSize != 0 {
+		return nil, fmt.Errorf("diskstore: page size %d must be a multiple of record sizes", opts.PageSize)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files [numFiles]*os.File
+	for i, name := range []string{"vertices.db", "edges.db", "props.db", "blobs.db"} {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+	}
+	pg, err := newPager(files, opts.PageSize, opts.CachePages)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:      dir,
+		pager:    pg,
+		opts:     opts,
+		labelIDs: map[string]int{},
+		typeIDs:  map[string]int{},
+		keyIDs:   map[string]int{},
+		byLabel:  map[int][]storage.VID{},
+	}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) loadManifest() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, "manifest.json"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	s.labels, s.types, s.keys = m.Labels, m.Types, m.Keys
+	s.numVertices, s.numEdges, s.numProps, s.blobSize = m.NumVertices, m.NumEdges, m.NumProps, m.BlobSize
+	for i, l := range s.labels {
+		s.labelIDs[l] = i
+	}
+	for i, t := range s.types {
+		s.typeIDs[t] = i
+	}
+	for i, k := range s.keys {
+		s.keyIDs[k] = i
+	}
+	// Rebuild the label scan index.
+	for v := int64(0); v < s.numVertices; v++ {
+		rec, err := s.readVertex(storage.VID(v))
+		if err != nil {
+			return err
+		}
+		for _, id := range labelBitsToIDs(rec.labels) {
+			s.byLabel[id] = append(s.byLabel[id], storage.VID(v))
+		}
+	}
+	return nil
+}
+
+// Flush writes dirty pages and the manifest to disk.
+func (s *Store) Flush() error {
+	if err := s.pager.flush(); err != nil {
+		return err
+	}
+	m := manifest{
+		Labels: s.labels, Types: s.types, Keys: s.keys,
+		NumVertices: s.numVertices, NumEdges: s.numEdges, NumProps: s.numProps,
+		BlobSize: s.blobSize,
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.dir, "manifest.json"), data, 0o644)
+}
+
+// Close flushes and closes the underlying files.
+func (s *Store) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	for _, f := range s.pager.files {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropCache empties the page cache, simulating a cold start.
+func (s *Store) DropCache() error { return s.pager.dropCache() }
+
+// Stats returns page cache counters.
+func (s *Store) Stats() storage.Stats { return s.pager.stats }
+
+// ResetStats zeroes the page cache counters.
+func (s *Store) ResetStats() { s.pager.stats = storage.Stats{} }
+
+// ---- record codecs ----
+
+type vertexRec struct {
+	inUse     bool
+	labels    [2]uint64
+	firstOut  int64 // edge id + 1; 0 = none
+	firstIn   int64
+	firstProp int64 // prop id + 1
+}
+
+type edgeRec struct {
+	inUse    bool
+	typeID   uint32
+	src, dst int64
+	nextOut  int64 // edge id + 1
+	nextIn   int64
+}
+
+type propRec struct {
+	inUse bool
+	keyID uint32
+	kind  graph.Kind
+	a, b  uint64
+	next  int64 // prop id + 1
+}
+
+func (s *Store) readVertex(v storage.VID) (vertexRec, error) {
+	var buf [vertexRecSize]byte
+	if err := s.pager.read(fileVertices, int64(v)*vertexRecSize, buf[:]); err != nil {
+		return vertexRec{}, err
+	}
+	return vertexRec{
+		inUse:     buf[0]&1 != 0,
+		labels:    [2]uint64{binary.LittleEndian.Uint64(buf[1:]), binary.LittleEndian.Uint64(buf[9:])},
+		firstOut:  int64(binary.LittleEndian.Uint64(buf[17:])),
+		firstIn:   int64(binary.LittleEndian.Uint64(buf[25:])),
+		firstProp: int64(binary.LittleEndian.Uint64(buf[33:])),
+	}, nil
+}
+
+func (s *Store) writeVertex(v storage.VID, r vertexRec) error {
+	var buf [vertexRecSize]byte
+	if r.inUse {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[1:], r.labels[0])
+	binary.LittleEndian.PutUint64(buf[9:], r.labels[1])
+	binary.LittleEndian.PutUint64(buf[17:], uint64(r.firstOut))
+	binary.LittleEndian.PutUint64(buf[25:], uint64(r.firstIn))
+	binary.LittleEndian.PutUint64(buf[33:], uint64(r.firstProp))
+	return s.pager.write(fileVertices, int64(v)*vertexRecSize, buf[:])
+}
+
+func (s *Store) readEdge(e storage.EID) (edgeRec, error) {
+	var buf [edgeRecSize]byte
+	if err := s.pager.read(fileEdges, int64(e)*edgeRecSize, buf[:]); err != nil {
+		return edgeRec{}, err
+	}
+	return edgeRec{
+		inUse:   buf[0]&1 != 0,
+		typeID:  binary.LittleEndian.Uint32(buf[1:]),
+		src:     int64(binary.LittleEndian.Uint64(buf[5:])),
+		dst:     int64(binary.LittleEndian.Uint64(buf[13:])),
+		nextOut: int64(binary.LittleEndian.Uint64(buf[21:])),
+		nextIn:  int64(binary.LittleEndian.Uint64(buf[29:])),
+	}, nil
+}
+
+func (s *Store) writeEdge(e storage.EID, r edgeRec) error {
+	var buf [edgeRecSize]byte
+	if r.inUse {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[1:], r.typeID)
+	binary.LittleEndian.PutUint64(buf[5:], uint64(r.src))
+	binary.LittleEndian.PutUint64(buf[13:], uint64(r.dst))
+	binary.LittleEndian.PutUint64(buf[21:], uint64(r.nextOut))
+	binary.LittleEndian.PutUint64(buf[29:], uint64(r.nextIn))
+	return s.pager.write(fileEdges, int64(e)*edgeRecSize, buf[:])
+}
+
+func (s *Store) readProp(p int64) (propRec, error) {
+	var buf [propRecSize]byte
+	if err := s.pager.read(fileProps, p*propRecSize, buf[:]); err != nil {
+		return propRec{}, err
+	}
+	return propRec{
+		inUse: buf[0]&1 != 0,
+		keyID: binary.LittleEndian.Uint32(buf[1:]),
+		kind:  graph.Kind(buf[5]),
+		a:     binary.LittleEndian.Uint64(buf[6:]),
+		b:     binary.LittleEndian.Uint64(buf[14:]),
+		next:  int64(binary.LittleEndian.Uint64(buf[22:])),
+	}, nil
+}
+
+func (s *Store) writeProp(p int64, r propRec) error {
+	var buf [propRecSize]byte
+	if r.inUse {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[1:], r.keyID)
+	buf[5] = byte(r.kind)
+	binary.LittleEndian.PutUint64(buf[6:], r.a)
+	binary.LittleEndian.PutUint64(buf[14:], r.b)
+	binary.LittleEndian.PutUint64(buf[22:], uint64(r.next))
+	return s.pager.write(fileProps, p*propRecSize, buf[:])
+}
+
+func (s *Store) appendBlob(data []byte) (off int64, err error) {
+	off = s.blobSize
+	if err := s.pager.write(fileBlobs, off, data); err != nil {
+		return 0, err
+	}
+	s.blobSize += int64(len(data))
+	return off, nil
+}
+
+func (s *Store) readBlob(off, n int64) ([]byte, error) {
+	buf := make([]byte, n)
+	if err := s.pager.read(fileBlobs, off, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func labelBitsToIDs(bitsets [2]uint64) []int {
+	var ids []int
+	for w, word := range bitsets {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			ids = append(ids, w*64+b)
+			word &^= 1 << b
+		}
+	}
+	return ids
+}
+
+// ---- value <-> prop record encoding ----
+
+// encodeValue fills kind/a/b for a value, appending blob data as needed.
+func (s *Store) encodeValue(v graph.Value) (kind graph.Kind, a, b uint64, err error) {
+	switch v.Kind() {
+	case graph.KindNull:
+		return graph.KindNull, 0, 0, nil
+	case graph.KindInt:
+		return graph.KindInt, uint64(v.Int()), 0, nil
+	case graph.KindFloat:
+		return graph.KindFloat, graph.FloatBits(v.Float()), 0, nil
+	case graph.KindBool:
+		if v.Bool() {
+			return graph.KindBool, 1, 0, nil
+		}
+		return graph.KindBool, 0, 0, nil
+	case graph.KindString:
+		off, err := s.appendBlob([]byte(v.Str()))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return graph.KindString, uint64(off), uint64(len(v.Str())), nil
+	case graph.KindList:
+		data, err := encodeList(v.List())
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		off, err := s.appendBlob(data)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return graph.KindList, uint64(off), uint64(len(data)), nil
+	default:
+		return 0, 0, 0, fmt.Errorf("diskstore: unsupported value kind %v", v.Kind())
+	}
+}
+
+func (s *Store) decodeValue(r propRec) (graph.Value, error) {
+	switch r.kind {
+	case graph.KindNull:
+		return graph.Null, nil
+	case graph.KindInt:
+		return graph.I(int64(r.a)), nil
+	case graph.KindFloat:
+		return graph.FBits(r.a), nil
+	case graph.KindBool:
+		return graph.B(r.a == 1), nil
+	case graph.KindString:
+		data, err := s.readBlob(int64(r.a), int64(r.b))
+		if err != nil {
+			return graph.Null, err
+		}
+		return graph.S(string(data)), nil
+	case graph.KindList:
+		data, err := s.readBlob(int64(r.a), int64(r.b))
+		if err != nil {
+			return graph.Null, err
+		}
+		return decodeList(data)
+	default:
+		return graph.Null, fmt.Errorf("diskstore: unsupported stored kind %v", r.kind)
+	}
+}
+
+// encodeList serializes a list of scalar values. Nested lists are not
+// supported (the schema optimizer only replicates scalar properties).
+func encodeList(vs []graph.Value) ([]byte, error) {
+	var out []byte
+	var n [8]byte
+	binary.LittleEndian.PutUint32(n[:4], uint32(len(vs)))
+	out = append(out, n[:4]...)
+	for _, v := range vs {
+		out = append(out, byte(v.Kind()))
+		switch v.Kind() {
+		case graph.KindNull:
+		case graph.KindInt:
+			binary.LittleEndian.PutUint64(n[:], uint64(v.Int()))
+			out = append(out, n[:]...)
+		case graph.KindFloat:
+			binary.LittleEndian.PutUint64(n[:], graph.FloatBits(v.Float()))
+			out = append(out, n[:]...)
+		case graph.KindBool:
+			if v.Bool() {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		case graph.KindString:
+			binary.LittleEndian.PutUint32(n[:4], uint32(len(v.Str())))
+			out = append(out, n[:4]...)
+			out = append(out, v.Str()...)
+		default:
+			return nil, fmt.Errorf("diskstore: cannot store nested %v in list", v.Kind())
+		}
+	}
+	return out, nil
+}
+
+func decodeList(data []byte) (graph.Value, error) {
+	if len(data) < 4 {
+		return graph.Null, fmt.Errorf("diskstore: corrupt list blob")
+	}
+	count := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	vs := make([]graph.Value, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(data) < 1 {
+			return graph.Null, fmt.Errorf("diskstore: truncated list blob")
+		}
+		kind := graph.Kind(data[0])
+		data = data[1:]
+		switch kind {
+		case graph.KindNull:
+			vs = append(vs, graph.Null)
+		case graph.KindInt:
+			vs = append(vs, graph.I(int64(binary.LittleEndian.Uint64(data))))
+			data = data[8:]
+		case graph.KindFloat:
+			vs = append(vs, graph.FBits(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		case graph.KindBool:
+			vs = append(vs, graph.B(data[0] == 1))
+			data = data[1:]
+		case graph.KindString:
+			n := binary.LittleEndian.Uint32(data)
+			data = data[4:]
+			vs = append(vs, graph.S(string(data[:n])))
+			data = data[n:]
+		default:
+			return graph.Null, fmt.Errorf("diskstore: corrupt list element kind %v", kind)
+		}
+	}
+	return graph.L(vs...), nil
+}
+
+// ---- Builder ----
+
+// AddVertex creates a vertex with the given labels.
+func (s *Store) AddVertex(labels ...string) (storage.VID, error) {
+	v := storage.VID(s.numVertices)
+	s.numVertices++
+	if err := s.writeVertex(v, vertexRec{inUse: true}); err != nil {
+		return 0, err
+	}
+	for _, l := range labels {
+		if err := s.AddLabel(v, l); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}
+
+func (s *Store) labelID(label string, create bool) (int, bool, error) {
+	if id, ok := s.labelIDs[label]; ok {
+		return id, true, nil
+	}
+	if !create {
+		return 0, false, nil
+	}
+	if len(s.labels) >= maxLabels {
+		return 0, false, fmt.Errorf("diskstore: label limit (%d) exceeded", maxLabels)
+	}
+	id := len(s.labels)
+	s.labels = append(s.labels, label)
+	s.labelIDs[label] = id
+	return id, true, nil
+}
+
+// AddLabel adds a label to an existing vertex.
+func (s *Store) AddLabel(v storage.VID, label string) error {
+	if err := s.check(v); err != nil {
+		return err
+	}
+	id, _, err := s.labelID(label, true)
+	if err != nil {
+		return err
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return err
+	}
+	w, b := id/64, uint(id%64)
+	if rec.labels[w]&(1<<b) != 0 {
+		return nil
+	}
+	rec.labels[w] |= 1 << b
+	if err := s.writeVertex(v, rec); err != nil {
+		return err
+	}
+	s.byLabel[id] = append(s.byLabel[id], v)
+	return nil
+}
+
+// SetProp sets a vertex property, replacing any previous value.
+func (s *Store) SetProp(v storage.VID, key string, val graph.Value) error {
+	if err := s.check(v); err != nil {
+		return err
+	}
+	keyID, ok := s.keyIDs[key]
+	if !ok {
+		keyID = len(s.keys)
+		s.keys = append(s.keys, key)
+		s.keyIDs[key] = keyID
+	}
+	kind, a, b, err := s.encodeValue(val)
+	if err != nil {
+		return err
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return err
+	}
+	// Overwrite in place if the key exists in the chain.
+	for p := rec.firstProp; p != 0; {
+		pr, err := s.readProp(p - 1)
+		if err != nil {
+			return err
+		}
+		if pr.keyID == uint32(keyID) {
+			pr.kind, pr.a, pr.b = kind, a, b
+			return s.writeProp(p-1, pr)
+		}
+		p = pr.next
+	}
+	// Prepend a new record.
+	pid := s.numProps
+	s.numProps++
+	pr := propRec{inUse: true, keyID: uint32(keyID), kind: kind, a: a, b: b, next: rec.firstProp}
+	if err := s.writeProp(pid, pr); err != nil {
+		return err
+	}
+	rec.firstProp = pid + 1
+	return s.writeVertex(v, rec)
+}
+
+// AddEdge creates a directed edge of the given type, prepending it to the
+// source's out-chain and the destination's in-chain.
+func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error) {
+	if err := s.check(src); err != nil {
+		return 0, err
+	}
+	if err := s.check(dst); err != nil {
+		return 0, err
+	}
+	typeID, ok := s.typeIDs[etype]
+	if !ok {
+		typeID = len(s.types)
+		s.types = append(s.types, etype)
+		s.typeIDs[etype] = typeID
+	}
+	e := storage.EID(s.numEdges)
+	s.numEdges++
+
+	srcRec, err := s.readVertex(src)
+	if err != nil {
+		return 0, err
+	}
+	er := edgeRec{
+		inUse: true, typeID: uint32(typeID),
+		src: int64(src), dst: int64(dst),
+		nextOut: srcRec.firstOut,
+	}
+	srcRec.firstOut = int64(e) + 1
+	if err := s.writeVertex(src, srcRec); err != nil {
+		return 0, err
+	}
+	dstRec, err := s.readVertex(dst)
+	if err != nil {
+		return 0, err
+	}
+	er.nextIn = dstRec.firstIn
+	dstRec.firstIn = int64(e) + 1
+	if err := s.writeVertex(dst, dstRec); err != nil {
+		return 0, err
+	}
+	return e, s.writeEdge(e, er)
+}
+
+func (s *Store) check(v storage.VID) error {
+	if v < 0 || int64(v) >= s.numVertices {
+		return fmt.Errorf("diskstore: vertex %d out of range", v)
+	}
+	return nil
+}
+
+// ---- Graph ----
+
+// NumVertices returns the number of vertices.
+func (s *Store) NumVertices() int { return int(s.numVertices) }
+
+// NumEdges returns the number of edges.
+func (s *Store) NumEdges() int { return int(s.numEdges) }
+
+// CountLabel returns the number of vertices carrying the label.
+func (s *Store) CountLabel(label string) int {
+	id, ok, _ := s.labelID(label, false)
+	if !ok {
+		return 0
+	}
+	return len(s.byLabel[id])
+}
+
+// ForEachVertex calls fn for every vertex carrying the label ("" = all).
+func (s *Store) ForEachVertex(label string, fn func(storage.VID) bool) {
+	if label == "" {
+		for v := int64(0); v < s.numVertices; v++ {
+			if !fn(storage.VID(v)) {
+				return
+			}
+		}
+		return
+	}
+	id, ok, _ := s.labelID(label, false)
+	if !ok {
+		return
+	}
+	for _, v := range s.byLabel[id] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// HasLabel reports whether the vertex carries the label.
+func (s *Store) HasLabel(v storage.VID, label string) bool {
+	if s.check(v) != nil {
+		return false
+	}
+	id, ok, _ := s.labelID(label, false)
+	if !ok {
+		return false
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return false
+	}
+	return rec.labels[id/64]&(1<<uint(id%64)) != 0
+}
+
+// Labels returns the labels of the vertex, sorted.
+func (s *Store) Labels(v storage.VID) []string {
+	if s.check(v) != nil {
+		return nil
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return nil
+	}
+	ids := labelBitsToIDs(rec.labels)
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.labels[id])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prop returns the value of a vertex property.
+func (s *Store) Prop(v storage.VID, key string) (graph.Value, bool) {
+	if s.check(v) != nil {
+		return graph.Null, false
+	}
+	keyID, ok := s.keyIDs[key]
+	if !ok {
+		return graph.Null, false
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return graph.Null, false
+	}
+	for p := rec.firstProp; p != 0; {
+		pr, err := s.readProp(p - 1)
+		if err != nil {
+			return graph.Null, false
+		}
+		if pr.keyID == uint32(keyID) {
+			val, err := s.decodeValue(pr)
+			if err != nil {
+				return graph.Null, false
+			}
+			return val, true
+		}
+		p = pr.next
+	}
+	return graph.Null, false
+}
+
+// PropKeys returns the property keys present on the vertex, sorted.
+func (s *Store) PropKeys(v storage.VID) []string {
+	if s.check(v) != nil {
+		return nil
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for p := rec.firstProp; p != 0; {
+		pr, err := s.readProp(p - 1)
+		if err != nil {
+			return nil
+		}
+		out = append(out, s.keys[pr.keyID])
+		p = pr.next
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForEachOut iterates out-edges of v with the given type ("" = any).
+func (s *Store) ForEachOut(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
+	s.forEach(v, etype, true, fn)
+}
+
+// ForEachIn iterates in-edges of v with the given type ("" = any).
+func (s *Store) ForEachIn(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
+	s.forEach(v, etype, false, fn)
+}
+
+func (s *Store) forEach(v storage.VID, etype string, out bool, fn func(storage.EID, storage.VID) bool) {
+	if s.check(v) != nil {
+		return
+	}
+	want := -1
+	if etype != "" {
+		id, ok := s.typeIDs[etype]
+		if !ok {
+			return
+		}
+		want = id
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return
+	}
+	p := rec.firstOut
+	if !out {
+		p = rec.firstIn
+	}
+	for p != 0 {
+		er, err := s.readEdge(storage.EID(p - 1))
+		if err != nil {
+			return
+		}
+		other := storage.VID(er.dst)
+		next := er.nextOut
+		if !out {
+			other = storage.VID(er.src)
+			next = er.nextIn
+		}
+		if want < 0 || er.typeID == uint32(want) {
+			if !fn(storage.EID(p-1), other) {
+				return
+			}
+		}
+		p = next
+	}
+}
+
+// Degree returns the number of out- or in-edges of the given type.
+func (s *Store) Degree(v storage.VID, etype string, out bool) int {
+	n := 0
+	s.forEach(v, etype, out, func(storage.EID, storage.VID) bool {
+		n++
+		return true
+	})
+	return n
+}

@@ -1,0 +1,179 @@
+package diskstore
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/storage/memstore"
+	"repro/internal/storage/storetest"
+)
+
+func newTestStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storage.Builder { return newTestStore(t, Options{}) })
+}
+
+// TestConformanceTinyCache forces constant page eviction so every access
+// path is exercised with cache misses.
+func TestConformanceTinyCache(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storage.Builder {
+		return newTestStore(t, Options{PageSize: 256, CachePages: 4})
+	})
+}
+
+func TestDifferentialAgainstMemstore(t *testing.T) {
+	disk := newTestStore(t, Options{PageSize: 512, CachePages: 8})
+	if _, err := storetest.BuildRandom(disk, 42, 80, 200); err != nil {
+		t.Fatal(err)
+	}
+	mem := newMemReference(t, 42, 80, 200)
+	if got, want := storetest.Fingerprint(disk), mem; got != want {
+		t.Errorf("diskstore state diverges from memstore reference:\n got: %.300s...\nwant: %.300s...", got, want)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{PageSize: 512, CachePages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storetest.BuildRandom(s, 99, 60, 150); err != nil {
+		t.Fatal(err)
+	}
+	before := storetest.Fingerprint(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{PageSize: 512, CachePages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := storetest.Fingerprint(re); got != before {
+		t.Error("reopened store does not match original")
+	}
+	if got, want := re.CountLabel("A"), s.CountLabel("A"); got != want {
+		t.Errorf("label index after reopen: %d, want %d", got, want)
+	}
+}
+
+func TestStatsCountersMove(t *testing.T) {
+	s := newTestStore(t, Options{PageSize: 256, CachePages: 2})
+	v, err := s.AddVertex("N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.SetProp(v, "k", graph.I(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.PageMisses == 0 {
+		t.Error("tiny cache produced no misses")
+	}
+	if st.PageHits == 0 {
+		t.Error("no page hits at all")
+	}
+	s.ResetStats()
+	if s.Stats() != (storage.Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestDropCachePreservesData(t *testing.T) {
+	s := newTestStore(t, Options{PageSize: 512, CachePages: 16})
+	v, err := s.AddVertex("N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetProp(v, "k", graph.S("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Prop(v, "k")
+	if !ok || got.Str() != "survives" {
+		t.Errorf("after DropCache: %v %v", got, ok)
+	}
+	if s.Stats().PageReads == 0 {
+		t.Error("cold read after DropCache did not touch disk")
+	}
+}
+
+func TestLongStringsSpanPages(t *testing.T) {
+	s := newTestStore(t, Options{PageSize: 256, CachePages: 4})
+	v, err := s.AddVertex("N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := make([]byte, 5000)
+	for i := range long {
+		long[i] = byte('a' + i%26)
+	}
+	if err := s.SetProp(v, "blob", graph.S(string(long))); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Prop(v, "blob")
+	if !ok || got.Str() != string(long) {
+		t.Error("multi-page blob corrupted")
+	}
+}
+
+func TestListRoundTripThroughDisk(t *testing.T) {
+	s := newTestStore(t, Options{})
+	v, err := s.AddVertex("N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.L(graph.S("fever"), graph.S("headache"), graph.I(3), graph.F(1.5), graph.B(true), graph.Null)
+	if err := s.SetProp(v, "list", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Prop(v, "list")
+	if !ok || !got.Equal(want) {
+		t.Errorf("list round trip: %v, want %v", got, want)
+	}
+}
+
+func TestNestedListRejected(t *testing.T) {
+	s := newTestStore(t, Options{})
+	v, err := s.AddVertex("N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetProp(v, "nested", graph.L(graph.L(graph.I(1)))); err == nil {
+		t.Error("nested list stored without error")
+	}
+}
+
+func TestBadOptionsRejected(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{PageSize: 100}); err == nil {
+		t.Error("page size not divisible by record size accepted")
+	}
+}
+
+func newMemReference(t *testing.T, seed int64, nv, ne int) string {
+	t.Helper()
+	mem := memstore.New()
+	if _, err := storetest.BuildRandom(mem, seed, nv, ne); err != nil {
+		t.Fatal(err)
+	}
+	return storetest.Fingerprint(mem)
+}

@@ -1,0 +1,183 @@
+package diskstore
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/storage"
+)
+
+// fileID distinguishes the record files sharing one page cache.
+type fileID uint8
+
+const (
+	fileVertices fileID = iota
+	fileEdges
+	fileProps
+	fileBlobs
+	numFiles
+)
+
+type pageKey struct {
+	file fileID
+	page int64
+}
+
+type page struct {
+	key   pageKey
+	data  []byte
+	dirty bool
+}
+
+// pager is a write-back LRU page cache over the store's record files. All
+// record reads and writes go through it, so the cache size directly
+// controls how disk-bound traversals are — the knob that makes this
+// backend behave like the paper's Neo4j.
+type pager struct {
+	files    [numFiles]*os.File
+	sizes    [numFiles]int64 // logical file sizes in bytes
+	pageSize int
+	capacity int
+
+	lru   *list.List // front = most recently used; values are *page
+	table map[pageKey]*list.Element
+
+	stats storage.Stats
+}
+
+func newPager(files [numFiles]*os.File, pageSize, capacity int) (*pager, error) {
+	if pageSize <= 0 || capacity <= 0 {
+		return nil, fmt.Errorf("diskstore: invalid pager config pageSize=%d capacity=%d", pageSize, capacity)
+	}
+	p := &pager{
+		files:    files,
+		pageSize: pageSize,
+		capacity: capacity,
+		lru:      list.New(),
+		table:    map[pageKey]*list.Element{},
+	}
+	for i, f := range files {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		p.sizes[i] = st.Size()
+	}
+	return p, nil
+}
+
+// fetch returns the cached page, loading and possibly evicting as needed.
+func (p *pager) fetch(key pageKey) (*page, error) {
+	if el, ok := p.table[key]; ok {
+		p.stats.PageHits++
+		p.lru.MoveToFront(el)
+		return el.Value.(*page), nil
+	}
+	p.stats.PageMisses++
+	pg := &page{key: key, data: make([]byte, p.pageSize)}
+	off := key.page * int64(p.pageSize)
+	if off < p.sizes[key.file] {
+		n, err := p.files[key.file].ReadAt(pg.data, off)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("diskstore: read page %v: %w", key, err)
+		}
+		for i := n; i < len(pg.data); i++ {
+			pg.data[i] = 0
+		}
+		p.stats.PageReads++
+	}
+	if err := p.evictIfFull(); err != nil {
+		return nil, err
+	}
+	p.table[key] = p.lru.PushFront(pg)
+	return pg, nil
+}
+
+func (p *pager) evictIfFull() error {
+	for p.lru.Len() >= p.capacity {
+		el := p.lru.Back()
+		victim := el.Value.(*page)
+		if victim.dirty {
+			if err := p.writePage(victim); err != nil {
+				return err
+			}
+		}
+		p.lru.Remove(el)
+		delete(p.table, victim.key)
+	}
+	return nil
+}
+
+func (p *pager) writePage(pg *page) error {
+	off := pg.key.page * int64(p.pageSize)
+	if _, err := p.files[pg.key.file].WriteAt(pg.data, off); err != nil {
+		return fmt.Errorf("diskstore: write page %v: %w", pg.key, err)
+	}
+	if end := off + int64(p.pageSize); end > p.sizes[pg.key.file] {
+		p.sizes[pg.key.file] = end
+	}
+	pg.dirty = false
+	p.stats.PageWrites++
+	return nil
+}
+
+// read copies n bytes at off in the file into buf. Reads may span pages
+// (needed for blob data); record reads never do because record sizes
+// divide the page size.
+func (p *pager) read(f fileID, off int64, buf []byte) error {
+	for len(buf) > 0 {
+		pageNo := off / int64(p.pageSize)
+		within := int(off % int64(p.pageSize))
+		pg, err := p.fetch(pageKey{f, pageNo})
+		if err != nil {
+			return err
+		}
+		n := copy(buf, pg.data[within:])
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// write copies buf to off in the file, through the cache (write-back).
+func (p *pager) write(f fileID, off int64, buf []byte) error {
+	for len(buf) > 0 {
+		pageNo := off / int64(p.pageSize)
+		within := int(off % int64(p.pageSize))
+		pg, err := p.fetch(pageKey{f, pageNo})
+		if err != nil {
+			return err
+		}
+		n := copy(pg.data[within:], buf)
+		pg.dirty = true
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// flush writes all dirty pages back to their files.
+func (p *pager) flush() error {
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		pg := el.Value.(*page)
+		if pg.dirty {
+			if err := p.writePage(pg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dropCache empties the cache (flushing dirty pages first), simulating a
+// cold start without reopening the files.
+func (p *pager) dropCache() error {
+	if err := p.flush(); err != nil {
+		return err
+	}
+	p.lru.Init()
+	p.table = map[pageKey]*list.Element{}
+	return nil
+}

@@ -1,0 +1,271 @@
+// Package memstore implements storage.Graph with in-memory adjacency
+// lists. It plays the role of the paper's less I/O-bound backend
+// (JanusGraph with a warm cache): traversals are pointer chases, so the
+// benefit of the optimized schema comes purely from doing fewer of them.
+package memstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+type halfEdge struct {
+	etype int32
+	other storage.VID
+	id    storage.EID
+}
+
+type vertex struct {
+	labels []int32
+	props  map[int32]graph.Value
+	out    []halfEdge
+	in     []halfEdge
+}
+
+// Store is an in-memory property graph. The zero value is not usable; call
+// New.
+type Store struct {
+	vertices []vertex
+	numEdges int
+
+	labelIDs map[string]int32
+	labels   []string
+	typeIDs  map[string]int32
+	types    []string
+	keyIDs   map[string]int32
+	keys     []string
+
+	byLabel map[int32][]storage.VID
+}
+
+var _ storage.Builder = (*Store)(nil)
+
+// New returns an empty in-memory store.
+func New() *Store {
+	return &Store{
+		labelIDs: map[string]int32{},
+		typeIDs:  map[string]int32{},
+		keyIDs:   map[string]int32{},
+		byLabel:  map[int32][]storage.VID{},
+	}
+}
+
+func intern(s string, ids map[string]int32, names *[]string) int32 {
+	if id, ok := ids[s]; ok {
+		return id
+	}
+	id := int32(len(*names))
+	ids[s] = id
+	*names = append(*names, s)
+	return id
+}
+
+// AddVertex creates a vertex with the given labels.
+func (s *Store) AddVertex(labels ...string) (storage.VID, error) {
+	id := storage.VID(len(s.vertices))
+	s.vertices = append(s.vertices, vertex{})
+	for _, l := range labels {
+		if err := s.AddLabel(id, l); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// AddLabel adds a label to an existing vertex.
+func (s *Store) AddLabel(v storage.VID, label string) error {
+	if err := s.check(v); err != nil {
+		return err
+	}
+	id := intern(label, s.labelIDs, &s.labels)
+	vx := &s.vertices[v]
+	for _, l := range vx.labels {
+		if l == id {
+			return nil
+		}
+	}
+	vx.labels = append(vx.labels, id)
+	s.byLabel[id] = append(s.byLabel[id], v)
+	return nil
+}
+
+// SetProp sets a vertex property, replacing any previous value.
+func (s *Store) SetProp(v storage.VID, key string, val graph.Value) error {
+	if err := s.check(v); err != nil {
+		return err
+	}
+	id := intern(key, s.keyIDs, &s.keys)
+	vx := &s.vertices[v]
+	if vx.props == nil {
+		vx.props = map[int32]graph.Value{}
+	}
+	vx.props[id] = val
+	return nil
+}
+
+// AddEdge creates a directed edge of the given type.
+func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error) {
+	if err := s.check(src); err != nil {
+		return 0, err
+	}
+	if err := s.check(dst); err != nil {
+		return 0, err
+	}
+	t := intern(etype, s.typeIDs, &s.types)
+	id := storage.EID(s.numEdges)
+	s.numEdges++
+	s.vertices[src].out = append(s.vertices[src].out, halfEdge{etype: t, other: dst, id: id})
+	s.vertices[dst].in = append(s.vertices[dst].in, halfEdge{etype: t, other: src, id: id})
+	return id, nil
+}
+
+// Close is a no-op for the in-memory store.
+func (s *Store) Close() error { return nil }
+
+func (s *Store) check(v storage.VID) error {
+	if v < 0 || int(v) >= len(s.vertices) {
+		return fmt.Errorf("memstore: vertex %d out of range", v)
+	}
+	return nil
+}
+
+// NumVertices returns the number of vertices.
+func (s *Store) NumVertices() int { return len(s.vertices) }
+
+// NumEdges returns the number of edges.
+func (s *Store) NumEdges() int { return s.numEdges }
+
+// CountLabel returns the number of vertices carrying the label.
+func (s *Store) CountLabel(label string) int {
+	id, ok := s.labelIDs[label]
+	if !ok {
+		return 0
+	}
+	return len(s.byLabel[id])
+}
+
+// ForEachVertex calls fn for every vertex carrying the label.
+func (s *Store) ForEachVertex(label string, fn func(storage.VID) bool) {
+	if label == "" {
+		for i := range s.vertices {
+			if !fn(storage.VID(i)) {
+				return
+			}
+		}
+		return
+	}
+	id, ok := s.labelIDs[label]
+	if !ok {
+		return
+	}
+	for _, v := range s.byLabel[id] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// HasLabel reports whether the vertex carries the label.
+func (s *Store) HasLabel(v storage.VID, label string) bool {
+	if s.check(v) != nil {
+		return false
+	}
+	id, ok := s.labelIDs[label]
+	if !ok {
+		return false
+	}
+	for _, l := range s.vertices[v].labels {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Labels returns the labels of the vertex, sorted.
+func (s *Store) Labels(v storage.VID) []string {
+	if s.check(v) != nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.vertices[v].labels))
+	for _, l := range s.vertices[v].labels {
+		out = append(out, s.labels[l])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prop returns the value of a vertex property.
+func (s *Store) Prop(v storage.VID, key string) (graph.Value, bool) {
+	if s.check(v) != nil {
+		return graph.Null, false
+	}
+	id, ok := s.keyIDs[key]
+	if !ok {
+		return graph.Null, false
+	}
+	val, ok := s.vertices[v].props[id]
+	return val, ok
+}
+
+// PropKeys returns the property keys present on the vertex, sorted.
+func (s *Store) PropKeys(v storage.VID) []string {
+	if s.check(v) != nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.vertices[v].props))
+	for id := range s.vertices[v].props {
+		out = append(out, s.keys[id])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForEachOut iterates out-edges of v with the given type ("" = any).
+func (s *Store) ForEachOut(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
+	s.forEach(v, etype, true, fn)
+}
+
+// ForEachIn iterates in-edges of v with the given type ("" = any).
+func (s *Store) ForEachIn(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
+	s.forEach(v, etype, false, fn)
+}
+
+func (s *Store) forEach(v storage.VID, etype string, out bool, fn func(storage.EID, storage.VID) bool) {
+	if s.check(v) != nil {
+		return
+	}
+	var want int32 = -1
+	if etype != "" {
+		id, ok := s.typeIDs[etype]
+		if !ok {
+			return
+		}
+		want = id
+	}
+	list := s.vertices[v].in
+	if out {
+		list = s.vertices[v].out
+	}
+	for _, e := range list {
+		if want >= 0 && e.etype != want {
+			continue
+		}
+		if !fn(e.id, e.other) {
+			return
+		}
+	}
+}
+
+// Degree returns the number of out- or in-edges of the given type.
+func (s *Store) Degree(v storage.VID, etype string, out bool) int {
+	n := 0
+	s.forEach(v, etype, out, func(storage.EID, storage.VID) bool {
+		n++
+		return true
+	})
+	return n
+}

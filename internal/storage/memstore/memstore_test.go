@@ -1,0 +1,25 @@
+package memstore
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storage.Builder { return New() })
+}
+
+func TestRandomGraphFingerprintStable(t *testing.T) {
+	a, b := New(), New()
+	if _, err := storetest.BuildRandom(a, 7, 50, 120); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storetest.BuildRandom(b, 7, 50, 120); err != nil {
+		t.Fatal(err)
+	}
+	if storetest.Fingerprint(a) != storetest.Fingerprint(b) {
+		t.Error("same seed produced different graphs")
+	}
+}

@@ -1,0 +1,78 @@
+// Package storage defines the backend-independent interface between
+// property graph stores and the query engine. Two implementations exist:
+// memstore (an in-memory adjacency store, the JanusGraph-like backend of
+// the paper's evaluation) and diskstore (a Neo4j-like record store with an
+// LRU page cache).
+package storage
+
+import "repro/internal/graph"
+
+// VID identifies a vertex within a store.
+type VID int64
+
+// EID identifies an edge within a store.
+type EID int64
+
+// Graph is the read interface the query executor runs against.
+//
+// Implementations are not required to be safe for concurrent use; the
+// benchmark harness issues queries sequentially, as the paper does
+// ("executed in sequential order").
+type Graph interface {
+	// NumVertices returns the number of vertices.
+	NumVertices() int
+	// NumEdges returns the number of edges.
+	NumEdges() int
+	// CountLabel returns the number of vertices carrying the label.
+	CountLabel(label string) int
+	// ForEachVertex calls fn for every vertex carrying the label, until fn
+	// returns false. An empty label iterates all vertices.
+	ForEachVertex(label string, fn func(VID) bool)
+	// HasLabel reports whether the vertex carries the label.
+	HasLabel(v VID, label string) bool
+	// Labels returns the labels of the vertex.
+	Labels(v VID) []string
+	// Prop returns the value of the vertex property, if present.
+	Prop(v VID, key string) (graph.Value, bool)
+	// PropKeys returns the property keys present on the vertex.
+	PropKeys(v VID) []string
+	// ForEachOut calls fn for every out-edge of v with the given edge type
+	// until fn returns false. An empty type matches any edge type.
+	ForEachOut(v VID, etype string, fn func(e EID, dst VID) bool)
+	// ForEachIn is ForEachOut for incoming edges; fn receives the source.
+	ForEachIn(v VID, etype string, fn func(e EID, src VID) bool)
+	// Degree returns the number of out- (or in-) edges of the given type.
+	Degree(v VID, etype string, out bool) int
+}
+
+// Builder is the write interface used by the graph loader. Stores must be
+// fully built before being queried.
+type Builder interface {
+	Graph
+	// AddVertex creates a vertex with the given labels.
+	AddVertex(labels ...string) (VID, error)
+	// AddLabel adds a label to an existing vertex.
+	AddLabel(v VID, label string) error
+	// SetProp sets a vertex property, replacing any previous value.
+	SetProp(v VID, key string, val graph.Value) error
+	// AddEdge creates a directed edge of the given type.
+	AddEdge(src, dst VID, etype string) (EID, error)
+	// Close releases resources (flushes files for disk-backed stores).
+	Close() error
+}
+
+// Stats reports backend I/O counters where available; used to show that
+// optimized schemas reduce page reads on the disk backend.
+type Stats struct {
+	PageHits   int64
+	PageMisses int64
+	PageReads  int64 // physical page reads from disk
+	PageWrites int64 // physical page writes to disk
+}
+
+// StatsReporter is implemented by backends that track I/O statistics.
+type StatsReporter interface {
+	Stats() Stats
+	// ResetStats zeroes the counters (e.g. between benchmark phases).
+	ResetStats()
+}

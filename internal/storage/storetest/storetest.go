@@ -1,0 +1,299 @@
+// Package storetest provides a conformance suite run against every
+// storage.Builder implementation, plus a randomized graph generator used
+// for differential testing between backends.
+package storetest
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// Factory creates a fresh empty store for each subtest.
+type Factory func(t *testing.T) storage.Builder
+
+// Run executes the conformance suite against the implementation.
+func Run(t *testing.T, newStore Factory) {
+	t.Run("EmptyStore", func(t *testing.T) {
+		s := newStore(t)
+		if s.NumVertices() != 0 || s.NumEdges() != 0 {
+			t.Errorf("empty store reports %d vertices, %d edges", s.NumVertices(), s.NumEdges())
+		}
+		if s.CountLabel("X") != 0 {
+			t.Error("CountLabel on empty store != 0")
+		}
+		s.ForEachVertex("", func(storage.VID) bool {
+			t.Error("iteration over empty store yielded a vertex")
+			return false
+		})
+	})
+
+	t.Run("VerticesAndLabels", func(t *testing.T) {
+		s := newStore(t)
+		a := mustVertex(t, s, "Drug")
+		b := mustVertex(t, s, "Drug", "Compound")
+		c := mustVertex(t, s)
+		if s.NumVertices() != 3 {
+			t.Fatalf("NumVertices = %d, want 3", s.NumVertices())
+		}
+		if got := s.CountLabel("Drug"); got != 2 {
+			t.Errorf("CountLabel(Drug) = %d, want 2", got)
+		}
+		if !s.HasLabel(b, "Compound") || s.HasLabel(a, "Compound") || s.HasLabel(c, "Drug") {
+			t.Error("HasLabel wrong")
+		}
+		if err := s.AddLabel(c, "Late"); err != nil {
+			t.Fatalf("AddLabel: %v", err)
+		}
+		if !s.HasLabel(c, "Late") {
+			t.Error("label added after creation not visible")
+		}
+		// Duplicate label must be idempotent.
+		if err := s.AddLabel(b, "Drug"); err != nil {
+			t.Fatalf("AddLabel dup: %v", err)
+		}
+		if got := s.CountLabel("Drug"); got != 2 {
+			t.Errorf("CountLabel(Drug) after dup add = %d, want 2", got)
+		}
+		if got := s.Labels(b); !reflect.DeepEqual(got, []string{"Compound", "Drug"}) {
+			t.Errorf("Labels = %v", got)
+		}
+	})
+
+	t.Run("Properties", func(t *testing.T) {
+		s := newStore(t)
+		v := mustVertex(t, s, "N")
+		vals := map[string]graph.Value{
+			"s":    graph.S("hello"),
+			"i":    graph.I(-42),
+			"f":    graph.F(3.25),
+			"b":    graph.B(true),
+			"list": graph.L(graph.S("a"), graph.I(1), graph.F(0.5), graph.B(false)),
+			"nil":  graph.Null,
+			"es":   graph.S(""),
+		}
+		for k, val := range vals {
+			if err := s.SetProp(v, k, val); err != nil {
+				t.Fatalf("SetProp(%s): %v", k, err)
+			}
+		}
+		for k, want := range vals {
+			got, ok := s.Prop(v, k)
+			if !ok {
+				t.Errorf("Prop(%s) missing", k)
+				continue
+			}
+			if !got.Equal(want) {
+				t.Errorf("Prop(%s) = %v, want %v", k, got, want)
+			}
+		}
+		if _, ok := s.Prop(v, "absent"); ok {
+			t.Error("Prop(absent) reported present")
+		}
+		// Overwrite.
+		if err := s.SetProp(v, "s", graph.S("world")); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := s.Prop(v, "s"); got.Str() != "world" {
+			t.Errorf("overwritten prop = %v", got)
+		}
+		keys := s.PropKeys(v)
+		if len(keys) != len(vals) {
+			t.Errorf("PropKeys = %v, want %d keys", keys, len(vals))
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Errorf("PropKeys not sorted: %v", keys)
+		}
+	})
+
+	t.Run("EdgesAndTraversal", func(t *testing.T) {
+		s := newStore(t)
+		drug := mustVertex(t, s, "Drug")
+		i1 := mustVertex(t, s, "Indication")
+		i2 := mustVertex(t, s, "Indication")
+		risk := mustVertex(t, s, "Risk")
+		if _, err := s.AddEdge(drug, i1, "treat"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddEdge(drug, i2, "treat"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddEdge(drug, risk, "cause"); err != nil {
+			t.Fatal(err)
+		}
+		if s.NumEdges() != 3 {
+			t.Fatalf("NumEdges = %d, want 3", s.NumEdges())
+		}
+		if got := s.Degree(drug, "treat", true); got != 2 {
+			t.Errorf("out-degree treat = %d, want 2", got)
+		}
+		if got := s.Degree(drug, "", true); got != 3 {
+			t.Errorf("out-degree any = %d, want 3", got)
+		}
+		if got := s.Degree(i1, "treat", false); got != 1 {
+			t.Errorf("in-degree = %d, want 1", got)
+		}
+		if got := s.Degree(drug, "nosuch", true); got != 0 {
+			t.Errorf("degree of unknown type = %d, want 0", got)
+		}
+		var dsts []storage.VID
+		s.ForEachOut(drug, "treat", func(_ storage.EID, dst storage.VID) bool {
+			dsts = append(dsts, dst)
+			return true
+		})
+		sortVIDs(dsts)
+		if !reflect.DeepEqual(dsts, []storage.VID{i1, i2}) {
+			t.Errorf("ForEachOut dsts = %v, want [%d %d]", dsts, i1, i2)
+		}
+		var srcs []storage.VID
+		s.ForEachIn(risk, "cause", func(_ storage.EID, src storage.VID) bool {
+			srcs = append(srcs, src)
+			return true
+		})
+		if !reflect.DeepEqual(srcs, []storage.VID{drug}) {
+			t.Errorf("ForEachIn srcs = %v", srcs)
+		}
+		// Early termination.
+		n := 0
+		s.ForEachOut(drug, "", func(storage.EID, storage.VID) bool {
+			n++
+			return false
+		})
+		if n != 1 {
+			t.Errorf("early-terminated iteration visited %d, want 1", n)
+		}
+	})
+
+	t.Run("LabelScan", func(t *testing.T) {
+		s := newStore(t)
+		var want []storage.VID
+		for i := 0; i < 10; i++ {
+			label := "Even"
+			if i%2 == 1 {
+				label = "Odd"
+			}
+			v := mustVertex(t, s, label)
+			if label == "Even" {
+				want = append(want, v)
+			}
+		}
+		var got []storage.VID
+		s.ForEachVertex("Even", func(v storage.VID) bool {
+			got = append(got, v)
+			return true
+		})
+		sortVIDs(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("label scan = %v, want %v", got, want)
+		}
+		all := 0
+		s.ForEachVertex("", func(storage.VID) bool { all++; return true })
+		if all != 10 {
+			t.Errorf("full scan visited %d, want 10", all)
+		}
+	})
+
+	t.Run("InvalidVertex", func(t *testing.T) {
+		s := newStore(t)
+		if err := s.SetProp(99, "k", graph.I(1)); err == nil {
+			t.Error("SetProp on missing vertex succeeded")
+		}
+		if _, err := s.AddEdge(0, 1, "t"); err == nil {
+			t.Error("AddEdge on missing vertices succeeded")
+		}
+		if err := s.AddLabel(-1, "L"); err == nil {
+			t.Error("AddLabel on negative vertex succeeded")
+		}
+	})
+}
+
+func mustVertex(t *testing.T, s storage.Builder, labels ...string) storage.VID {
+	t.Helper()
+	v, err := s.AddVertex(labels...)
+	if err != nil {
+		t.Fatalf("AddVertex: %v", err)
+	}
+	return v
+}
+
+func sortVIDs(vs []storage.VID) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}
+
+// BuildRandom populates b with a pseudo-random graph (deterministic in
+// seed) and returns the vertex count. Used for differential tests.
+func BuildRandom(b storage.Builder, seed int64, nVertices, nEdges int) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"A", "B", "C", "D"}
+	etypes := []string{"r1", "r2", "r3"}
+	for i := 0; i < nVertices; i++ {
+		v, err := b.AddVertex(labels[rng.Intn(len(labels))])
+		if err != nil {
+			return 0, err
+		}
+		if rng.Intn(2) == 0 {
+			if err := b.AddLabel(v, labels[rng.Intn(len(labels))]); err != nil {
+				return 0, err
+			}
+		}
+		nProps := rng.Intn(4)
+		for j := 0; j < nProps; j++ {
+			var val graph.Value
+			switch rng.Intn(4) {
+			case 0:
+				val = graph.S(fmt.Sprintf("str%d", rng.Intn(100)))
+			case 1:
+				val = graph.I(rng.Int63n(1000))
+			case 2:
+				val = graph.F(rng.Float64())
+			default:
+				val = graph.L(graph.S("x"), graph.I(rng.Int63n(10)))
+			}
+			if err := b.SetProp(v, fmt.Sprintf("p%d", rng.Intn(5)), val); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for i := 0; i < nEdges; i++ {
+		src := storage.VID(rng.Intn(nVertices))
+		dst := storage.VID(rng.Intn(nVertices))
+		if _, err := b.AddEdge(src, dst, etypes[rng.Intn(len(etypes))]); err != nil {
+			return 0, err
+		}
+	}
+	return nVertices, nil
+}
+
+// Fingerprint summarizes all observable state of the graph into a
+// deterministic string so two backends can be compared.
+func Fingerprint(g storage.Graph) string {
+	var out []string
+	out = append(out, fmt.Sprintf("V=%d E=%d", g.NumVertices(), g.NumEdges()))
+	for v := 0; v < g.NumVertices(); v++ {
+		id := storage.VID(v)
+		line := fmt.Sprintf("v%d labels=%v", v, g.Labels(id))
+		for _, k := range g.PropKeys(id) {
+			val, _ := g.Prop(id, k)
+			line += fmt.Sprintf(" %s=%s", k, val)
+		}
+		var outs, ins []string
+		g.ForEachOut(id, "", func(_ storage.EID, dst storage.VID) bool {
+			outs = append(outs, fmt.Sprintf("->%d", dst))
+			return true
+		})
+		g.ForEachIn(id, "", func(_ storage.EID, src storage.VID) bool {
+			ins = append(ins, fmt.Sprintf("<-%d", src))
+			return true
+		})
+		sort.Strings(outs)
+		sort.Strings(ins)
+		line += fmt.Sprintf(" out=%v in=%v", outs, ins)
+		out = append(out, line)
+	}
+	return fmt.Sprintf("%v", out)
+}

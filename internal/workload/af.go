@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"repro/internal/cypher"
+	"repro/internal/ontology"
+)
+
+// AFFromQueries derives the access-frequency summary of a concrete query
+// set — the paper's workload summaries ("the access frequency of
+// concepts, relationships and properties", §4.2) computed from the
+// workload itself. Every pattern hop is matched back to the ontology
+// relationship it traverses, and property reads are attributed to the
+// relationships incident to the variable's pattern node.
+func AFFromQueries(o *ontology.Ontology, queries []Query) (*ontology.AccessFrequencies, error) {
+	af := ontology.NewAccessFrequencies()
+	// Zero-fill so relationships the workload never touches report
+	// frequency 0 rather than the "no knowledge" default of 1.
+	for _, r := range o.Relationships {
+		af.AddRel(r, 0)
+	}
+	for _, c := range o.Concepts {
+		af.AddConcept(c.Name, 0)
+	}
+	for _, q := range queries {
+		parsed, err := cypher.Parse(q.Text)
+		if err != nil {
+			return nil, err
+		}
+		// Map each variable to the relationships its node touches.
+		varRels := map[string][]*ontology.Relationship{}
+		for _, pat := range parsed.Patterns {
+			for _, n := range pat.Nodes {
+				for _, l := range n.Labels {
+					af.AddConcept(l, 1)
+				}
+			}
+			for i, rel := range pat.Rels {
+				left, right := pat.Nodes[i], pat.Nodes[i+1]
+				src, dst := left, right
+				if rel.Dir == cypher.DirIn {
+					src, dst = right, left
+				}
+				r := matchRel(o, src.Labels, dst.Labels, rel.Type)
+				if r == nil {
+					continue
+				}
+				af.AddRel(r, 1)
+				if src.Var != "" {
+					varRels[src.Var] = append(varRels[src.Var], r)
+				}
+				if dst.Var != "" {
+					varRels[dst.Var] = append(varRels[dst.Var], r)
+				}
+			}
+		}
+		// Attribute property reads.
+		record := func(e cypher.Expr) {
+			forEachPropAccess(e, func(pa *cypher.PropAccess) {
+				for _, r := range varRels[pa.Var] {
+					af.AddRelProp(r, pa.Key, 1)
+				}
+			})
+		}
+		for _, ri := range parsed.Return {
+			record(ri.Expr)
+		}
+		if parsed.Where != nil {
+			record(parsed.Where)
+		}
+	}
+	return af, nil
+}
+
+// matchRel finds the ontology relationship a pattern hop traverses. The
+// hop's physical direction is src→dst; ordinary relationships materialize
+// instance edges src→dst while inheritance/union materialize child→parent
+// and member→union.
+func matchRel(o *ontology.Ontology, srcLabels, dstLabels []string, edgeName string) *ontology.Relationship {
+	has := func(labels []string, l string) bool {
+		for _, x := range labels {
+			if x == l {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range o.Relationships {
+		if edgeName != "" && r.Name != edgeName {
+			continue
+		}
+		switch r.Type {
+		case ontology.Inheritance, ontology.Union:
+			if has(srcLabels, r.Dst) && has(dstLabels, r.Src) {
+				return r
+			}
+		default:
+			if has(srcLabels, r.Src) && has(dstLabels, r.Dst) {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+func forEachPropAccess(e cypher.Expr, fn func(*cypher.PropAccess)) {
+	switch x := e.(type) {
+	case *cypher.PropAccess:
+		fn(x)
+	case *cypher.Binary:
+		forEachPropAccess(x.L, fn)
+		forEachPropAccess(x.R, fn)
+	case *cypher.Not:
+		forEachPropAccess(x.E, fn)
+	case *cypher.FuncCall:
+		for _, a := range x.Args {
+			forEachPropAccess(a, fn)
+		}
+	}
+}

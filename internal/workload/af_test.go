@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestAFFromMicrobenchmark(t *testing.T) {
+	med := datagen.MED()
+	af, err := AFFromQueries(med, MicrobenchmarkFor("MED"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q1/Q2 traverse cause (1 each) and read d.name through it (1 each;
+	// property accesses imply relationship accesses).
+	if got := af.Rel["Drug-[cause]->Risk"]; got != 4 {
+		t.Errorf("AF(cause) = %v, want 4 (Q1+Q2 hops and name reads)", got)
+	}
+	if got := af.Rel["Risk-[unionOf]->ContraIndication"]; got != 1 {
+		t.Errorf("AF(unionOf CI) = %v, want 1", got)
+	}
+	// Q6 and Q10 read Indication.desc through treat; prop accesses also
+	// bump the relationship counter.
+	if got := af.RelProp["Drug-[treat]->Indication"]["desc"]; got != 2 {
+		t.Errorf("AF(treat.desc) = %v, want 2 (Q6+Q10)", got)
+	}
+	// Untouched relationships must be zero, not the default 1.
+	if got := af.Rel["Patient-[hasEncounter]->Encounter"]; got != 0 {
+		t.Errorf("AF(untouched) = %v, want 0", got)
+	}
+	// Q5 traverses the isA to DrugInteraction and reads summary.
+	if got := af.RelProp["DrugInteraction-[isA]->DrugLabInteraction"]["summary"]; got != 1 {
+		t.Errorf("AF(isA.summary) = %v, want 1", got)
+	}
+}
+
+func TestAFFromQueriesFIN(t *testing.T) {
+	fin := datagen.FIN()
+	af, err := AFFromQueries(fin, MicrobenchmarkFor("FIN"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q3's two isA hops.
+	if got := af.Rel["AutonomousAgent-[isA]->Person"]; got < 1 {
+		t.Errorf("AF(AA isA Person) = %v, want >= 1", got)
+	}
+	if got := af.Rel["Person-[isA]->ContractParty"]; got != 1 {
+		t.Errorf("AF(Person isA ContractParty) = %v, want 1", got)
+	}
+	// Q11 reads hasEffectiveDate through manages.
+	if got := af.RelProp["Corporation-[manages]->Contract"]["hasEffectiveDate"]; got != 1 {
+		t.Errorf("AF(manages.hasEffectiveDate) = %v, want 1", got)
+	}
+	// Q7 touches Corporation without traversing.
+	if got := af.Concept["Corporation"]; got < 1 {
+		t.Errorf("AF(Corporation) = %v, want >= 1", got)
+	}
+}
+
+func TestAFFromQueriesBadText(t *testing.T) {
+	med := datagen.MED()
+	if _, err := AFFromQueries(med, []Query{{Name: "bad", Text: "not cypher"}}); err == nil {
+		t.Error("unparseable query accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ontology"
+)
+
+// Distribution selects how the generator spreads accesses over concepts.
+type Distribution int
+
+const (
+	// Uniform accesses every candidate motif equally often.
+	Uniform Distribution = iota
+	// Zipf skews accesses toward key concepts (highest-degree concepts
+	// first), the paper's second workload summary.
+	Zipf
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	if d == Uniform {
+		return "uniform"
+	}
+	return "zipf"
+}
+
+// Workload is a generated query mix plus the access-frequency summary it
+// induces (the optimizer's workload input).
+type Workload struct {
+	Queries []Query
+	AF      *ontology.AccessFrequencies
+}
+
+// touch records one relationship/property access a motif performs.
+type touch struct {
+	rel  *ontology.Relationship
+	prop string // may be empty (pure traversal)
+}
+
+// motif is a generatable query template anchored at a concept.
+type motif struct {
+	kind     Kind
+	text     string
+	localize bool
+	anchor   string
+	touches  []touch
+	concepts []string
+}
+
+// Generate builds a workload of n queries over the ontology.
+func Generate(o *ontology.Ontology, n int, dist Distribution, seed int64) (*Workload, error) {
+	motifs := buildMotifs(o)
+	if len(motifs) == 0 {
+		return nil, fmt.Errorf("workload: ontology has no generatable query motifs")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Weight motifs by their anchor concept's degree rank under the
+	// chosen distribution.
+	weights := motifWeights(o, motifs, dist)
+	cum := make([]float64, len(motifs))
+	total := 0.0
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+
+	wl := &Workload{AF: ontology.NewAccessFrequencies()}
+	// Zero-fill: the summary describes this workload completely, so
+	// untouched relationships have frequency 0, not the "no knowledge"
+	// default of 1 — otherwise the optimizer replicates properties no
+	// query ever reads.
+	for _, r := range o.Relationships {
+		wl.AF.AddRel(r, 0)
+	}
+	for _, c := range o.Concepts {
+		wl.AF.AddConcept(c.Name, 0)
+	}
+	for k := 0; k < n; k++ {
+		x := rng.Float64() * total
+		idx := sort.SearchFloat64s(cum, x)
+		if idx >= len(motifs) {
+			idx = len(motifs) - 1
+		}
+		m := motifs[idx]
+		wl.Queries = append(wl.Queries, Query{
+			Name:     fmt.Sprintf("W%d", k+1),
+			Kind:     m.kind,
+			Text:     m.text,
+			Localize: m.localize,
+		})
+		for _, t := range m.touches {
+			if t.prop == "" {
+				wl.AF.AddRel(t.rel, 1)
+			} else {
+				wl.AF.AddRelProp(t.rel, t.prop, 1)
+			}
+		}
+		for _, c := range m.concepts {
+			wl.AF.AddConcept(c, 1)
+		}
+	}
+	return wl, nil
+}
+
+// motifWeights assigns sampling weights: uniform, or Zipf over the anchor
+// concept's degree rank (key concepts get most of the mass).
+func motifWeights(o *ontology.Ontology, motifs []motif, dist Distribution) []float64 {
+	weights := make([]float64, len(motifs))
+	if dist == Uniform {
+		for i := range weights {
+			weights[i] = 1
+		}
+		return weights
+	}
+	degree := map[string]int{}
+	for _, r := range o.Relationships {
+		degree[r.Src]++
+		degree[r.Dst]++
+	}
+	names := make([]string, 0, len(o.Concepts))
+	for _, c := range o.Concepts {
+		names = append(names, c.Name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if degree[names[i]] != degree[names[j]] {
+			return degree[names[i]] > degree[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	rank := map[string]int{}
+	for i, n := range names {
+		rank[n] = i + 1
+	}
+	for i, m := range motifs {
+		r := rank[m.anchor]
+		if r == 0 {
+			r = len(names)
+		}
+		weights[i] = 1 / float64(r) // Zipf with exponent 1
+	}
+	return weights
+}
+
+// firstProp returns a concept's first property name, or "".
+func firstProp(o *ontology.Ontology, concept string) string {
+	c := o.Concept(concept)
+	if c == nil || len(c.Props) == 0 {
+		return ""
+	}
+	return c.Props[0].Name
+}
+
+// buildMotifs enumerates the query templates the ontology supports, in
+// the three microbenchmark categories.
+func buildMotifs(o *ontology.Ontology) []motif {
+	var motifs []motif
+	relsInto := map[string][]*ontology.Relationship{}
+	for _, r := range o.Relationships {
+		relsInto[r.Dst] = append(relsInto[r.Dst], r)
+	}
+
+	for _, r := range o.Relationships {
+		switch r.Type {
+		case ontology.Union:
+			// Pattern: (x)-[:in]->(union)<-[:unionOf]-(member).
+			for _, in := range relsInto[r.Src] {
+				if in.Type == ontology.Union || in.Type == ontology.Inheritance {
+					continue
+				}
+				p := firstProp(o, in.Src)
+				if p == "" {
+					continue
+				}
+				motifs = append(motifs, motif{
+					kind:   Pattern,
+					anchor: r.Src,
+					text: fmt.Sprintf("MATCH (x:%s)-[:%s]->(u:%s)<-[:%s]-(m:%s) RETURN x.%s",
+						in.Src, in.Name, r.Src, r.Name, r.Dst, p),
+					touches:  []touch{{rel: in, prop: p}, {rel: r}},
+					concepts: []string{in.Src, r.Src, r.Dst},
+				})
+			}
+		case ontology.Inheritance:
+			// Lookup: parent property from the child (Q5/Q8 shape).
+			if p := firstProp(o, r.Src); p != "" {
+				motifs = append(motifs, motif{
+					kind:   Lookup,
+					anchor: r.Src,
+					text: fmt.Sprintf("MATCH (c:%s)-[:%s]->(p:%s) RETURN p.%s",
+						r.Dst, r.Name, r.Src, p),
+					touches:  []touch{{rel: r, prop: p}},
+					concepts: []string{r.Src, r.Dst},
+				})
+			}
+			// Pattern: (parentNeighbor)-[:in]->(parent)<-[:isA]-(child).
+			for _, in := range relsInto[r.Src] {
+				if in.Type == ontology.Union || in.Type == ontology.Inheritance {
+					continue
+				}
+				p := firstProp(o, r.Dst)
+				if p == "" {
+					continue
+				}
+				motifs = append(motifs, motif{
+					kind:   Pattern,
+					anchor: r.Src,
+					text: fmt.Sprintf("MATCH (x:%s)-[:%s]->(p:%s)<-[:%s]-(c:%s) RETURN c.%s",
+						in.Src, in.Name, r.Src, r.Name, r.Dst, p),
+					touches:  []touch{{rel: in}, {rel: r, prop: p}},
+					concepts: []string{in.Src, r.Src, r.Dst},
+				})
+			}
+		case ontology.OneToOne:
+			p1, p2 := firstProp(o, r.Src), firstProp(o, r.Dst)
+			if p1 == "" || p2 == "" {
+				continue
+			}
+			motifs = append(motifs, motif{
+				kind:   Lookup,
+				anchor: r.Src,
+				text: fmt.Sprintf("MATCH (a:%s)-[:%s]->(b:%s) RETURN a.%s, b.%s",
+					r.Src, r.Name, r.Dst, p1, p2),
+				touches:  []touch{{rel: r, prop: p2}},
+				concepts: []string{r.Src, r.Dst},
+			})
+		case ontology.OneToMany, ontology.ManyToMany:
+			p := firstProp(o, r.Dst)
+			if p == "" {
+				continue
+			}
+			// Aggregation over the neighborhood (Q10/Q11 shape).
+			motifs = append(motifs, motif{
+				kind:   Aggregation,
+				anchor: r.Src,
+				text: fmt.Sprintf("MATCH (s:%s)-[:%s]->(d:%s) RETURN size(COLLECT(d.%s))",
+					r.Src, r.Name, r.Dst, p),
+				touches:  []touch{{rel: r, prop: p}},
+				concepts: []string{r.Src, r.Dst},
+			})
+			// Neighborhood lookup (Q6 shape, localizable).
+			motifs = append(motifs, motif{
+				kind:     Lookup,
+				localize: true,
+				anchor:   r.Src,
+				text: fmt.Sprintf("MATCH (s:%s)-[:%s]->(d:%s) RETURN d.%s",
+					r.Src, r.Name, r.Dst, p),
+				touches:  []touch{{rel: r, prop: p}},
+				concepts: []string{r.Src, r.Dst},
+			})
+		}
+	}
+	return motifs
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cypher"
+	"repro/internal/datagen"
+	"repro/internal/ontology"
+)
+
+func TestMicrobenchmarkShape(t *testing.T) {
+	qs := Microbenchmark()
+	if len(qs) != 12 {
+		t.Fatalf("microbenchmark has %d queries, want 12", len(qs))
+	}
+	counts := map[Kind]int{}
+	datasets := map[string]int{}
+	for _, q := range qs {
+		counts[q.Kind]++
+		datasets[q.Dataset]++
+		if _, err := cypher.Parse(q.Text); err != nil {
+			t.Errorf("%s does not parse: %v", q.Name, err)
+		}
+	}
+	if counts[Pattern] != 4 || counts[Lookup] != 4 || counts[Aggregation] != 4 {
+		t.Errorf("kind mix = %v, want 4/4/4", counts)
+	}
+	if datasets["MED"] != 6 || datasets["FIN"] != 6 {
+		t.Errorf("dataset mix = %v, want 6/6", datasets)
+	}
+	if len(MicrobenchmarkFor("MED")) != 6 {
+		t.Error("MicrobenchmarkFor(MED) != 6")
+	}
+}
+
+// TestMicrobenchmarkConceptsExist: every label and property referenced by
+// the fixed queries exists in the generated ontologies.
+func TestMicrobenchmarkConceptsExist(t *testing.T) {
+	onts := map[string]*ontology.Ontology{"MED": datagen.MED(), "FIN": datagen.FIN()}
+	for _, q := range Microbenchmark() {
+		o := onts[q.Dataset]
+		parsed := cypher.MustParse(q.Text)
+		for _, pat := range parsed.Patterns {
+			for _, n := range pat.Nodes {
+				for _, l := range n.Labels {
+					if o.Concept(l) == nil {
+						t.Errorf("%s references unknown concept %s", q.Name, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateWorkloadCounts(t *testing.T) {
+	o := datagen.MED()
+	wl, err := Generate(o, 15, Uniform, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Queries) != 15 {
+		t.Fatalf("generated %d queries, want 15", len(wl.Queries))
+	}
+	for _, q := range wl.Queries {
+		if _, err := cypher.Parse(q.Text); err != nil {
+			t.Errorf("%s does not parse: %v\n%s", q.Name, err, q.Text)
+		}
+	}
+	// AF must be non-empty and keyed by real relationships.
+	if len(wl.AF.Rel) == 0 {
+		t.Fatal("empty access frequencies")
+	}
+	keys := map[string]bool{}
+	for _, r := range o.Relationships {
+		keys[r.Key()] = true
+	}
+	for k := range wl.AF.Rel {
+		if !keys[k] {
+			t.Errorf("AF references unknown relationship %s", k)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	o := datagen.FIN()
+	a, err := Generate(o, 20, Zipf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(o, 20, Zipf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Text != b.Queries[i].Text {
+			t.Fatalf("query %d differs across runs", i)
+		}
+	}
+}
+
+// TestZipfSkew: under Zipf, high-degree concepts take most accesses.
+func TestZipfSkew(t *testing.T) {
+	o := datagen.FIN()
+	uni, err := Generate(o, 400, Uniform, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipf, err := Generate(o, 400, Zipf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topConcept(o)
+	if zipf.AF.Concept[top] <= uni.AF.Concept[top] {
+		t.Errorf("Zipf accesses of %s (%v) not above uniform (%v)",
+			top, zipf.AF.Concept[top], uni.AF.Concept[top])
+	}
+	// Zipf should concentrate: fewer distinct queries than uniform.
+	if distinct(zipf.Queries) >= distinct(uni.Queries) {
+		t.Errorf("Zipf distinct=%d, uniform distinct=%d; expected concentration",
+			distinct(zipf.Queries), distinct(uni.Queries))
+	}
+}
+
+func topConcept(o *ontology.Ontology) string {
+	degree := map[string]int{}
+	for _, r := range o.Relationships {
+		degree[r.Src]++
+		degree[r.Dst]++
+	}
+	best, bestD := "", -1
+	for _, c := range o.Concepts {
+		if degree[c.Name] > bestD || (degree[c.Name] == bestD && c.Name < best) {
+			best, bestD = c.Name, degree[c.Name]
+		}
+	}
+	return best
+}
+
+func distinct(qs []Query) int {
+	seen := map[string]bool{}
+	for _, q := range qs {
+		seen[q.Text] = true
+	}
+	return len(seen)
+}
+
+func TestGenerateKindsCovered(t *testing.T) {
+	o := datagen.MED()
+	wl, err := Generate(o, 60, Uniform, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[Kind]int{}
+	for _, q := range wl.Queries {
+		kinds[q.Kind]++
+	}
+	for _, k := range []Kind{Pattern, Lookup, Aggregation} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s queries generated", k)
+		}
+	}
+}
+
+func TestGenerateEmptyOntology(t *testing.T) {
+	o := ontology.New()
+	o.AddConcept("Lonely")
+	if _, err := Generate(o, 5, Uniform, 1); err == nil {
+		t.Error("motif-free ontology accepted")
+	}
+}
+
+func TestKindAndDistributionStrings(t *testing.T) {
+	if Pattern.String() != "pattern" || Lookup.String() != "lookup" || Aggregation.String() != "aggregation" {
+		t.Error("kind names wrong")
+	}
+	if Uniform.String() != "uniform" || Zipf.String() != "zipf" {
+		t.Error("distribution names wrong")
+	}
+	if !strings.Contains(Microbenchmark()[0].Text, "MATCH") {
+		t.Error("query text malformed")
+	}
+}

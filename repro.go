@@ -1,0 +1,97 @@
+// Package repro is an ontology-driven property graph schema optimizer — a
+// from-scratch reproduction of "Property Graph Schema Optimization for
+// Domain-Specific Knowledge Graphs" (Lei et al., ICDE 2021).
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/ontology — the domain ontology model and optimizer inputs
+//   - internal/core     — the §3 relationship rules, Algorithm 5, schema
+//     and mapping generation
+//   - internal/optimizer — the §4 space-constrained algorithms (CC, RC,
+//     PGSG) with the Equations 3-5 cost model
+//   - internal/datagen, internal/loader — synthetic MED/FIN datasets and
+//     graph instantiation under any schema
+//   - internal/cypher, internal/query, internal/rewrite — the Cypher
+//     subset, executor, and DIR→OPT query translation
+//   - internal/storage — the memstore and diskstore backends
+//
+// Typical use:
+//
+//	o := repro.MED()
+//	plan, _ := repro.Optimize(o, nil, nil, repro.DefaultConfig(), budget)
+//	fmt.Println(plan.Result.PGS.DDL())
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/loader"
+	"repro/internal/ontology"
+	"repro/internal/optimizer"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+// Re-exported core types. The aliases keep example programs and external
+// tooling on a single import path.
+type (
+	// Ontology is a domain ontology (concepts, properties, relationships).
+	Ontology = ontology.Ontology
+	// Stats carries data characteristics (cardinalities, value sizes).
+	Stats = ontology.Stats
+	// AccessFrequencies summarizes a workload for the cost model.
+	AccessFrequencies = ontology.AccessFrequencies
+	// Config holds the inheritance-rule Jaccard thresholds.
+	Config = core.Config
+	// PGS is a generated property graph schema.
+	PGS = core.PGS
+	// Mapping is the instance-level transformation trace of a schema.
+	Mapping = core.Mapping
+	// Plan is an optimization outcome with benefit/cost accounting.
+	Plan = optimizer.Plan
+	// Dataset is generated instance data conforming to an ontology.
+	Dataset = datagen.Dataset
+	// RewriteOptions tunes DIR→OPT query translation.
+	RewriteOptions = rewrite.Options
+)
+
+// DefaultConfig returns the paper's thresholds θ1=0.66, θ2=0.33.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// MED builds the paper's medical evaluation ontology (§5.1).
+func MED() *Ontology { return datagen.MED() }
+
+// FIN builds the paper's financial evaluation ontology (§5.1).
+func FIN() *Ontology { return datagen.FIN() }
+
+// ReadOntology loads an ontology from a JSON file.
+func ReadOntology(path string) (*Ontology, error) { return ontology.ReadFile(path) }
+
+// GenerateData synthesizes deterministic instance data for the ontology.
+func GenerateData(o *Ontology, seed int64, baseCard int) (*Dataset, error) {
+	return datagen.Generate(o, datagen.Options{Seed: seed, BaseCard: baseCard})
+}
+
+// Optimize produces an optimized schema. A negative budget runs Algorithm
+// 5 (no space constraint); otherwise PGSG picks the better of the
+// relation-centric and concept-centric algorithms under the budget (in
+// bytes of replicated storage). Stats and af may be nil for uniform
+// defaults.
+func Optimize(o *Ontology, stats *Stats, af *AccessFrequencies, cfg Config, budget float64) (*Plan, error) {
+	return optimizer.Optimize(o, stats, af, cfg, budget)
+}
+
+// Direct produces the baseline direct-mapping schema (DIR).
+func Direct(o *Ontology) (*Plan, error) {
+	in, err := optimizer.NewInputs(o, nil, nil, DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.Direct(in)
+}
+
+// Load instantiates the dataset on the storage builder under the mapping
+// (nil mapping = direct schema). It returns vertex and edge counts.
+func Load(b storage.Builder, ds *Dataset, m *Mapping) (vertices, edges int, err error) {
+	return loader.Load(b, ds, m)
+}

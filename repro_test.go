@@ -1,0 +1,178 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/ontology"
+	"repro/internal/query"
+	"repro/internal/rewrite"
+	"repro/internal/storage/memstore"
+	"repro/internal/workload"
+)
+
+func TestFacadeOptimizeMED(t *testing.T) {
+	o := MED()
+	plan, err := Optimize(o, nil, nil, DefaultConfig(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != "NSC" || len(plan.Result.PGS.Nodes) == 0 {
+		t.Errorf("plan = %s with %d nodes", plan.Algorithm, len(plan.Result.PGS.Nodes))
+	}
+	dir, err := Direct(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir.Result.PGS.Nodes) != len(o.Concepts) {
+		t.Error("DIR node count mismatch")
+	}
+}
+
+func TestFacadeLoadRoundTrip(t *testing.T) {
+	o := FIN()
+	ds, err := GenerateData(o, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := memstore.New()
+	v, e, err := Load(st, ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != ds.NumInstances() || e != ds.NumLinks() {
+		t.Errorf("loaded %d/%d, want %d/%d", v, e, ds.NumInstances(), ds.NumLinks())
+	}
+}
+
+// TestEndToEndEquivalence is the repository's capstone invariant: for
+// random ontologies and datasets, every generated workload query returns
+// the same answer on the DIR graph as its rewrite does on the OPT graph
+// (aggregates compare by total, localized lookups by value multiset).
+func TestEndToEndEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			o := ontology.RandomOntology(seed, 7, 12)
+			wl, err := workload.Generate(o, 12, workload.Uniform, seed)
+			if err != nil {
+				t.Skip("no motifs for this ontology")
+			}
+			plan, err := Optimize(o, nil, wl.AF, DefaultConfig(), -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := GenerateData(o, seed, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir, opt := memstore.New(), memstore.New()
+			if _, _, err := Load(dir, ds, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := Load(opt, ds, plan.Result.Mapping); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range wl.Queries {
+				parsed, err := cypher.Parse(q.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", q.Name, err)
+				}
+				rw, _, err := rewrite.Rewrite(parsed, plan.Result.Mapping, rewrite.Options{LocalizeScalarLookups: q.Localize})
+				if err != nil {
+					t.Fatalf("%s rewrite: %v", q.Name, err)
+				}
+				rd, err := query.Run(dir, parsed)
+				if err != nil {
+					t.Fatalf("%s DIR: %v", q.Name, err)
+				}
+				ro, err := query.Run(opt, rw)
+				if err != nil {
+					t.Fatalf("%s OPT (%s): %v", q.Name, rw, err)
+				}
+				if !equivalent(q, rd, ro) {
+					t.Errorf("%s results differ\n  DIR q: %s (%d rows)\n  OPT q: %s (%d rows)",
+						q.Name, parsed, len(rd.Rows), rw, len(ro.Rows))
+				}
+			}
+		})
+	}
+}
+
+// equivalent compares results according to the query kind's rewrite
+// contract.
+func equivalent(q workload.Query, dir, opt *query.Result) bool {
+	switch {
+	case q.Kind == workload.Aggregation:
+		// Global aggregate: DIR has one total row; the localized form has
+		// one row per carrier vertex whose sizes sum to the same total.
+		return sumInts(dir) == sumInts(opt)
+	case q.Localize:
+		// Localized lookup: rows flatten to the same value multiset.
+		return multiset(dir) == multiset(opt)
+	default:
+		if len(dir.Rows) != len(opt.Rows) {
+			return false
+		}
+		query.SortRowsForComparison(dir.Rows)
+		query.SortRowsForComparison(opt.Rows)
+		for i := range dir.Rows {
+			for j := range dir.Rows[i] {
+				if !dir.Rows[i][j].Equal(opt.Rows[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+func sumInts(r *query.Result) int64 {
+	var t int64
+	for _, row := range r.Rows {
+		for _, v := range row {
+			t += v.Int()
+		}
+	}
+	return t
+}
+
+func multiset(r *query.Result) string {
+	counts := map[string]int{}
+	var flatten func(v graph.Value)
+	flatten = func(v graph.Value) {
+		if v.Kind() == graph.KindList {
+			for _, e := range v.List() {
+				flatten(e)
+			}
+			return
+		}
+		if !v.IsNull() {
+			counts[v.Key()]++
+		}
+	}
+	for _, row := range r.Rows {
+		for _, v := range row {
+			flatten(v)
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	// Deterministic rendering.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d;", k, counts[k])
+	}
+	return out
+}
