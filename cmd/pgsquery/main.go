@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cypher"
@@ -36,7 +37,11 @@ func main() {
 	budgetPct := flag.Float64("budget-pct", -1, "space budget as % of Cost(NSC); negative = unconstrained")
 	localize := flag.Bool("localize", false, "also localize scalar neighbor lookups (paper's Q6 behaviour)")
 	maxRows := flag.Int("rows", 10, "result rows to print per schema")
+	repeat := flag.Int("repeat", 1, "execute each query this many times (compiled once) and report total latency")
 	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
 	if flag.NArg() != 1 {
 		log.Fatal("usage: pgsquery [flags] 'MATCH ... RETURN ...'")
@@ -101,19 +106,36 @@ func main() {
 		fmt.Printf("  rewrite: %s\n", n)
 	}
 	fmt.Println()
-	show(dir, parsed, "DIR", *maxRows)
+	show(dir, parsed, "DIR", *maxRows, *repeat)
 	fmt.Println()
-	show(opt, rewritten, "OPT", *maxRows)
+	show(opt, rewritten, "OPT", *maxRows, *repeat)
 }
 
-func show(g storage.Graph, q *cypher.Query, tag string, maxRows int) {
-	var st query.Stats
-	res, err := query.RunWithStats(g, q, &st)
+func show(g storage.Graph, q *cypher.Query, tag string, maxRows, repeat int) {
+	// Compile once, execute -repeat times: repeated executions reuse the
+	// plan's symbol resolution and binding slots.
+	plan, err := query.Prepare(g, q)
 	if err != nil {
 		log.Fatalf("%s: %v", tag, err)
 	}
-	fmt.Printf("%s: %d rows | %d vertices scanned, %d edges traversed, %d properties read\n",
+	var st query.Stats
+	var res *query.Result
+	start := time.Now()
+	for i := 0; i < repeat; i++ {
+		// Per-run counters: every execution does identical work, so the
+		// printed stats describe one run regardless of -repeat.
+		st = query.Stats{}
+		if res, err = plan.ExecuteWithStats(&st); err != nil {
+			log.Fatalf("%s: %v", tag, err)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s: %d rows | %d vertices scanned, %d edges traversed, %d properties read",
 		tag, len(res.Rows), st.VerticesScanned, st.EdgesTraversed, st.PropsRead)
+	if repeat > 1 {
+		fmt.Printf(" | %d runs in %v (%v/run)", repeat, elapsed, elapsed/time.Duration(repeat))
+	}
+	fmt.Println()
 	fmt.Printf("  %s\n", strings.Join(res.Columns, " | "))
 	for i, row := range res.Rows {
 		if i == maxRows {

@@ -209,28 +209,36 @@ func (v Value) String() string {
 
 // Key returns a canonical string usable as a grouping/map key; distinct
 // values yield distinct keys within a kind.
-func (v Value) Key() string {
+func (v Value) Key() string { return string(v.AppendKey(nil)) }
+
+// AppendKey appends the canonical key of v to dst and returns the extended
+// slice, so hot paths (grouping, DISTINCT, row comparison) can build
+// composite keys into one reusable buffer instead of concatenating
+// strings. The encoding is identical to Key().
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return "\x00"
+		return append(dst, 0)
 	case KindString:
-		return "s" + v.str
+		dst = append(dst, 's')
+		return append(dst, v.str...)
 	case KindInt:
-		return "i" + strconv.FormatInt(int64(v.num), 10)
+		dst = append(dst, 'i')
+		return strconv.AppendInt(dst, int64(v.num), 10)
 	case KindFloat:
-		return "f" + strconv.FormatFloat(v.Float(), 'g', -1, 64)
+		dst = append(dst, 'f')
+		return strconv.AppendFloat(dst, v.Float(), 'g', -1, 64)
 	case KindBool:
-		return "b" + strconv.FormatBool(v.Bool())
+		dst = append(dst, 'b')
+		return strconv.AppendBool(dst, v.Bool())
 	case KindList:
-		var b strings.Builder
-		b.WriteString("l[")
+		dst = append(dst, 'l', '[')
 		for _, e := range v.list {
-			b.WriteString(e.Key())
-			b.WriteByte(',')
+			dst = e.AppendKey(dst)
+			dst = append(dst, ',')
 		}
-		b.WriteByte(']')
-		return b.String()
+		return append(dst, ']')
 	default:
-		return "?"
+		return append(dst, '?')
 	}
 }

@@ -1,8 +1,12 @@
 // Package query executes parsed Cypher queries against any storage.Graph.
-// It implements label-scan starts, path-pattern expansion with Cypher's
-// relationship-uniqueness semantics, WHERE filtering with three-valued
-// logic, and RETURN projection with implicit grouping for aggregates —
-// enough to run the paper's entire microbenchmark and workload queries.
+// Queries are compiled once (Prepare) into a plan that runs against the
+// storage fast path — interned symbol IDs, slot-indexed variable bindings,
+// and a fixed traversal order — and can then be executed many times
+// (Execute). The executor implements label-scan starts, path-pattern
+// expansion with Cypher's relationship-uniqueness semantics, WHERE
+// filtering with three-valued logic, and RETURN projection with implicit
+// grouping for aggregates — enough to run the paper's entire
+// microbenchmark and workload queries.
 package query
 
 import (
@@ -10,118 +14,7 @@ import (
 
 	"repro/internal/cypher"
 	"repro/internal/graph"
-	"repro/internal/storage"
 )
-
-// env is the evaluation context for one candidate row.
-type env struct {
-	g     storage.Graph
-	vars  map[string]storage.VID
-	stats *Stats
-	// agg maps aggregate call nodes to their computed value during the
-	// output phase of a grouped query; nil during accumulation.
-	agg map[*cypher.FuncCall]graph.Value
-}
-
-// eval evaluates an expression to a value. Unknown variables and missing
-// properties yield NULL, matching Cypher.
-func (e *env) eval(x cypher.Expr) (graph.Value, error) {
-	switch n := x.(type) {
-	case *cypher.Literal:
-		return n.Val, nil
-	case *cypher.PropAccess:
-		v, ok := e.vars[n.Var]
-		if !ok {
-			return graph.Null, nil
-		}
-		e.stats.PropsRead++
-		val, ok := e.g.Prop(v, n.Key)
-		if !ok {
-			return graph.Null, nil
-		}
-		return val, nil
-	case *cypher.VarRef:
-		v, ok := e.vars[n.Name]
-		if !ok {
-			return graph.Null, nil
-		}
-		// Vertices project as an opaque identity token.
-		return graph.S(fmt.Sprintf("v%d", v)), nil
-	case *cypher.Not:
-		val, err := e.eval(n.E)
-		if err != nil {
-			return graph.Null, err
-		}
-		if val.IsNull() {
-			return graph.Null, nil
-		}
-		return graph.B(!val.Bool()), nil
-	case *cypher.Binary:
-		return e.evalBinary(n)
-	case *cypher.FuncCall:
-		if n.IsAggregate() {
-			if e.agg == nil {
-				return graph.Null, fmt.Errorf("query: aggregate %s evaluated outside grouping", n.Name)
-			}
-			val, ok := e.agg[n]
-			if !ok {
-				return graph.Null, fmt.Errorf("query: aggregate %s has no accumulated state", n.Name)
-			}
-			return val, nil
-		}
-		return e.evalScalarFunc(n)
-	default:
-		return graph.Null, fmt.Errorf("query: unsupported expression %T", x)
-	}
-}
-
-func (e *env) evalBinary(n *cypher.Binary) (graph.Value, error) {
-	switch n.Op {
-	case cypher.OpAnd, cypher.OpOr:
-		l, err := e.eval(n.L)
-		if err != nil {
-			return graph.Null, err
-		}
-		r, err := e.eval(n.R)
-		if err != nil {
-			return graph.Null, err
-		}
-		return kleene(n.Op, l, r), nil
-	}
-	l, err := e.eval(n.L)
-	if err != nil {
-		return graph.Null, err
-	}
-	r, err := e.eval(n.R)
-	if err != nil {
-		return graph.Null, err
-	}
-	if l.IsNull() || r.IsNull() {
-		return graph.Null, nil
-	}
-	switch n.Op {
-	case cypher.OpEq:
-		return graph.B(l.Equal(r)), nil
-	case cypher.OpNe:
-		return graph.B(!l.Equal(r)), nil
-	}
-	cmp, ok := l.Compare(r)
-	if !ok {
-		return graph.Null, nil
-	}
-	switch n.Op {
-	case cypher.OpLt:
-		return graph.B(cmp < 0), nil
-	case cypher.OpGt:
-		return graph.B(cmp > 0), nil
-	case cypher.OpLe:
-		return graph.B(cmp <= 0), nil
-	case cypher.OpGe:
-		return graph.B(cmp >= 0), nil
-	default:
-		return graph.Null, fmt.Errorf("query: unsupported operator %v", n.Op)
-	}
-}
 
 // kleene implements SQL/Cypher three-valued AND/OR.
 func kleene(op cypher.BinaryOp, l, r graph.Value) graph.Value {
@@ -155,57 +48,43 @@ func truth(v graph.Value) (bool, bool) {
 	return v.Bool(), false
 }
 
-func (e *env) evalScalarFunc(n *cypher.FuncCall) (graph.Value, error) {
-	switch n.Name {
-	case "size":
-		val, err := e.eval(n.Args[0])
-		if err != nil {
-			return graph.Null, err
-		}
-		switch val.Kind() {
-		case graph.KindList:
-			return graph.I(int64(val.Len())), nil
-		case graph.KindString:
-			return graph.I(int64(len(val.Str()))), nil
-		case graph.KindNull:
-			return graph.Null, nil
-		default:
-			return graph.Null, nil
-		}
-	default:
-		return graph.Null, fmt.Errorf("query: unknown function %s", n.Name)
-	}
+// aggSpec is one compiled aggregate call: its function name, modifiers,
+// and compiled argument. The spec is shared by every group's aggState.
+type aggSpec struct {
+	name     string // count, collect, sum, avg, min, max
+	distinct bool
+	star     bool
+	arg      cexpr // nil when star
 }
 
 // aggState accumulates one aggregate call across the rows of a group.
+// States are stored by value inside each group to keep group creation to a
+// single allocation.
 type aggState struct {
-	call    *cypher.FuncCall
 	count   int64
 	sumI    int64
 	sumF    float64
 	allInt  bool
 	items   []graph.Value
-	minVal  graph.Value
-	maxVal  graph.Value
-	seen    map[string]bool // DISTINCT support
+	minmax  graph.Value
 	started bool
+	seen    map[string]bool // DISTINCT support
 }
 
-func newAggState(call *cypher.FuncCall) *aggState {
-	s := &aggState{call: call, allInt: true}
-	if call.Distinct {
+func (s *aggState) init(spec *aggSpec) {
+	s.allInt = true
+	if spec.distinct {
 		s.seen = map[string]bool{}
 	}
-	return s
 }
 
-// update folds one row into the aggregate.
-func (s *aggState) update(e *env) error {
-	if s.call.Star {
+// update folds the current row into the aggregate.
+func (s *aggState) update(spec *aggSpec, m *machine) error {
+	if spec.star {
 		s.count++
 		return nil
 	}
-	val, err := e.eval(s.call.Args[0])
+	val, err := spec.arg(m)
 	if err != nil {
 		return err
 	}
@@ -213,13 +92,13 @@ func (s *aggState) update(e *env) error {
 		return nil // aggregates skip NULLs
 	}
 	if s.seen != nil {
-		k := val.Key()
-		if s.seen[k] {
+		m.scratch = val.AppendKey(m.scratch[:0])
+		if s.seen[string(m.scratch)] {
 			return nil
 		}
-		s.seen[k] = true
+		s.seen[string(m.scratch)] = true
 	}
-	switch s.call.Name {
+	switch spec.name {
 	case "count":
 		s.count++
 	case "collect":
@@ -234,25 +113,25 @@ func (s *aggState) update(e *env) error {
 		s.sumF += val.Float()
 	case "min":
 		if !s.started {
-			s.minVal, s.started = val, true
-		} else if cmp, ok := val.Compare(s.minVal); ok && cmp < 0 {
-			s.minVal = val
+			s.minmax, s.started = val, true
+		} else if cmp, ok := val.Compare(s.minmax); ok && cmp < 0 {
+			s.minmax = val
 		}
 	case "max":
 		if !s.started {
-			s.maxVal, s.started = val, true
-		} else if cmp, ok := val.Compare(s.maxVal); ok && cmp > 0 {
-			s.maxVal = val
+			s.minmax, s.started = val, true
+		} else if cmp, ok := val.Compare(s.minmax); ok && cmp > 0 {
+			s.minmax = val
 		}
 	default:
-		return fmt.Errorf("query: unknown aggregate %s", s.call.Name)
+		return fmt.Errorf("query: unknown aggregate %s", spec.name)
 	}
 	return nil
 }
 
 // final returns the aggregate's value.
-func (s *aggState) final() graph.Value {
-	switch s.call.Name {
+func (s *aggState) final(spec *aggSpec) graph.Value {
+	switch spec.name {
 	case "count":
 		return graph.I(s.count)
 	case "collect":
@@ -267,39 +146,12 @@ func (s *aggState) final() graph.Value {
 			return graph.Null
 		}
 		return graph.F(s.sumF / float64(s.count))
-	case "min":
+	case "min", "max":
 		if !s.started {
 			return graph.Null
 		}
-		return s.minVal
-	case "max":
-		if !s.started {
-			return graph.Null
-		}
-		return s.maxVal
+		return s.minmax
 	default:
 		return graph.Null
-	}
-}
-
-// collectAggCalls gathers the aggregate FuncCall nodes inside e, in
-// evaluation order. Nested aggregates (aggregate inside aggregate) are
-// rejected by construction of the parser's one-argument rule plus this
-// walk stopping at aggregate boundaries.
-func collectAggCalls(e cypher.Expr, into *[]*cypher.FuncCall) {
-	switch x := e.(type) {
-	case *cypher.FuncCall:
-		if x.IsAggregate() {
-			*into = append(*into, x)
-			return
-		}
-		for _, a := range x.Args {
-			collectAggCalls(a, into)
-		}
-	case *cypher.Binary:
-		collectAggCalls(x.L, into)
-		collectAggCalls(x.R, into)
-	case *cypher.Not:
-		collectAggCalls(x.E, into)
 	}
 }

@@ -1,7 +1,6 @@
 package query
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/cypher"
@@ -26,13 +25,18 @@ func (s *Stats) Add(other Stats) {
 	s.RowsEmitted += other.RowsEmitted
 }
 
-// Result is a materialized query result.
+// Result is a materialized query result. Rows is freshly allocated per
+// execution; Columns is shared with the Prepared plan that produced it and
+// must not be mutated.
 type Result struct {
 	Columns []string
 	Rows    [][]graph.Value
 }
 
-// Run executes the query against the graph.
+// Run executes the query against the graph. One-shot convenience wrapper:
+// it compiles the query with Prepare and executes the plan once. Callers
+// that run the same query repeatedly should Prepare once and Execute many
+// times.
 func Run(g storage.Graph, q *cypher.Query) (*Result, error) {
 	var st Stats
 	return RunWithStats(g, q, &st)
@@ -40,469 +44,44 @@ func Run(g storage.Graph, q *cypher.Query) (*Result, error) {
 
 // RunWithStats executes the query, accumulating work counters into st.
 func RunWithStats(g storage.Graph, q *cypher.Query, st *Stats) (*Result, error) {
-	q = q.Clone()
-	nameAnonymousVars(q)
-	if q.Where != nil && cypher.HasAggregate(q.Where) {
-		return nil, fmt.Errorf("query: aggregates are not allowed in WHERE")
-	}
-	ex := &executor{
-		g:     g,
-		q:     q,
-		env:   &env{g: g, vars: map[string]storage.VID{}, stats: st},
-		used:  map[storage.EID]bool{},
-		stats: st,
-	}
-	if err := ex.prepareReturn(); err != nil {
+	p, err := Prepare(g, q)
+	if err != nil {
 		return nil, err
 	}
-	if err := ex.matchPatterns(0); err != nil {
-		return nil, err
-	}
-	return ex.finish()
+	return p.ExecuteWithStats(st)
 }
 
-func nameAnonymousVars(q *cypher.Query) {
-	n := 0
-	for _, p := range q.Patterns {
-		for _, node := range p.Nodes {
-			if node.Var == "" {
-				node.Var = fmt.Sprintf("_n%d", n)
-				n++
-			}
-		}
-	}
-}
-
-type executor struct {
-	g     storage.Graph
-	q     *cypher.Query
-	env   *env
-	used  map[storage.EID]bool
-	stats *Stats
-
-	// Grouping state.
-	grouped    bool
-	groupItems []int // indices of return items that form the group key
-	aggCalls   []*cypher.FuncCall
-	groups     map[string]*groupState
-	groupOrder []string
-
-	// Ungrouped accumulation.
-	rows [][]graph.Value
-}
-
-type groupState struct {
-	keyVals []graph.Value
-	aggs    []*aggState
-}
-
-// prepareReturn classifies return items and validates aggregate usage.
-func (ex *executor) prepareReturn() error {
-	hasAgg := false
-	for _, ri := range ex.q.Return {
-		if cypher.HasAggregate(ri.Expr) {
-			hasAgg = true
-		}
-	}
-	if !hasAgg {
-		return nil
-	}
-	ex.grouped = true
-	ex.groups = map[string]*groupState{}
-	for i, ri := range ex.q.Return {
-		if !cypher.HasAggregate(ri.Expr) {
-			ex.groupItems = append(ex.groupItems, i)
-			continue
-		}
-		if err := validateAggItem(ri.Expr, false); err != nil {
-			return err
-		}
-		collectAggCalls(ri.Expr, &ex.aggCalls)
-	}
-	return nil
-}
-
-// validateAggItem rejects expressions mixing aggregates with free variable
-// references outside aggregate arguments (e.g. a.x = COUNT(*)), which our
-// implicit-grouping implementation does not support.
-func validateAggItem(e cypher.Expr, insideAgg bool) error {
-	switch x := e.(type) {
-	case *cypher.PropAccess, *cypher.VarRef:
-		if !insideAgg {
-			return fmt.Errorf("query: %s mixes grouped and aggregated values in one item", e)
-		}
-	case *cypher.Binary:
-		if err := validateAggItem(x.L, insideAgg); err != nil {
-			return err
-		}
-		return validateAggItem(x.R, insideAgg)
-	case *cypher.Not:
-		return validateAggItem(x.E, insideAgg)
-	case *cypher.FuncCall:
-		inner := insideAgg || x.IsAggregate()
-		for _, a := range x.Args {
-			if err := validateAggItem(a, inner); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// matchPatterns enumerates bindings for patterns[i:], emitting rows.
-func (ex *executor) matchPatterns(i int) error {
-	if i == len(ex.q.Patterns) {
-		return ex.emit()
-	}
-	return ex.solvePattern(ex.q.Patterns[i], func() error {
-		return ex.matchPatterns(i + 1)
-	})
-}
-
-// move is one step of a pattern traversal plan.
-type move struct {
-	node int // index of the node being bound
-	rel  int // rel used to reach it, or -1 for the start node
-	from int // node index already bound (when rel >= 0)
-}
-
-func (ex *executor) solvePattern(pat *cypher.PathPattern, cont func() error) error {
-	moves := ex.plan(pat)
-	var step func(k int) error
-	step = func(k int) error {
-		if k == len(moves) {
-			return cont()
-		}
-		mv := moves[k]
-		node := pat.Nodes[mv.node]
-		if mv.rel < 0 {
-			return ex.bindStart(node, func() error { return step(k + 1) })
-		}
-		return ex.expand(pat, mv, node, func() error { return step(k + 1) })
-	}
-	return step(0)
-}
-
-// plan picks the cheapest start node and orders the expansion outward.
-func (ex *executor) plan(pat *cypher.PathPattern) []move {
-	start, bestCost := 0, int64(1)<<62
-	for i, n := range pat.Nodes {
-		var cost int64
-		switch {
-		case ex.bound(n.Var):
-			cost = 0
-		case len(n.Labels) > 0:
-			cost = int64(ex.minLabelCount(n.Labels))
-			if len(n.Props) > 0 {
-				cost /= 16 // property constraints are selective
-			}
-		default:
-			cost = int64(ex.g.NumVertices())
-		}
-		if cost < bestCost {
-			start, bestCost = i, cost
-		}
-	}
-	moves := []move{{node: start, rel: -1}}
-	for j := start + 1; j < len(pat.Nodes); j++ {
-		moves = append(moves, move{node: j, rel: j - 1, from: j - 1})
-	}
-	for j := start - 1; j >= 0; j-- {
-		moves = append(moves, move{node: j, rel: j, from: j + 1})
-	}
-	return moves
-}
-
-func (ex *executor) bound(v string) bool {
-	_, ok := ex.env.vars[v]
-	return ok
-}
-
-func (ex *executor) minLabelCount(labels []string) int {
-	best := ex.g.CountLabel(labels[0])
-	for _, l := range labels[1:] {
-		if c := ex.g.CountLabel(l); c < best {
-			best = c
-		}
-	}
-	return best
-}
-
-// checkNode verifies label and inline property constraints.
-func (ex *executor) checkNode(v storage.VID, n *cypher.NodePattern) bool {
-	for _, l := range n.Labels {
-		if !ex.g.HasLabel(v, l) {
-			return false
-		}
-	}
-	for k, want := range n.Props {
-		ex.stats.PropsRead++
-		got, ok := ex.g.Prop(v, k)
-		if !ok || !got.Equal(want) {
-			return false
-		}
-	}
-	return true
-}
-
-func (ex *executor) bindStart(n *cypher.NodePattern, cont func() error) error {
-	if v, ok := ex.env.vars[n.Var]; ok {
-		if !ex.checkNode(v, n) {
-			return nil
-		}
-		return cont()
-	}
-	// Scan the most selective label; "" scans everything.
-	scanLabel := ""
-	if len(n.Labels) > 0 {
-		scanLabel = n.Labels[0]
-		best := ex.g.CountLabel(scanLabel)
-		for _, l := range n.Labels[1:] {
-			if c := ex.g.CountLabel(l); c < best {
-				scanLabel, best = l, c
-			}
-		}
-	}
-	var err error
-	ex.g.ForEachVertex(scanLabel, func(v storage.VID) bool {
-		ex.stats.VerticesScanned++
-		if !ex.checkNode(v, n) {
-			return true
-		}
-		ex.env.vars[n.Var] = v
-		err = cont()
-		delete(ex.env.vars, n.Var)
-		return err == nil
-	})
-	return err
-}
-
-func (ex *executor) expand(pat *cypher.PathPattern, mv move, node *cypher.NodePattern, cont func() error) error {
-	rel := pat.Rels[mv.rel]
-	from := ex.env.vars[pat.Nodes[mv.from].Var]
-	// The rel textually connects Nodes[mv.rel] -> Nodes[mv.rel+1]; work
-	// out which physical direction to iterate from the bound side.
-	leftToRight := mv.from == mv.rel
-	outgoing := (rel.Dir == cypher.DirOut) == leftToRight
-
-	iterate := ex.g.ForEachIn
-	if outgoing {
-		iterate = ex.g.ForEachOut
-	}
-	var err error
-	iterate(from, rel.Type, func(e storage.EID, other storage.VID) bool {
-		ex.stats.EdgesTraversed++
-		if ex.used[e] {
-			return true // Cypher relationship-uniqueness
-		}
-		if prev, alreadyBound := ex.env.vars[node.Var]; alreadyBound {
-			if prev != other || !ex.checkNode(other, node) {
-				return true
-			}
-			ex.used[e] = true
-			err = cont()
-			delete(ex.used, e)
-			return err == nil
-		}
-		if !ex.checkNode(other, node) {
-			return true
-		}
-		ex.env.vars[node.Var] = other
-		ex.used[e] = true
-		err = cont()
-		delete(ex.used, e)
-		delete(ex.env.vars, node.Var)
-		return err == nil
-	})
-	return err
-}
-
-// emit processes one complete binding: WHERE filter, then accumulate.
-func (ex *executor) emit() error {
-	if ex.q.Where != nil {
-		val, err := ex.env.eval(ex.q.Where)
-		if err != nil {
-			return err
-		}
-		if ok, _ := truth(val); !ok {
-			return nil
-		}
-	}
-	if ex.grouped {
-		return ex.accumulateGroup()
-	}
-	row := make([]graph.Value, len(ex.q.Return))
-	for i, ri := range ex.q.Return {
-		v, err := ex.env.eval(ri.Expr)
-		if err != nil {
-			return err
-		}
-		row[i] = v
-	}
-	ex.rows = append(ex.rows, row)
-	return nil
-}
-
-func (ex *executor) accumulateGroup() error {
-	keyVals := make([]graph.Value, len(ex.groupItems))
-	key := ""
-	for i, idx := range ex.groupItems {
-		v, err := ex.env.eval(ex.q.Return[idx].Expr)
-		if err != nil {
-			return err
-		}
-		keyVals[i] = v
-		key += v.Key() + "\x1f"
-	}
-	gs, ok := ex.groups[key]
-	if !ok {
-		gs = &groupState{keyVals: keyVals}
-		for _, call := range ex.aggCalls {
-			gs.aggs = append(gs.aggs, newAggState(call))
-		}
-		ex.groups[key] = gs
-		ex.groupOrder = append(ex.groupOrder, key)
-	}
-	for _, a := range gs.aggs {
-		if err := a.update(ex.env); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// finish builds the final result: grouped output, DISTINCT, ORDER BY,
-// LIMIT.
-func (ex *executor) finish() (*Result, error) {
-	res := &Result{}
-	for _, ri := range ex.q.Return {
-		res.Columns = append(res.Columns, ri.Name())
-	}
-	if ex.grouped {
-		// An aggregate-only query over zero rows still yields one row
-		// (e.g. COUNT(*) = 0), per Cypher semantics.
-		if len(ex.groups) == 0 && len(ex.groupItems) == 0 {
-			gs := &groupState{}
-			for _, call := range ex.aggCalls {
-				gs.aggs = append(gs.aggs, newAggState(call))
-			}
-			ex.groups[""] = gs
-			ex.groupOrder = append(ex.groupOrder, "")
-		}
-		for _, key := range ex.groupOrder {
-			gs := ex.groups[key]
-			aggVals := map[*cypher.FuncCall]graph.Value{}
-			for i, call := range ex.aggCalls {
-				aggVals[call] = gs.aggs[i].final()
-			}
-			genv := &env{g: ex.g, vars: map[string]storage.VID{}, stats: ex.stats, agg: aggVals}
-			row := make([]graph.Value, len(ex.q.Return))
-			ki := 0
-			for i, ri := range ex.q.Return {
-				if cypher.HasAggregate(ri.Expr) {
-					v, err := genv.eval(ri.Expr)
-					if err != nil {
-						return nil, err
-					}
-					row[i] = v
-				} else {
-					row[i] = gs.keyVals[ki]
-					ki++
-				}
-			}
-			ex.rows = append(ex.rows, row)
-		}
-	}
-	rows := ex.rows
-	if ex.q.Distinct {
-		seen := map[string]bool{}
-		var dedup [][]graph.Value
-		for _, row := range rows {
-			k := rowKey(row)
-			if !seen[k] {
-				seen[k] = true
-				dedup = append(dedup, row)
-			}
-		}
-		rows = dedup
-	}
-	if len(ex.q.OrderBy) > 0 {
-		cols, err := ex.sortColumns()
-		if err != nil {
-			return nil, err
-		}
-		sort.SliceStable(rows, func(i, j int) bool {
-			for k, s := range ex.q.OrderBy {
-				a, b := rows[i][cols[k]], rows[j][cols[k]]
-				cmp, ok := a.Compare(b)
-				if !ok {
-					// NULLs and incomparables sort last.
-					switch {
-					case a.IsNull() && b.IsNull():
-						continue
-					case a.IsNull():
-						return false
-					case b.IsNull():
-						return true
-					default:
-						continue
-					}
-				}
-				if cmp == 0 {
-					continue
-				}
-				if s.Desc {
-					return cmp > 0
-				}
-				return cmp < 0
-			}
-			return false
-		})
-	}
-	if ex.q.Limit >= 0 && len(rows) > ex.q.Limit {
-		rows = rows[:ex.q.Limit]
-	}
-	res.Rows = rows
-	ex.stats.RowsEmitted += int64(len(rows))
-	return res, nil
-}
-
-// sortColumns maps each ORDER BY expression to a return column, by alias
-// or by identical rendering.
-func (ex *executor) sortColumns() ([]int, error) {
-	cols := make([]int, len(ex.q.OrderBy))
-	for i, s := range ex.q.OrderBy {
-		found := -1
-		text := s.Expr.String()
-		for j, ri := range ex.q.Return {
-			if ri.Alias != "" && text == ri.Alias {
-				found = j
-				break
-			}
-			if ri.Expr.String() == text {
-				found = j
-				break
-			}
-		}
-		if found < 0 {
-			return nil, fmt.Errorf("query: ORDER BY %s does not match a returned column", text)
-		}
-		cols[i] = found
-	}
-	return cols, nil
-}
-
-func rowKey(row []graph.Value) string {
-	k := ""
+// appendRowKey appends the canonical composite key of a row to dst.
+func appendRowKey(dst []byte, row []graph.Value) []byte {
 	for _, v := range row {
-		k += v.Key() + "\x1f"
+		dst = v.AppendKey(dst)
+		dst = append(dst, 0x1f)
 	}
-	return k
+	return dst
 }
 
 // SortRowsForComparison orders rows canonically; tests use it to compare
 // result sets that may be produced in different orders by different
-// schemas or backends.
+// schemas or backends. Keys are materialized once up front rather than
+// rebuilt inside the comparator.
 func SortRowsForComparison(rows [][]graph.Value) {
-	sort.Slice(rows, func(i, j int) bool { return rowKey(rows[i]) < rowKey(rows[j]) })
+	keys := make([]string, len(rows))
+	var buf []byte
+	for i, row := range rows {
+		buf = appendRowKey(buf[:0], row)
+		keys[i] = string(buf)
+	}
+	sort.Sort(&rowSorter{rows: rows, keys: keys})
+}
+
+type rowSorter struct {
+	rows [][]graph.Value
+	keys []string
+}
+
+func (s *rowSorter) Len() int           { return len(s.rows) }
+func (s *rowSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }

@@ -52,7 +52,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// formatVersion is the on-disk record layout version. Version 2 added
+// degree counters to vertex records (bytes 41-48); older stores would
+// silently read them as zero, so reopening a mismatched store is an error.
+const formatVersion = 2
+
 type manifest struct {
+	Version     int      `json:"version"`
 	Labels      []string `json:"labels"`
 	Types       []string `json:"types"`
 	Keys        []string `json:"keys"`
@@ -85,6 +91,7 @@ type Store struct {
 
 var (
 	_ storage.Builder       = (*Store)(nil)
+	_ storage.FastGraph     = (*Store)(nil)
 	_ storage.StatsReporter = (*Store)(nil)
 )
 
@@ -136,6 +143,9 @@ func (s *Store) loadManifest() error {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return err
 	}
+	if m.Version != formatVersion {
+		return fmt.Errorf("diskstore: store format v%d is not supported (want v%d); rebuild the store", m.Version, formatVersion)
+	}
 	s.labels, s.types, s.keys = m.Labels, m.Types, m.Keys
 	s.numVertices, s.numEdges, s.numProps, s.blobSize = m.NumVertices, m.NumEdges, m.NumProps, m.BlobSize
 	for i, l := range s.labels {
@@ -166,7 +176,8 @@ func (s *Store) Flush() error {
 		return err
 	}
 	m := manifest{
-		Labels: s.labels, Types: s.types, Keys: s.keys,
+		Version: formatVersion,
+		Labels:  s.labels, Types: s.types, Keys: s.keys,
 		NumVertices: s.numVertices, NumEdges: s.numEdges, NumProps: s.numProps,
 		BlobSize: s.blobSize,
 	}
@@ -207,6 +218,10 @@ type vertexRec struct {
 	firstOut  int64 // edge id + 1; 0 = none
 	firstIn   int64
 	firstProp int64 // prop id + 1
+	// Degree counters let Degree(v, "", out) answer from the vertex
+	// record alone instead of walking the whole adjacency chain.
+	outDeg uint32
+	inDeg  uint32
 }
 
 type edgeRec struct {
@@ -236,6 +251,8 @@ func (s *Store) readVertex(v storage.VID) (vertexRec, error) {
 		firstOut:  int64(binary.LittleEndian.Uint64(buf[17:])),
 		firstIn:   int64(binary.LittleEndian.Uint64(buf[25:])),
 		firstProp: int64(binary.LittleEndian.Uint64(buf[33:])),
+		outDeg:    binary.LittleEndian.Uint32(buf[41:]),
+		inDeg:     binary.LittleEndian.Uint32(buf[45:]),
 	}, nil
 }
 
@@ -249,6 +266,8 @@ func (s *Store) writeVertex(v storage.VID, r vertexRec) error {
 	binary.LittleEndian.PutUint64(buf[17:], uint64(r.firstOut))
 	binary.LittleEndian.PutUint64(buf[25:], uint64(r.firstIn))
 	binary.LittleEndian.PutUint64(buf[33:], uint64(r.firstProp))
+	binary.LittleEndian.PutUint32(buf[41:], r.outDeg)
+	binary.LittleEndian.PutUint32(buf[45:], r.inDeg)
 	return s.pager.write(fileVertices, int64(v)*vertexRecSize, buf[:])
 }
 
@@ -600,6 +619,7 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 		nextOut: srcRec.firstOut,
 	}
 	srcRec.firstOut = int64(e) + 1
+	srcRec.outDeg++
 	if err := s.writeVertex(src, srcRec); err != nil {
 		return 0, err
 	}
@@ -609,6 +629,7 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 	}
 	er.nextIn = dstRec.firstIn
 	dstRec.firstIn = int64(e) + 1
+	dstRec.inDeg++
 	if err := s.writeVertex(dst, dstRec); err != nil {
 		return 0, err
 	}
@@ -632,48 +653,20 @@ func (s *Store) NumEdges() int { return int(s.numEdges) }
 
 // CountLabel returns the number of vertices carrying the label.
 func (s *Store) CountLabel(label string) int {
-	id, ok, _ := s.labelID(label, false)
-	if !ok {
+	if label == "" {
 		return 0
 	}
-	return len(s.byLabel[id])
+	return s.CountLabelID(s.LabelID(label))
 }
 
 // ForEachVertex calls fn for every vertex carrying the label ("" = all).
 func (s *Store) ForEachVertex(label string, fn func(storage.VID) bool) {
-	if label == "" {
-		for v := int64(0); v < s.numVertices; v++ {
-			if !fn(storage.VID(v)) {
-				return
-			}
-		}
-		return
-	}
-	id, ok, _ := s.labelID(label, false)
-	if !ok {
-		return
-	}
-	for _, v := range s.byLabel[id] {
-		if !fn(v) {
-			return
-		}
-	}
+	s.ForEachVertexID(s.LabelID(label), fn)
 }
 
 // HasLabel reports whether the vertex carries the label.
 func (s *Store) HasLabel(v storage.VID, label string) bool {
-	if s.check(v) != nil {
-		return false
-	}
-	id, ok, _ := s.labelID(label, false)
-	if !ok {
-		return false
-	}
-	rec, err := s.readVertex(v)
-	if err != nil {
-		return false
-	}
-	return rec.labels[id/64]&(1<<uint(id%64)) != 0
+	return s.HasLabelID(v, s.LabelID(label))
 }
 
 // Labels returns the labels of the vertex, sorted.
@@ -696,32 +689,11 @@ func (s *Store) Labels(v storage.VID) []string {
 
 // Prop returns the value of a vertex property.
 func (s *Store) Prop(v storage.VID, key string) (graph.Value, bool) {
-	if s.check(v) != nil {
-		return graph.Null, false
-	}
 	keyID, ok := s.keyIDs[key]
 	if !ok {
 		return graph.Null, false
 	}
-	rec, err := s.readVertex(v)
-	if err != nil {
-		return graph.Null, false
-	}
-	for p := rec.firstProp; p != 0; {
-		pr, err := s.readProp(p - 1)
-		if err != nil {
-			return graph.Null, false
-		}
-		if pr.keyID == uint32(keyID) {
-			val, err := s.decodeValue(pr)
-			if err != nil {
-				return graph.Null, false
-			}
-			return val, true
-		}
-		p = pr.next
-	}
-	return graph.Null, false
+	return s.PropID(v, storage.SymbolID(keyID))
 }
 
 // PropKeys returns the property keys present on the vertex, sorted.
@@ -757,16 +729,12 @@ func (s *Store) ForEachIn(v storage.VID, etype string, fn func(storage.EID, stor
 }
 
 func (s *Store) forEach(v storage.VID, etype string, out bool, fn func(storage.EID, storage.VID) bool) {
-	if s.check(v) != nil {
+	s.forEachID(v, s.TypeID(etype), out, fn)
+}
+
+func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn func(storage.EID, storage.VID) bool) {
+	if s.check(v) != nil || etype == storage.NoSymbol {
 		return
-	}
-	want := -1
-	if etype != "" {
-		id, ok := s.typeIDs[etype]
-		if !ok {
-			return
-		}
-		want = id
 	}
 	rec, err := s.readVertex(v)
 	if err != nil {
@@ -787,7 +755,7 @@ func (s *Store) forEach(v storage.VID, etype string, out bool, fn func(storage.E
 			other = storage.VID(er.src)
 			next = er.nextIn
 		}
-		if want < 0 || er.typeID == uint32(want) {
+		if etype == storage.AnySymbol || er.typeID == uint32(etype) {
 			if !fn(storage.EID(p-1), other) {
 				return
 			}
@@ -796,10 +764,130 @@ func (s *Store) forEach(v storage.VID, etype string, out bool, fn func(storage.E
 	}
 }
 
-// Degree returns the number of out- or in-edges of the given type.
+// Degree returns the number of out- or in-edges of the given type. The
+// untyped degree is served from the vertex record's counters without
+// touching the edge file.
 func (s *Store) Degree(v storage.VID, etype string, out bool) int {
+	return s.DegreeID(v, s.TypeID(etype), out)
+}
+
+// ---- storage.FastGraph ----
+
+// LabelID resolves a vertex label to its interned ID.
+func (s *Store) LabelID(label string) storage.SymbolID { return resolve(label, s.labelIDs) }
+
+// TypeID resolves an edge type to its interned ID.
+func (s *Store) TypeID(etype string) storage.SymbolID { return resolve(etype, s.typeIDs) }
+
+// KeyID resolves a property key to its interned ID.
+func (s *Store) KeyID(key string) storage.SymbolID { return resolve(key, s.keyIDs) }
+
+func resolve(name string, ids map[string]int) storage.SymbolID {
+	if name == "" {
+		return storage.AnySymbol
+	}
+	if id, ok := ids[name]; ok {
+		return storage.SymbolID(id)
+	}
+	return storage.NoSymbol
+}
+
+// CountLabelID is CountLabel with a resolved label.
+func (s *Store) CountLabelID(label storage.SymbolID) int {
+	if label == storage.AnySymbol {
+		return int(s.numVertices)
+	}
+	if label < 0 {
+		return 0
+	}
+	return len(s.byLabel[int(label)])
+}
+
+// ForEachVertexID is ForEachVertex with a resolved label.
+func (s *Store) ForEachVertexID(label storage.SymbolID, fn func(storage.VID) bool) {
+	if label == storage.AnySymbol {
+		for v := int64(0); v < s.numVertices; v++ {
+			if !fn(storage.VID(v)) {
+				return
+			}
+		}
+		return
+	}
+	if label < 0 {
+		return
+	}
+	for _, v := range s.byLabel[int(label)] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// HasLabelID is HasLabel with a resolved label.
+func (s *Store) HasLabelID(v storage.VID, label storage.SymbolID) bool {
+	if label < 0 || s.check(v) != nil {
+		return false
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return false
+	}
+	return rec.labels[label/64]&(1<<uint(label%64)) != 0
+}
+
+// PropID is Prop with a resolved key.
+func (s *Store) PropID(v storage.VID, key storage.SymbolID) (graph.Value, bool) {
+	if key < 0 || s.check(v) != nil {
+		return graph.Null, false
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return graph.Null, false
+	}
+	for p := rec.firstProp; p != 0; {
+		pr, err := s.readProp(p - 1)
+		if err != nil {
+			return graph.Null, false
+		}
+		if pr.keyID == uint32(key) {
+			val, err := s.decodeValue(pr)
+			if err != nil {
+				return graph.Null, false
+			}
+			return val, true
+		}
+		p = pr.next
+	}
+	return graph.Null, false
+}
+
+// ForEachOutID is ForEachOut with a resolved edge type.
+func (s *Store) ForEachOutID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
+	s.forEachID(v, etype, true, fn)
+}
+
+// ForEachInID is ForEachIn with a resolved edge type.
+func (s *Store) ForEachInID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
+	s.forEachID(v, etype, false, fn)
+}
+
+// DegreeID is Degree with a resolved edge type.
+func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
+	if s.check(v) != nil || etype == storage.NoSymbol {
+		return 0
+	}
+	if etype == storage.AnySymbol {
+		rec, err := s.readVertex(v)
+		if err != nil {
+			return 0
+		}
+		if out {
+			return int(rec.outDeg)
+		}
+		return int(rec.inDeg)
+	}
 	n := 0
-	s.forEach(v, etype, out, func(storage.EID, storage.VID) bool {
+	s.forEachID(v, etype, out, func(storage.EID, storage.VID) bool {
 		n++
 		return true
 	})

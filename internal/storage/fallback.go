@@ -1,0 +1,129 @@
+package storage
+
+import "repro/internal/graph"
+
+// fallback adapts a string-only Graph to FastGraph by interning symbols in
+// its own table and translating IDs back to strings on each call. It adds
+// one slice index per call over the string API — still cheaper than the
+// map hash the wrapped store performs internally, and it lets compiled
+// query plans run unmodified against any backend.
+//
+// Like the stores it wraps, a fallback is not safe for concurrent use: the
+// symbol tables grow on first sight of each string.
+type fallback struct {
+	Graph
+	labels symtab
+	types  symtab
+	keys   symtab
+}
+
+var _ FastGraph = (*fallback)(nil)
+
+func newFallback(g Graph) *fallback {
+	return &fallback{
+		Graph:  g,
+		labels: symtab{ids: map[string]SymbolID{}},
+		types:  symtab{ids: map[string]SymbolID{}},
+		keys:   symtab{ids: map[string]SymbolID{}},
+	}
+}
+
+// symtab is a private string<->SymbolID table. Unlike the native stores'
+// tables it interns on resolution rather than on build, because the
+// wrapped store does not expose its vocabulary.
+type symtab struct {
+	ids   map[string]SymbolID
+	names []string
+}
+
+func (t *symtab) intern(s string) SymbolID {
+	if s == "" {
+		return AnySymbol
+	}
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := SymbolID(len(t.names))
+	t.ids[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
+// lookup returns the string for id; ok is false for NoSymbol, AnySymbol,
+// and IDs this table never issued.
+func (t *symtab) lookup(id SymbolID) (string, bool) {
+	if id < 0 || int(id) >= len(t.names) {
+		return "", false
+	}
+	return t.names[id], true
+}
+
+func (f *fallback) LabelID(label string) SymbolID { return f.labels.intern(label) }
+func (f *fallback) TypeID(etype string) SymbolID  { return f.types.intern(etype) }
+func (f *fallback) KeyID(key string) SymbolID     { return f.keys.intern(key) }
+
+func (f *fallback) CountLabelID(label SymbolID) int {
+	if label == AnySymbol {
+		return f.NumVertices()
+	}
+	name, ok := f.labels.lookup(label)
+	if !ok {
+		return 0
+	}
+	return f.CountLabel(name)
+}
+
+func (f *fallback) ForEachVertexID(label SymbolID, fn func(VID) bool) {
+	if label == AnySymbol {
+		f.ForEachVertex("", fn)
+		return
+	}
+	name, ok := f.labels.lookup(label)
+	if !ok {
+		return
+	}
+	f.ForEachVertex(name, fn)
+}
+
+func (f *fallback) HasLabelID(v VID, label SymbolID) bool {
+	name, ok := f.labels.lookup(label)
+	if !ok {
+		return false
+	}
+	return f.HasLabel(v, name)
+}
+
+func (f *fallback) PropID(v VID, key SymbolID) (graph.Value, bool) {
+	name, ok := f.keys.lookup(key)
+	if !ok {
+		return graph.Null, false
+	}
+	return f.Prop(v, name)
+}
+
+func (f *fallback) ForEachOutID(v VID, etype SymbolID, fn func(EID, VID) bool) {
+	if name, ok := f.typeName(etype); ok {
+		f.ForEachOut(v, name, fn)
+	}
+}
+
+func (f *fallback) ForEachInID(v VID, etype SymbolID, fn func(EID, VID) bool) {
+	if name, ok := f.typeName(etype); ok {
+		f.ForEachIn(v, name, fn)
+	}
+}
+
+func (f *fallback) DegreeID(v VID, etype SymbolID, out bool) int {
+	name, ok := f.typeName(etype)
+	if !ok {
+		return 0
+	}
+	return f.Degree(v, name, out)
+}
+
+func (f *fallback) typeName(etype SymbolID) (string, bool) {
+	if etype == AnySymbol {
+		return "", true
+	}
+	return f.types.lookup(etype)
+}

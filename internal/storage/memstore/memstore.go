@@ -6,7 +6,6 @@ package memstore
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/storage"
@@ -18,11 +17,21 @@ type halfEdge struct {
 	id    storage.EID
 }
 
+// prop is one vertex property. Vertices carry few properties, so a slice
+// ordered by key name beats a map on both lookup and iteration.
+type prop struct {
+	key int32
+	val graph.Value
+}
+
 type vertex struct {
+	// labels is kept ordered by label name (not ID) at insert time so
+	// Labels() needs no per-call sort.
 	labels []int32
-	props  map[int32]graph.Value
-	out    []halfEdge
-	in     []halfEdge
+	// props is kept ordered by key name at insert time.
+	props []prop
+	out   []halfEdge
+	in    []halfEdge
 }
 
 // Store is an in-memory property graph. The zero value is not usable; call
@@ -41,7 +50,10 @@ type Store struct {
 	byLabel map[int32][]storage.VID
 }
 
-var _ storage.Builder = (*Store)(nil)
+var (
+	_ storage.Builder   = (*Store)(nil)
+	_ storage.FastGraph = (*Store)(nil)
+)
 
 // New returns an empty in-memory store.
 func New() *Store {
@@ -82,12 +94,20 @@ func (s *Store) AddLabel(v storage.VID, label string) error {
 	}
 	id := intern(label, s.labelIDs, &s.labels)
 	vx := &s.vertices[v]
-	for _, l := range vx.labels {
+	// Insert in label-name order so Labels() never has to sort.
+	at := len(vx.labels)
+	for i, l := range vx.labels {
 		if l == id {
 			return nil
 		}
+		if s.labels[l] > label {
+			at = i
+			break
+		}
 	}
-	vx.labels = append(vx.labels, id)
+	vx.labels = append(vx.labels, 0)
+	copy(vx.labels[at+1:], vx.labels[at:])
+	vx.labels[at] = id
 	s.byLabel[id] = append(s.byLabel[id], v)
 	return nil
 }
@@ -99,10 +119,21 @@ func (s *Store) SetProp(v storage.VID, key string, val graph.Value) error {
 	}
 	id := intern(key, s.keyIDs, &s.keys)
 	vx := &s.vertices[v]
-	if vx.props == nil {
-		vx.props = map[int32]graph.Value{}
+	// Insert in key-name order so PropKeys() never has to sort.
+	at := len(vx.props)
+	for i, p := range vx.props {
+		if p.key == id {
+			vx.props[i].val = val
+			return nil
+		}
+		if s.keys[p.key] > key {
+			at = i
+			break
+		}
 	}
-	vx.props[id] = val
+	vx.props = append(vx.props, prop{})
+	copy(vx.props[at+1:], vx.props[at:])
+	vx.props[at] = prop{key: id, val: val}
 	return nil
 }
 
@@ -170,22 +201,15 @@ func (s *Store) ForEachVertex(label string, fn func(storage.VID) bool) {
 
 // HasLabel reports whether the vertex carries the label.
 func (s *Store) HasLabel(v storage.VID, label string) bool {
-	if s.check(v) != nil {
-		return false
-	}
 	id, ok := s.labelIDs[label]
 	if !ok {
 		return false
 	}
-	for _, l := range s.vertices[v].labels {
-		if l == id {
-			return true
-		}
-	}
-	return false
+	return s.HasLabelID(v, storage.SymbolID(id))
 }
 
-// Labels returns the labels of the vertex, sorted.
+// Labels returns the labels of the vertex in lexicographic order (the
+// per-vertex label list is maintained in name order at insert time).
 func (s *Store) Labels(v storage.VID) []string {
 	if s.check(v) != nil {
 		return nil
@@ -194,33 +218,29 @@ func (s *Store) Labels(v storage.VID) []string {
 	for _, l := range s.vertices[v].labels {
 		out = append(out, s.labels[l])
 	}
-	sort.Strings(out)
 	return out
 }
 
 // Prop returns the value of a vertex property.
 func (s *Store) Prop(v storage.VID, key string) (graph.Value, bool) {
-	if s.check(v) != nil {
-		return graph.Null, false
-	}
 	id, ok := s.keyIDs[key]
 	if !ok {
 		return graph.Null, false
 	}
-	val, ok := s.vertices[v].props[id]
-	return val, ok
+	return s.PropID(v, storage.SymbolID(id))
 }
 
-// PropKeys returns the property keys present on the vertex, sorted.
+// PropKeys returns the property keys present on the vertex in
+// lexicographic order (the per-vertex property list is maintained in key
+// order at insert time).
 func (s *Store) PropKeys(v storage.VID) []string {
 	if s.check(v) != nil {
 		return nil
 	}
 	out := make([]string, 0, len(s.vertices[v].props))
-	for id := range s.vertices[v].props {
-		out = append(out, s.keys[id])
+	for _, p := range s.vertices[v].props {
+		out = append(out, s.keys[p.key])
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -235,23 +255,36 @@ func (s *Store) ForEachIn(v storage.VID, etype string, fn func(storage.EID, stor
 }
 
 func (s *Store) forEach(v storage.VID, etype string, out bool, fn func(storage.EID, storage.VID) bool) {
-	if s.check(v) != nil {
-		return
-	}
-	var want int32 = -1
+	want := storage.AnySymbol
 	if etype != "" {
 		id, ok := s.typeIDs[etype]
 		if !ok {
 			return
 		}
-		want = id
+		want = storage.SymbolID(id)
+	}
+	s.forEachID(v, want, out, fn)
+}
+
+func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn func(storage.EID, storage.VID) bool) {
+	if s.check(v) != nil || etype == storage.NoSymbol {
+		return
 	}
 	list := s.vertices[v].in
 	if out {
 		list = s.vertices[v].out
 	}
+	if etype == storage.AnySymbol {
+		for _, e := range list {
+			if !fn(e.id, e.other) {
+				return
+			}
+		}
+		return
+	}
+	want := int32(etype)
 	for _, e := range list {
-		if want >= 0 && e.etype != want {
+		if e.etype != want {
 			continue
 		}
 		if !fn(e.id, e.other) {
@@ -262,10 +295,126 @@ func (s *Store) forEach(v storage.VID, etype string, out bool, fn func(storage.E
 
 // Degree returns the number of out- or in-edges of the given type.
 func (s *Store) Degree(v storage.VID, etype string, out bool) int {
+	want := storage.AnySymbol
+	if etype != "" {
+		id, ok := s.typeIDs[etype]
+		if !ok {
+			return 0
+		}
+		want = storage.SymbolID(id)
+	}
+	return s.DegreeID(v, want, out)
+}
+
+// ---- storage.FastGraph ----
+
+// LabelID resolves a vertex label to its interned ID.
+func (s *Store) LabelID(label string) storage.SymbolID { return resolve(label, s.labelIDs) }
+
+// TypeID resolves an edge type to its interned ID.
+func (s *Store) TypeID(etype string) storage.SymbolID { return resolve(etype, s.typeIDs) }
+
+// KeyID resolves a property key to its interned ID.
+func (s *Store) KeyID(key string) storage.SymbolID { return resolve(key, s.keyIDs) }
+
+func resolve(name string, ids map[string]int32) storage.SymbolID {
+	if name == "" {
+		return storage.AnySymbol
+	}
+	if id, ok := ids[name]; ok {
+		return storage.SymbolID(id)
+	}
+	return storage.NoSymbol
+}
+
+// CountLabelID is CountLabel with a resolved label.
+func (s *Store) CountLabelID(label storage.SymbolID) int {
+	if label == storage.AnySymbol {
+		return len(s.vertices)
+	}
+	if label < 0 {
+		return 0
+	}
+	return len(s.byLabel[int32(label)])
+}
+
+// ForEachVertexID is ForEachVertex with a resolved label.
+func (s *Store) ForEachVertexID(label storage.SymbolID, fn func(storage.VID) bool) {
+	if label == storage.AnySymbol {
+		for i := range s.vertices {
+			if !fn(storage.VID(i)) {
+				return
+			}
+		}
+		return
+	}
+	if label < 0 {
+		return
+	}
+	for _, v := range s.byLabel[int32(label)] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// HasLabelID is HasLabel with a resolved label.
+func (s *Store) HasLabelID(v storage.VID, label storage.SymbolID) bool {
+	if label < 0 || s.check(v) != nil {
+		return false
+	}
+	want := int32(label)
+	for _, l := range s.vertices[v].labels {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+// PropID is Prop with a resolved key.
+func (s *Store) PropID(v storage.VID, key storage.SymbolID) (graph.Value, bool) {
+	if key < 0 || s.check(v) != nil {
+		return graph.Null, false
+	}
+	want := int32(key)
+	for i := range s.vertices[v].props {
+		if s.vertices[v].props[i].key == want {
+			return s.vertices[v].props[i].val, true
+		}
+	}
+	return graph.Null, false
+}
+
+// ForEachOutID is ForEachOut with a resolved edge type.
+func (s *Store) ForEachOutID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
+	s.forEachID(v, etype, true, fn)
+}
+
+// ForEachInID is ForEachIn with a resolved edge type.
+func (s *Store) ForEachInID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
+	s.forEachID(v, etype, false, fn)
+}
+
+// DegreeID is Degree with a resolved edge type. The untyped degree is the
+// adjacency-list length, no iteration needed.
+func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
+	if s.check(v) != nil || etype == storage.NoSymbol {
+		return 0
+	}
+	list := s.vertices[v].in
+	if out {
+		list = s.vertices[v].out
+	}
+	if etype == storage.AnySymbol {
+		return len(list)
+	}
+	want := int32(etype)
 	n := 0
-	s.forEach(v, etype, out, func(storage.EID, storage.VID) bool {
-		n++
-		return true
-	})
+	for _, e := range list {
+		if e.etype == want {
+			n++
+		}
+	}
 	return n
 }

@@ -13,6 +13,26 @@ type VID int64
 // EID identifies an edge within a store.
 type EID int64
 
+// SymbolID identifies an interned label, edge type, or property key within
+// a store. Valid IDs are small non-negative integers assigned at build
+// time; symbols never change once the store is built (the Builder contract
+// requires stores to be fully built before being queried), so an ID
+// resolved once — e.g. by query.Prepare — stays valid for the lifetime of
+// the store.
+type SymbolID int32
+
+const (
+	// NoSymbol is returned when a string was never interned by the store.
+	// Every ID-based operation treats NoSymbol as matching nothing:
+	// HasLabelID and PropID report absence, CountLabelID returns 0, and
+	// the ForEach*ID iterators yield no elements.
+	NoSymbol SymbolID = -1
+	// AnySymbol is the ID-space analogue of the empty string in the
+	// string API: it matches every edge type in ForEachOutID/ForEachInID
+	// and every vertex in ForEachVertexID.
+	AnySymbol SymbolID = -2
+)
+
 // Graph is the read interface the query executor runs against.
 //
 // Implementations are not required to be safe for concurrent use; the
@@ -30,11 +50,12 @@ type Graph interface {
 	ForEachVertex(label string, fn func(VID) bool)
 	// HasLabel reports whether the vertex carries the label.
 	HasLabel(v VID, label string) bool
-	// Labels returns the labels of the vertex.
+	// Labels returns the labels of the vertex in lexicographic order.
 	Labels(v VID) []string
 	// Prop returns the value of the vertex property, if present.
 	Prop(v VID, key string) (graph.Value, bool)
-	// PropKeys returns the property keys present on the vertex.
+	// PropKeys returns the property keys present on the vertex in
+	// lexicographic order.
 	PropKeys(v VID) []string
 	// ForEachOut calls fn for every out-edge of v with the given edge type
 	// until fn returns false. An empty type matches any edge type.
@@ -43,6 +64,60 @@ type Graph interface {
 	ForEachIn(v VID, etype string, fn func(e EID, src VID) bool)
 	// Degree returns the number of out- (or in-) edges of the given type.
 	Degree(v VID, etype string, out bool) int
+}
+
+// SymbolTable resolves label, edge-type, and property-key strings to the
+// store's interned IDs. Unknown strings resolve to NoSymbol; the empty
+// string resolves to AnySymbol, mirroring its wildcard meaning in the
+// string API.
+type SymbolTable interface {
+	// LabelID resolves a vertex label.
+	LabelID(label string) SymbolID
+	// TypeID resolves an edge type.
+	TypeID(etype string) SymbolID
+	// KeyID resolves a property key.
+	KeyID(key string) SymbolID
+}
+
+// FastGraph is the interned-symbol fast path of Graph: each method mirrors
+// a string-keyed Graph method but takes pre-resolved SymbolIDs, letting a
+// compiled query plan skip per-call string hashing entirely. Both built-in
+// backends implement it natively; Fast adapts any other Graph.
+//
+// Semantics match the string API exactly: for any label l,
+// HasLabelID(v, LabelID(l)) == HasLabel(v, l), and likewise for the other
+// pairs. NoSymbol matches nothing and AnySymbol matches everything, with
+// one deliberate extension over the string API: CountLabelID(AnySymbol)
+// returns NumVertices() — the size of the scan ForEachVertexID(AnySymbol)
+// performs — whereas CountLabel("") returns 0.
+type FastGraph interface {
+	Graph
+	SymbolTable
+	// CountLabelID is CountLabel with a resolved label.
+	CountLabelID(label SymbolID) int
+	// ForEachVertexID is ForEachVertex with a resolved label.
+	ForEachVertexID(label SymbolID, fn func(VID) bool)
+	// HasLabelID is HasLabel with a resolved label.
+	HasLabelID(v VID, label SymbolID) bool
+	// PropID is Prop with a resolved key.
+	PropID(v VID, key SymbolID) (graph.Value, bool)
+	// ForEachOutID is ForEachOut with a resolved edge type.
+	ForEachOutID(v VID, etype SymbolID, fn func(e EID, dst VID) bool)
+	// ForEachInID is ForEachIn with a resolved edge type.
+	ForEachInID(v VID, etype SymbolID, fn func(e EID, src VID) bool)
+	// DegreeID is Degree with a resolved edge type.
+	DegreeID(v VID, etype SymbolID, out bool) int
+}
+
+// Fast returns g's native fast path when it has one, or wraps g in a
+// generic adapter that maintains its own symbol table and forwards to the
+// string API. The adapter preserves semantics but not the speed advantage;
+// stores should implement FastGraph natively to benefit.
+func Fast(g Graph) FastGraph {
+	if fg, ok := g.(FastGraph); ok {
+		return fg
+	}
+	return newFallback(g)
 }
 
 // Builder is the write interface used by the graph loader. Stores must be

@@ -198,6 +198,40 @@ func Run(t *testing.T, newStore Factory) {
 		}
 	})
 
+	t.Run("SymbolFastPath", func(t *testing.T) {
+		s := newStore(t)
+		buildFastPathGraph(t, s)
+		// The suite runs twice: once against the store's own fast path
+		// (or, for string-only stores, the adapter storage.Fast creates),
+		// and once forcing the generic fallback adapter by hiding any
+		// native FastGraph implementation. Both must agree with the
+		// string API on every operation.
+		t.Run("Native", func(t *testing.T) {
+			checkFastEquivalence(t, s, storage.Fast(s))
+		})
+		t.Run("Fallback", func(t *testing.T) {
+			checkFastEquivalence(t, s, storage.Fast(stringOnly{s}))
+		})
+		if fg, ok := storage.Builder(s).(storage.FastGraph); ok {
+			// Native stores resolve unknown symbols to NoSymbol and the
+			// empty string to AnySymbol.
+			if got := fg.LabelID("NoSuchLabel"); got != storage.NoSymbol {
+				t.Errorf("LabelID(unknown) = %d, want NoSymbol", got)
+			}
+			if got := fg.TypeID("noSuchType"); got != storage.NoSymbol {
+				t.Errorf("TypeID(unknown) = %d, want NoSymbol", got)
+			}
+			if got := fg.KeyID("noSuchKey"); got != storage.NoSymbol {
+				t.Errorf("KeyID(unknown) = %d, want NoSymbol", got)
+			}
+			for _, id := range []storage.SymbolID{fg.LabelID(""), fg.TypeID(""), fg.KeyID("")} {
+				if id != storage.AnySymbol {
+					t.Errorf("empty-string symbol = %d, want AnySymbol", id)
+				}
+			}
+		}
+	})
+
 	t.Run("InvalidVertex", func(t *testing.T) {
 		s := newStore(t)
 		if err := s.SetProp(99, "k", graph.I(1)); err == nil {
@@ -210,6 +244,153 @@ func Run(t *testing.T, newStore Factory) {
 			t.Error("AddLabel on negative vertex succeeded")
 		}
 	})
+}
+
+// stringOnly hides a store's native fast path behind the plain Graph
+// method set so storage.Fast is forced to use the generic adapter.
+type stringOnly struct{ storage.Graph }
+
+// buildFastPathGraph populates a small graph exercising every symbol kind:
+// multiple labels per vertex, typed and parallel edges, and properties.
+func buildFastPathGraph(t *testing.T, s storage.Builder) {
+	t.Helper()
+	a := mustVertex(t, s, "Drug", "Compound")
+	b := mustVertex(t, s, "Indication")
+	c := mustVertex(t, s, "Risk")
+	if err := s.SetProp(a, "name", graph.S("Aspirin")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetProp(a, "doses", graph.I(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetProp(b, "desc", graph.S("Fever")); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][3]interface{}{{a, b, "treat"}, {a, b, "treat"}, {a, c, "cause"}, {b, c, "implies"}} {
+		if _, err := s.AddEdge(e[0].(storage.VID), e[1].(storage.VID), e[2].(string)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// checkFastEquivalence verifies that every ID-based operation of fg agrees
+// with g's string API, for known and unknown symbols alike.
+func checkFastEquivalence(t *testing.T, g storage.Graph, fg storage.FastGraph) {
+	t.Helper()
+	labels := []string{"Drug", "Compound", "Indication", "Risk", "NoSuchLabel"}
+	etypes := []string{"treat", "cause", "implies", "noSuchType", ""}
+	keys := []string{"name", "doses", "desc", "noSuchKey"}
+
+	for _, l := range labels {
+		id := fg.LabelID(l)
+		if got, want := fg.CountLabelID(id), g.CountLabel(l); got != want {
+			t.Errorf("CountLabelID(%q) = %d, want %d", l, got, want)
+		}
+		if got, want := collectScan(fg, id), collectScanStr(g, l); !reflect.DeepEqual(got, want) {
+			t.Errorf("ForEachVertexID(%q) = %v, want %v", l, got, want)
+		}
+	}
+	if got, want := collectScan(fg, storage.AnySymbol), collectScanStr(g, ""); !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEachVertexID(AnySymbol) = %v, want %v", got, want)
+	}
+	// CountLabelID(AnySymbol) is the documented extension: the size of
+	// the wildcard scan, not CountLabel("")'s 0.
+	if got := fg.CountLabelID(storage.AnySymbol); got != g.NumVertices() {
+		t.Errorf("CountLabelID(AnySymbol) = %d, want NumVertices = %d", got, g.NumVertices())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		id := storage.VID(v)
+		for _, l := range labels {
+			if got, want := fg.HasLabelID(id, fg.LabelID(l)), g.HasLabel(id, l); got != want {
+				t.Errorf("HasLabelID(%d, %q) = %v, want %v", v, l, got, want)
+			}
+		}
+		for _, k := range keys {
+			gotVal, gotOK := fg.PropID(id, fg.KeyID(k))
+			wantVal, wantOK := g.Prop(id, k)
+			if gotOK != wantOK || !gotVal.Equal(wantVal) {
+				t.Errorf("PropID(%d, %q) = (%v, %v), want (%v, %v)", v, k, gotVal, gotOK, wantVal, wantOK)
+			}
+		}
+		for _, et := range etypes {
+			tid := fg.TypeID(et)
+			for _, out := range []bool{true, false} {
+				if got, want := collectAdj(fg, id, tid, out), collectAdjStr(g, id, et, out); !reflect.DeepEqual(got, want) {
+					t.Errorf("ForEach(%d, %q, out=%v) = %v, want %v", v, et, out, got, want)
+				}
+				if got, want := fg.DegreeID(id, tid, out), g.Degree(id, et, out); got != want {
+					t.Errorf("DegreeID(%d, %q, out=%v) = %d, want %d", v, et, out, got, want)
+				}
+			}
+		}
+		// NoSymbol matches nothing, regardless of implementation.
+		if fg.HasLabelID(id, storage.NoSymbol) {
+			t.Errorf("HasLabelID(%d, NoSymbol) = true", v)
+		}
+		if _, ok := fg.PropID(id, storage.NoSymbol); ok {
+			t.Errorf("PropID(%d, NoSymbol) reported present", v)
+		}
+		if got := fg.DegreeID(id, storage.NoSymbol, true); got != 0 {
+			t.Errorf("DegreeID(%d, NoSymbol) = %d", v, got)
+		}
+	}
+	if fg.CountLabelID(storage.NoSymbol) != 0 {
+		t.Error("CountLabelID(NoSymbol) != 0")
+	}
+	fg.ForEachVertexID(storage.NoSymbol, func(storage.VID) bool {
+		t.Error("ForEachVertexID(NoSymbol) yielded a vertex")
+		return false
+	})
+	fg.ForEachOutID(0, storage.NoSymbol, func(storage.EID, storage.VID) bool {
+		t.Error("ForEachOutID(NoSymbol) yielded an edge")
+		return false
+	})
+}
+
+func collectScan(fg storage.FastGraph, label storage.SymbolID) []storage.VID {
+	out := []storage.VID{}
+	fg.ForEachVertexID(label, func(v storage.VID) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+func collectScanStr(g storage.Graph, label string) []storage.VID {
+	out := []storage.VID{}
+	g.ForEachVertex(label, func(v storage.VID) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+func collectAdj(fg storage.FastGraph, v storage.VID, etype storage.SymbolID, out bool) [][2]int64 {
+	res := [][2]int64{}
+	fn := func(e storage.EID, other storage.VID) bool {
+		res = append(res, [2]int64{int64(e), int64(other)})
+		return true
+	}
+	if out {
+		fg.ForEachOutID(v, etype, fn)
+	} else {
+		fg.ForEachInID(v, etype, fn)
+	}
+	return res
+}
+
+func collectAdjStr(g storage.Graph, v storage.VID, etype string, out bool) [][2]int64 {
+	res := [][2]int64{}
+	fn := func(e storage.EID, other storage.VID) bool {
+		res = append(res, [2]int64{int64(e), int64(other)})
+		return true
+	}
+	if out {
+		g.ForEachOut(v, etype, fn)
+	} else {
+		g.ForEachIn(v, etype, fn)
+	}
+	return res
 }
 
 func mustVertex(t *testing.T, s storage.Builder, labels ...string) storage.VID {
