@@ -212,6 +212,30 @@ func BenchmarkAblationKnapsack(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelScaling measures aggregate throughput of one shared
+// compiled plan under 1/2/4/8 concurrent readers per backend. ops/sec and
+// allocs/op per worker count are reported as custom metrics; flat
+// allocs/op across worker counts is the pooled-machine guarantee.
+func BenchmarkParallelScaling(b *testing.B) {
+	env := newBenchEnv(b, "MED")
+	for _, backend := range []bench.Backend{bench.Memstore, bench.Diskstore} {
+		b.Run(string(backend), func(b *testing.B) {
+			var pts []bench.ParallelPoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pts, err = bench.ParallelScaling(env, backend, bench.DefaultParallelGoroutines, 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, p := range pts {
+				b.ReportMetric(p.OpsPerSec, fmt.Sprintf("ops/s_%dw", p.Goroutines))
+				b.ReportMetric(p.AllocsPerOp, fmt.Sprintf("allocs/op_%dw", p.Goroutines))
+			}
+		})
+	}
+}
+
 // BenchmarkMotivating regenerates the §1 examples on the disk backend.
 func BenchmarkMotivating(b *testing.B) {
 	env := newBenchEnv(b, "MED")

@@ -6,8 +6,10 @@
 //	pgsbench -exp all
 //	pgsbench -exp fig11 -med-card 200 -fin-card 60
 //	pgsbench -exp table2
+//	pgsbench -exp parallel
 //
-// Experiments: fig8, fig9, fig10, fig11, fig12, table2, motivating, all.
+// Experiments: fig8, fig9, fig10, fig11, fig12, table2, motivating,
+// parallel, all.
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pgsbench: ")
-	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|all")
+	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|all")
 	medCard := flag.Int("med-card", 120, "MED base cardinality per concept")
 	finCard := flag.Int("fin-card", 40, "FIN base cardinality per concept")
 	seed := flag.Int64("seed", 2021, "generation seed")
@@ -140,6 +142,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatMotivating(rows))
+	}
+	if run("parallel") {
+		ran = true
+		for _, b := range backends {
+			pts, err := bench.ParallelScaling(env("MED"), b, bench.DefaultParallelGoroutines, 200)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(bench.FormatParallelTable(
+				fmt.Sprintf("Parallel readers — one shared plan, %s (MED)", b), pts))
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -7,6 +7,7 @@
 //
 //	pgsquery -dataset MED 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, size(COLLECT(i.desc))'
 //	pgsquery -dataset FIN -budget-pct 25 -localize 'MATCH (s:Person)-[:holds]->(a:Account) RETURN a.accountId'
+//	pgsquery -dataset MED -repeat 1000 -parallel 4 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name'
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -38,9 +40,13 @@ func main() {
 	localize := flag.Bool("localize", false, "also localize scalar neighbor lookups (paper's Q6 behaviour)")
 	maxRows := flag.Int("rows", 10, "result rows to print per schema")
 	repeat := flag.Int("repeat", 1, "execute each query this many times (compiled once) and report total latency")
+	parallel := flag.Int("parallel", 1, "drive the -repeat executions from this many goroutines sharing one cached plan")
 	flag.Parse()
 	if *repeat < 1 {
 		*repeat = 1
+	}
+	if *parallel < 1 {
+		*parallel = 1
 	}
 
 	if flag.NArg() != 1 {
@@ -106,34 +112,73 @@ func main() {
 		fmt.Printf("  rewrite: %s\n", n)
 	}
 	fmt.Println()
-	show(dir, parsed, "DIR", *maxRows, *repeat)
+	// One shared plan cache serves both schemas: entries are keyed by
+	// (query text, graph), so the DIR and OPT plans never collide.
+	cache := query.NewCache(0)
+	show(cache, dir, parsed, "DIR", *maxRows, *repeat, *parallel)
 	fmt.Println()
-	show(opt, rewritten, "OPT", *maxRows, *repeat)
+	show(cache, opt, rewritten, "OPT", *maxRows, *repeat, *parallel)
+	cs := cache.Stats()
+	fmt.Printf("\nplan cache: %d hits, %d misses, %d/%d plans resident\n",
+		cs.Hits, cs.Misses, cs.Size, cs.Capacity)
 }
 
-func show(g storage.Graph, q *cypher.Query, tag string, maxRows, repeat int) {
-	// Compile once, execute -repeat times: repeated executions reuse the
-	// plan's symbol resolution and binding slots.
-	plan, err := query.Prepare(g, q)
+func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxRows, repeat, parallel int) {
+	// Compile once through the shared cache, execute -repeat times from
+	// -parallel goroutines: every worker shares the same immutable plan.
+	plan, err := cache.GetParsed(g, q)
 	if err != nil {
 		log.Fatalf("%s: %v", tag, err)
 	}
+	// Per-run counters: every execution does identical work, so the
+	// printed stats describe one run regardless of -repeat.
 	var st query.Stats
-	var res *query.Result
-	start := time.Now()
-	for i := 0; i < repeat; i++ {
-		// Per-run counters: every execution does identical work, so the
-		// printed stats describe one run regardless of -repeat.
-		st = query.Stats{}
-		if res, err = plan.ExecuteWithStats(&st); err != nil {
-			log.Fatalf("%s: %v", tag, err)
-		}
+	res, err := plan.ExecuteWithStats(&st)
+	if err != nil {
+		log.Fatalf("%s: %v", tag, err)
 	}
-	elapsed := time.Since(start)
 	fmt.Printf("%s: %d rows | %d vertices scanned, %d edges traversed, %d properties read",
 		tag, len(res.Rows), st.VerticesScanned, st.EdgesTraversed, st.PropsRead)
-	if repeat > 1 {
-		fmt.Printf(" | %d runs in %v (%v/run)", repeat, elapsed, elapsed/time.Duration(repeat))
+	if repeat > 1 || parallel > 1 {
+		text := q.String()
+		var wg sync.WaitGroup
+		errs := make([]error, parallel)
+		start := time.Now()
+		for w := 0; w < parallel; w++ {
+			// Spread the -repeat executions across workers so exactly
+			// that many runs happen regardless of divisibility.
+			share := repeat / parallel
+			if w < repeat%parallel {
+				share++
+			}
+			wg.Add(1)
+			go func(w, share int) {
+				defer wg.Done()
+				for i := 0; i < share; i++ {
+					// Each request re-fetches through the cache, the way an
+					// ad-hoc serving path would; after the first miss these
+					// are all hits on the shared plan.
+					p, err := cache.Get(g, text)
+					if err == nil {
+						_, err = p.Execute()
+					}
+					if err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w, share)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				log.Fatalf("%s: %v", tag, err)
+			}
+		}
+		fmt.Printf(" | %d runs across %d goroutines in %v (%v/run, %.0f ops/sec aggregate)",
+			repeat, parallel, elapsed, elapsed/time.Duration(repeat),
+			float64(repeat)/elapsed.Seconds())
 	}
 	fmt.Println()
 	fmt.Printf("  %s\n", strings.Join(res.Columns, " | "))

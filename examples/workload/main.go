@@ -106,12 +106,15 @@ func diff(a, b map[string]bool) []string {
 }
 
 // traversals loads the OPT graph for the plan and totals edge traversals
-// of the workload's rewritten queries.
+// of the workload's rewritten queries. Sampled workloads repeat the same
+// query templates, so plans come from a query.Cache: each distinct
+// rewritten text compiles once and repeats hit the shared plan.
 func traversals(env *bench.Env, plan *optimizer.Plan, wl *workload.Workload) (int64, error) {
 	st := memstore.New()
 	if _, _, err := loader.Load(st, env.Dataset, plan.Result.Mapping); err != nil {
 		return 0, err
 	}
+	cache := query.NewCache(0)
 	var stats query.Stats
 	for _, q := range wl.Queries {
 		parsed, err := cypher.Parse(q.Text)
@@ -122,7 +125,11 @@ func traversals(env *bench.Env, plan *optimizer.Plan, wl *workload.Workload) (in
 		if err != nil {
 			return 0, err
 		}
-		if _, err := query.RunWithStats(st, rw, &stats); err != nil {
+		p, err := cache.GetParsed(st, rw)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := p.ExecuteWithStats(&stats); err != nil {
 			return 0, err
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -170,6 +171,62 @@ func TestMotivating(t *testing.T) {
 	}
 	if !strings.Contains(FormatMotivating(rows), "Example1") {
 		t.Error("motivating formatting broken")
+	}
+}
+
+func TestParallelScalingShapes(t *testing.T) {
+	env := newEnv(t, "MED")
+	for _, b := range []Backend{Memstore, Diskstore} {
+		pts, err := ParallelScaling(env, b, []int{1, 2, 4}, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if len(pts) != 3 {
+			t.Fatalf("%s: %d points", b, len(pts))
+		}
+		for i, p := range pts {
+			if p.Ops != p.Goroutines*5 {
+				t.Errorf("%s: point %d ops = %d, want %d", b, i, p.Ops, p.Goroutines*5)
+			}
+			if p.OpsPerSec <= 0 || p.TotalMs <= 0 {
+				t.Errorf("%s: point %d has non-positive throughput: %+v", b, i, p)
+			}
+		}
+		if pts[0].Speedup != 1 {
+			t.Errorf("%s: baseline speedup = %v, want 1", b, pts[0].Speedup)
+		}
+	}
+	if !strings.Contains(FormatParallelTable("par", []ParallelPoint{{Goroutines: 1, Ops: 5}}), "ops/sec") {
+		t.Error("parallel table formatting broken")
+	}
+	if _, err := ParallelScaling(env, Memstore, []int{0}, 5); err == nil {
+		t.Error("invalid goroutine count accepted")
+	}
+}
+
+// TestParallelScalingMultiCore is the throughput acceptance gate: on a
+// machine with >= 4 cores, 4 goroutines sharing one memstore plan must
+// deliver > 2x the aggregate throughput of 1 goroutine. On smaller
+// machines parallel speedup is physically unavailable, so only the
+// correctness half of the experiment is checked (by ParallelScalingShapes).
+func TestParallelScalingMultiCore(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts throughput; scaling is asserted in the non-race run")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 procs for scaling, have %d", runtime.GOMAXPROCS(0))
+	}
+	env, err := NewEnv("MED", Options{MedCard: 60, Seed: 5, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ParallelScaling(env, Memstore, []int{1, 4}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pts[1].Speedup; got <= 2 {
+		t.Errorf("4-goroutine aggregate throughput = %.2fx of serial, want > 2x\n%s",
+			got, FormatParallelTable("parallel", pts))
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; throughput assertions skip then, since instrumentation
+// overhead makes parallel speedup unreliable.
+const raceEnabled = true

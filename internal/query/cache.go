@@ -1,0 +1,144 @@
+package query
+
+import (
+	"container/list"
+
+	"sync"
+
+	"repro/internal/cypher"
+	"repro/internal/storage"
+)
+
+// Cache is a bounded, concurrency-safe cache of Prepared plans keyed by
+// (query text, graph identity). Ad-hoc callers that cannot hold on to a
+// plan themselves get compile-once behavior for free: the first Get for a
+// query compiles it, every later Get returns the shared plan, and because
+// Prepared plans are immutable the same plan can be handed to any number
+// of concurrent executors.
+//
+// Graph identity is the storage.Graph value itself, so the graph's dynamic
+// type must be comparable — true for both built-in backends and any
+// pointer-typed store. Plans for different graphs never collide even when
+// the query text matches, because symbol IDs are store-specific.
+//
+// Eviction is LRU: when the cache holds capacity plans and a new (graph,
+// text) pair arrives, the least recently used plan is dropped. Evicted
+// plans remain valid for callers already holding them.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	table    map[cacheKey]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type cacheKey struct {
+	g    storage.Graph
+	text string
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	plan *Prepared
+}
+
+// DefaultCacheCapacity bounds a Cache constructed with capacity <= 0.
+const DefaultCacheCapacity = 128
+
+// NewCache returns a plan cache holding at most capacity plans
+// (DefaultCacheCapacity if capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		table:    map[cacheKey]*list.Element{},
+	}
+}
+
+// Get returns the cached plan for src against g, parsing and compiling it
+// on first sight. Concurrent Gets for the same key may compile the query
+// more than once while the entry is cold; all of them receive a valid
+// plan, and one of the compiled duplicates wins the cache slot.
+func (c *Cache) Get(g storage.Graph, src string) (*Prepared, error) {
+	key := cacheKey{g: g, text: src}
+	if p, ok := c.lookup(key); ok {
+		return p, nil
+	}
+	q, err := cypher.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Prepare(g, q)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(key, p)
+	return p, nil
+}
+
+// GetParsed is Get for an already-parsed query, keyed by the query's
+// canonical rendering. It shares an entry with Get only when Get was
+// called with that exact canonical text; non-canonical source strings
+// (extra whitespace, unnormalized literals) key separately. Note that
+// building the key renders the AST on every call — hot paths should
+// render once and use Get.
+func (c *Cache) GetParsed(g storage.Graph, q *cypher.Query) (*Prepared, error) {
+	key := cacheKey{g: g, text: q.String()}
+	if p, ok := c.lookup(key); ok {
+		return p, nil
+	}
+	p, err := Prepare(g, q)
+	if err != nil {
+		return nil, err
+	}
+	c.insert(key, p)
+	return p, nil
+}
+
+func (c *Cache) lookup(key cacheKey) (*Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.table[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).plan, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *Cache) insert(key cacheKey, p *Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.table[key]; ok {
+		// A concurrent Get compiled the same query first; keep its plan
+		// hot and let ours be garbage.
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		victim := c.lru.Back()
+		c.lru.Remove(victim)
+		delete(c.table, victim.Value.(*cacheEntry).key)
+	}
+	c.table[key] = c.lru.PushFront(&cacheEntry{key: key, plan: p})
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits     int64
+	Misses   int64
+	Size     int // plans currently cached
+	Capacity int
+}
+
+// Stats returns hit/miss counters and current occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.lru.Len(), Capacity: c.capacity}
+}

@@ -1,0 +1,182 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cypher"
+	"repro/internal/graph"
+	"repro/internal/storage/memstore"
+)
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	mem := memstore.New()
+	buildMedGraph(t, mem)
+	c := NewCache(8)
+	const src = `MATCH (d:Drug) RETURN d.name ORDER BY d.name`
+
+	p1, err := c.Get(mem, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Get(mem, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("second Get compiled a new plan instead of hitting the cache")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+	res, err := p2.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", rowStrings(res))
+	}
+
+	// GetParsed shares the entry with the canonical text form.
+	q := cypher.MustParse(src)
+	p3, err := c.GetParsed(mem, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 && q.String() == src {
+		t.Error("GetParsed missed on the canonical text key")
+	}
+
+	if _, err := c.Get(mem, `THIS IS NOT CYPHER`); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	mem := memstore.New()
+	buildMedGraph(t, mem)
+	c := NewCache(2)
+	queries := []string{
+		`MATCH (d:Drug) RETURN d.name`,
+		`MATCH (i:Indication) RETURN i.desc`,
+		`MATCH (r:Risk) RETURN COUNT(*)`,
+	}
+	plans := make([]*Prepared, len(queries))
+	for i, src := range queries {
+		p, err := c.Get(mem, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i] = p
+	}
+	if st := c.Stats(); st.Size != 2 {
+		t.Fatalf("size after 3 inserts into capacity-2 cache = %d", st.Size)
+	}
+	// queries[0] was least recently used and must have been evicted …
+	p, err := c.Get(mem, queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == plans[0] {
+		t.Error("LRU entry survived eviction")
+	}
+	// … while the evicted plan stays independently usable.
+	if _, err := plans[0].Execute(); err != nil {
+		t.Errorf("evicted plan broken: %v", err)
+	}
+	// queries[2] was touched most recently before the re-insert and must
+	// still be cached.
+	p2, err := c.Get(mem, queries[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != plans[2] {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+func TestCacheCrossGraphIsolation(t *testing.T) {
+	g1, g2 := memstore.New(), memstore.New()
+	buildMedGraph(t, g1)
+	// g2 holds different data under the same labels, so a plan leak across
+	// graphs would produce visibly wrong rows (and wrong symbol IDs).
+	v, err := g2.AddVertex("Drug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.SetProp(v, "name", graph.S("OnlyInG2")); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache(8)
+	const src = `MATCH (d:Drug) RETURN d.name ORDER BY d.name`
+	p1, err := c.Get(g1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Get(g2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("one plan shared across two graphs")
+	}
+	if st := c.Stats(); st.Size != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want two independent entries", st)
+	}
+	r1, err := p1.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p2.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != 2 || len(r2.Rows) != 1 || r2.Rows[0][0].Str() != "OnlyInG2" {
+		t.Errorf("cross-graph rows wrong: g1=%v g2=%v", rowStrings(r1), rowStrings(r2))
+	}
+}
+
+func TestCacheConcurrentGet(t *testing.T) {
+	mem := memstore.New()
+	buildMedGraph(t, mem)
+	c := NewCache(4)
+	queries := []string{
+		`MATCH (d:Drug) RETURN d.name`,
+		`MATCH (i:Indication) RETURN i.desc`,
+		`MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, COUNT(i.desc)`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := queries[(seed+i)%len(queries)]
+				p, err := c.Get(mem, src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := p.Execute(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*50 {
+		t.Errorf("stats = %+v, want %d lookups", st, 8*50)
+	}
+	if st.Size > 3 {
+		t.Errorf("cache grew beyond the distinct query count: %+v", st)
+	}
+}

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cypher"
 	"repro/internal/graph"
@@ -16,14 +17,20 @@ import (
 // hashing, no AST walking, and no per-row map allocation.
 //
 // A Prepared is bound to the graph it was compiled for (symbol IDs are
-// store-specific) and holds reusable execution state, so it is not safe
-// for concurrent use; prepare one plan per goroutine. Executing the same
-// plan repeatedly is the intended use and is what the benchmark harness
-// does for its repetition loops.
+// store-specific) but is itself immutable once Prepare returns: all
+// mutable execution state lives in a per-call machine recycled through an
+// internal sync.Pool, so Execute is safe for any number of concurrent
+// callers sharing one plan — provided the underlying store supports
+// concurrent readers (both built-in backends do once fully built).
 type Prepared struct {
-	cols  []string
-	root  step
-	where cexpr
+	g    storage.FastGraph
+	cols []string
+
+	// moves is the compiled traversal order of every pattern; each pooled
+	// machine links its own executable step chain from it.
+	moves  []move
+	nSlots int
+	where  cexpr
 
 	// Return processing.
 	grouped    bool
@@ -36,13 +43,16 @@ type Prepared struct {
 	orderDesc []bool
 	limit     int
 
-	m machine
+	// pool recycles machines across executions. A machine is created on
+	// first use (or after a GC drained the pool) and costs one step-chain
+	// build; steady-state executions reuse it allocation-free.
+	pool sync.Pool
 }
 
-// step runs one stage of the traversal chain against the shared machine
-// state and recurses into the rest of the chain via a captured
-// continuation. The whole chain, including iterator callbacks, is built
-// once at Prepare time so execution allocates no closures.
+// step runs one stage of the traversal chain against its machine's state
+// and recurses into the rest of the chain via a captured continuation. The
+// whole chain, including iterator callbacks, is built once per machine —
+// not per execution — so the hot path allocates no closures.
 type step func() error
 
 // citem is one compiled RETURN item.
@@ -51,11 +61,17 @@ type citem struct {
 	out    cexpr
 }
 
-// machine is the mutable execution state of one Prepared plan.
+// machine is the mutable execution state of one in-flight Execute call.
+// Each machine is owned by exactly one goroutine at a time; the plan's
+// pool hands it out and takes it back around every execution.
 type machine struct {
 	g     storage.FastGraph
 	stats *Stats
 	err   error
+
+	// root is this machine's private step chain, linked once at machine
+	// construction from the plan's immutable move list.
+	root step
 
 	slots []storage.VID // variable bindings; -1 = unbound
 	used  []storage.EID // edges bound on the current path (Cypher uniqueness)
@@ -107,9 +123,7 @@ func Prepare(g storage.Graph, q *cypher.Query) (*Prepared, error) {
 			c.slot(n.Var)
 		}
 	}
-	p := &Prepared{limit: q.Limit, distinct: q.Distinct}
-	p.m.g = fg
-	p.m.slots = make([]storage.VID, len(c.order))
+	p := &Prepared{g: fg, limit: q.Limit, distinct: q.Distinct}
 	for _, ri := range q.Return {
 		p.cols = append(p.cols, ri.Name())
 	}
@@ -134,13 +148,34 @@ func Prepare(g storage.Graph, q *cypher.Query) (*Prepared, error) {
 			p.orderDesc[i] = s.Desc
 		}
 	}
-	p.m.keyScratch = make([]graph.Value, len(p.groupExprs))
-	p.m.aggVals = make([]graph.Value, len(p.aggs))
-	if p.grouped {
-		p.m.groups = map[string]*groupRow{}
+	boundSlots := map[int]bool{}
+	for _, pat := range q.Patterns {
+		p.moves = append(p.moves, c.planPattern(pat, boundSlots)...)
 	}
-	p.buildChain(c, q)
+	p.nSlots = len(c.order)
+	p.pool.New = func() any { return p.newMachine() }
 	return p, nil
+}
+
+// newMachine builds a fresh execution context sized for the plan,
+// including its private step chain. Called by the pool on first use and
+// whenever the pool is empty.
+func (p *Prepared) newMachine() *machine {
+	m := &machine{
+		g:          p.g,
+		slots:      make([]storage.VID, p.nSlots),
+		keyScratch: make([]graph.Value, len(p.groupExprs)),
+		aggVals:    make([]graph.Value, len(p.aggs)),
+	}
+	if p.grouped {
+		m.groups = map[string]*groupRow{}
+	}
+	next := p.emitStep(m)
+	for i := len(p.moves) - 1; i >= 0; i-- {
+		next = p.moveStep(m, p.moves[i], next)
+	}
+	m.root = next
+	return m
 }
 
 func nameAnonymousVars(q *cypher.Query) {
@@ -155,30 +190,42 @@ func nameAnonymousVars(q *cypher.Query) {
 	}
 }
 
-// Execute runs the plan and materializes the result.
+// Execute runs the plan and materializes the result. Safe to call from
+// many goroutines at once on the same plan.
 func (p *Prepared) Execute() (*Result, error) {
 	var st Stats
 	return p.ExecuteWithStats(&st)
 }
 
 // ExecuteWithStats runs the plan, accumulating work counters into st.
+// Safe for concurrent callers of the same plan, but each call needs its
+// own st (or external synchronization around a shared one).
 func (p *Prepared) ExecuteWithStats(st *Stats) (*Result, error) {
-	m := &p.m
+	m := p.pool.Get().(*machine)
 	m.stats = st
 	m.err = nil
 	for i := range m.slots {
 		m.slots[i] = unbound
 	}
 	m.used = m.used[:0]
-	m.rows = nil
 	if p.grouped {
 		clear(m.groups)
 		m.order = m.order[:0]
 	}
-	if err := p.root(); err != nil {
+	var res *Result
+	err := m.root()
+	if err == nil {
+		res, err = p.finish(m)
+	}
+	// The row slice was handed to the Result; drop it so the pooled
+	// machine cannot alias a caller's data.
+	m.rows = nil
+	m.stats = nil
+	p.pool.Put(m)
+	if err != nil {
 		return nil, err
 	}
-	return p.finish()
+	return res, nil
 }
 
 // ---- pattern compilation ----
@@ -228,21 +275,6 @@ func (m *machine) checkNode(n *cnode, v storage.VID) bool {
 		}
 	}
 	return true
-}
-
-// buildChain compiles every pattern into a move list, then links all moves
-// across all patterns into a single step chain ending at the row emitter.
-func (p *Prepared) buildChain(c *compiler, q *cypher.Query) {
-	boundSlots := map[int]bool{}
-	var allMoves []move
-	for _, pat := range q.Patterns {
-		allMoves = append(allMoves, c.planPattern(pat, boundSlots)...)
-	}
-	next := p.emitStep()
-	for i := len(allMoves) - 1; i >= 0; i-- {
-		next = p.moveStep(allMoves[i], next)
-	}
-	p.root = next
 }
 
 // planPattern mirrors the interpreter's planner: pick the cheapest start
@@ -337,10 +369,10 @@ func (c *compiler) node(n *cypher.NodePattern) cnode {
 	return cn
 }
 
-// moveStep builds the executable step for one move. The iterator callbacks
-// are constructed here, once, and reused across executions and rows.
-func (p *Prepared) moveStep(mv move, next step) step {
-	m := &p.m
+// moveStep builds m's executable step for one move. The iterator callbacks
+// are constructed here, once per machine, and reused across executions and
+// rows.
+func (p *Prepared) moveStep(m *machine, mv move, next step) step {
 	node := mv.node
 	switch {
 	case mv.start && mv.bound:
@@ -407,10 +439,9 @@ func (p *Prepared) moveStep(mv move, next step) step {
 
 // ---- row emission ----
 
-// emitStep builds the chain terminator: WHERE filter, then group
+// emitStep builds m's chain terminator: WHERE filter, then group
 // accumulation or direct projection.
-func (p *Prepared) emitStep() step {
-	m := &p.m
+func (p *Prepared) emitStep(m *machine) step {
 	return func() error {
 		if p.where != nil {
 			val, err := p.where(m)
@@ -422,7 +453,7 @@ func (p *Prepared) emitStep() step {
 			}
 		}
 		if p.grouped {
-			return p.accumulateGroup()
+			return p.accumulateGroup(m)
 		}
 		row := make([]graph.Value, len(p.items))
 		for i := range p.items {
@@ -437,8 +468,7 @@ func (p *Prepared) emitStep() step {
 	}
 }
 
-func (p *Prepared) accumulateGroup() error {
-	m := &p.m
+func (p *Prepared) accumulateGroup(m *machine) error {
 	m.key = m.key[:0]
 	for i, ge := range p.groupExprs {
 		v, err := ge(m)
@@ -477,8 +507,7 @@ func (p *Prepared) newGroup(keyVals []graph.Value) *groupRow {
 
 // finish builds the final result: grouped output, DISTINCT, ORDER BY,
 // LIMIT.
-func (p *Prepared) finish() (*Result, error) {
-	m := &p.m
+func (p *Prepared) finish(m *machine) (*Result, error) {
 	if p.grouped {
 		// An aggregate-only query over zero rows still yields one row
 		// (e.g. COUNT(*) = 0), per Cypher semantics.

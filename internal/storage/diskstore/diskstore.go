@@ -29,6 +29,7 @@ const (
 	vertexRecSize = 64
 	edgeRecSize   = 64
 	propRecSize   = 32
+	degRecSize    = 32
 	maxLabels     = 128
 )
 
@@ -53,9 +54,14 @@ func (o Options) withDefaults() Options {
 }
 
 // formatVersion is the on-disk record layout version. Version 2 added
-// degree counters to vertex records (bytes 41-48); older stores would
-// silently read them as zero, so reopening a mismatched store is an error.
-const formatVersion = 2
+// untyped degree counters to vertex records (bytes 41-48). Version 3 adds
+// per-type degree records (degrees.db, chained off bytes 49-56 of the
+// vertex record) so typed Degree lookups no longer walk the adjacency
+// chain. Version 2 stores remain readable: they open in a legacy mode
+// that answers typed degrees by walking the chain and keeps writing a v2
+// manifest. Version 1 and unknown versions are rejected — v1 vertex
+// records would silently read their degree counters as zero.
+const formatVersion = 3
 
 type manifest struct {
 	Version     int      `json:"version"`
@@ -65,14 +71,24 @@ type manifest struct {
 	NumVertices int64    `json:"num_vertices"`
 	NumEdges    int64    `json:"num_edges"`
 	NumProps    int64    `json:"num_props"`
+	NumDegs     int64    `json:"num_degs,omitempty"`
 	BlobSize    int64    `json:"blob_size"`
 }
 
-// Store is a disk-backed property graph. Not safe for concurrent use.
+// Store is a disk-backed property graph. Building (AddVertex, AddEdge,
+// SetProp, Flush) is single-writer, but once the store is fully built its
+// entire read surface — traversals, property and label lookups, degree
+// queries, stats — is safe for any number of concurrent reader
+// goroutines: the symbol tables and label index are immutable after
+// build, and all record access serializes inside the pager.
 type Store struct {
 	dir   string
 	pager *pager
 	opts  Options
+
+	// version is the manifest version this store was opened with; Flush
+	// preserves it so a v2 store stays a valid v2 store on disk.
+	version int
 
 	labels   []string
 	labelIDs map[string]int
@@ -84,10 +100,16 @@ type Store struct {
 	numVertices int64
 	numEdges    int64
 	numProps    int64
+	numDegs     int64
 	blobSize    int64
 
 	byLabel map[int][]storage.VID
 }
+
+// legacyDegrees reports whether this store predates per-type degree
+// records (format v2): typed degree queries then fall back to walking the
+// adjacency chain, and AddEdge does not maintain degree records.
+func (s *Store) legacyDegrees() bool { return s.version < 3 }
 
 var (
 	_ storage.Builder       = (*Store)(nil)
@@ -98,14 +120,14 @@ var (
 // Open creates (or reopens) a store in dir.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	if opts.PageSize%vertexRecSize != 0 || opts.PageSize%propRecSize != 0 {
+	if opts.PageSize%vertexRecSize != 0 || opts.PageSize%propRecSize != 0 || opts.PageSize%degRecSize != 0 {
 		return nil, fmt.Errorf("diskstore: page size %d must be a multiple of record sizes", opts.PageSize)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	var files [numFiles]*os.File
-	for i, name := range []string{"vertices.db", "edges.db", "props.db", "blobs.db"} {
+	for i, name := range []string{"vertices.db", "edges.db", "props.db", "blobs.db", "degrees.db"} {
 		f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			return nil, err
@@ -120,6 +142,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		dir:      dir,
 		pager:    pg,
 		opts:     opts,
+		version:  formatVersion,
 		labelIDs: map[string]int{},
 		typeIDs:  map[string]int{},
 		keyIDs:   map[string]int{},
@@ -143,11 +166,13 @@ func (s *Store) loadManifest() error {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return err
 	}
-	if m.Version != formatVersion {
-		return fmt.Errorf("diskstore: store format v%d is not supported (want v%d); rebuild the store", m.Version, formatVersion)
+	if m.Version != formatVersion && m.Version != 2 {
+		return fmt.Errorf("diskstore: store format v%d is not supported (want v%d or v2); rebuild the store", m.Version, formatVersion)
 	}
+	s.version = m.Version
 	s.labels, s.types, s.keys = m.Labels, m.Types, m.Keys
 	s.numVertices, s.numEdges, s.numProps, s.blobSize = m.NumVertices, m.NumEdges, m.NumProps, m.BlobSize
+	s.numDegs = m.NumDegs
 	for i, l := range s.labels {
 		s.labelIDs[l] = i
 	}
@@ -176,10 +201,10 @@ func (s *Store) Flush() error {
 		return err
 	}
 	m := manifest{
-		Version: formatVersion,
+		Version: s.version,
 		Labels:  s.labels, Types: s.types, Keys: s.keys,
 		NumVertices: s.numVertices, NumEdges: s.numEdges, NumProps: s.numProps,
-		BlobSize: s.blobSize,
+		NumDegs: s.numDegs, BlobSize: s.blobSize,
 	}
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -205,10 +230,10 @@ func (s *Store) Close() error {
 func (s *Store) DropCache() error { return s.pager.dropCache() }
 
 // Stats returns page cache counters.
-func (s *Store) Stats() storage.Stats { return s.pager.stats }
+func (s *Store) Stats() storage.Stats { return s.pager.readStats() }
 
 // ResetStats zeroes the page cache counters.
-func (s *Store) ResetStats() { s.pager.stats = storage.Stats{} }
+func (s *Store) ResetStats() { s.pager.resetStats() }
 
 // ---- record codecs ----
 
@@ -222,6 +247,10 @@ type vertexRec struct {
 	// record alone instead of walking the whole adjacency chain.
 	outDeg uint32
 	inDeg  uint32
+	// firstDeg chains per-type degree records (deg id + 1; 0 = none) so
+	// typed Degree walks one short record per distinct edge type instead
+	// of the full adjacency chain. Always 0 in legacy (v2) stores.
+	firstDeg int64
 }
 
 type edgeRec struct {
@@ -230,6 +259,18 @@ type edgeRec struct {
 	src, dst int64
 	nextOut  int64 // edge id + 1
 	nextIn   int64
+}
+
+// degRec is one vertex's degree counters for one edge type, chained per
+// vertex in type-first-seen order. Chains are short — one record per
+// distinct edge type the vertex touches — so walking them is cheap even
+// for hub vertices with huge adjacency chains.
+type degRec struct {
+	inUse  bool
+	typeID uint32
+	outDeg uint32
+	inDeg  uint32
+	next   int64 // deg id + 1
 }
 
 type propRec struct {
@@ -253,6 +294,7 @@ func (s *Store) readVertex(v storage.VID) (vertexRec, error) {
 		firstProp: int64(binary.LittleEndian.Uint64(buf[33:])),
 		outDeg:    binary.LittleEndian.Uint32(buf[41:]),
 		inDeg:     binary.LittleEndian.Uint32(buf[45:]),
+		firstDeg:  int64(binary.LittleEndian.Uint64(buf[49:])),
 	}, nil
 }
 
@@ -268,6 +310,7 @@ func (s *Store) writeVertex(v storage.VID, r vertexRec) error {
 	binary.LittleEndian.PutUint64(buf[33:], uint64(r.firstProp))
 	binary.LittleEndian.PutUint32(buf[41:], r.outDeg)
 	binary.LittleEndian.PutUint32(buf[45:], r.inDeg)
+	binary.LittleEndian.PutUint64(buf[49:], uint64(r.firstDeg))
 	return s.pager.write(fileVertices, int64(v)*vertexRecSize, buf[:])
 }
 
@@ -325,6 +368,66 @@ func (s *Store) writeProp(p int64, r propRec) error {
 	binary.LittleEndian.PutUint64(buf[14:], r.b)
 	binary.LittleEndian.PutUint64(buf[22:], uint64(r.next))
 	return s.pager.write(fileProps, p*propRecSize, buf[:])
+}
+
+func (s *Store) readDeg(d int64) (degRec, error) {
+	var buf [degRecSize]byte
+	if err := s.pager.read(fileDegrees, d*degRecSize, buf[:]); err != nil {
+		return degRec{}, err
+	}
+	return degRec{
+		inUse:  buf[0]&1 != 0,
+		typeID: binary.LittleEndian.Uint32(buf[1:]),
+		outDeg: binary.LittleEndian.Uint32(buf[5:]),
+		inDeg:  binary.LittleEndian.Uint32(buf[9:]),
+		next:   int64(binary.LittleEndian.Uint64(buf[13:])),
+	}, nil
+}
+
+func (s *Store) writeDeg(d int64, r degRec) error {
+	var buf [degRecSize]byte
+	if r.inUse {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[1:], r.typeID)
+	binary.LittleEndian.PutUint32(buf[5:], r.outDeg)
+	binary.LittleEndian.PutUint32(buf[9:], r.inDeg)
+	binary.LittleEndian.PutUint64(buf[13:], uint64(r.next))
+	return s.pager.write(fileDegrees, d*degRecSize, buf[:])
+}
+
+// bumpDeg increments the per-type degree counter reachable from rec,
+// creating (and chaining) the type's record on first sight. May update
+// rec.firstDeg; the caller writes the vertex record afterwards.
+func (s *Store) bumpDeg(rec *vertexRec, typeID uint32, out bool) error {
+	for d := rec.firstDeg; d != 0; {
+		dr, err := s.readDeg(d - 1)
+		if err != nil {
+			return err
+		}
+		if dr.typeID == typeID {
+			if out {
+				dr.outDeg++
+			} else {
+				dr.inDeg++
+			}
+			return s.writeDeg(d-1, dr)
+		}
+		d = dr.next
+	}
+	id := s.numDegs
+	s.numDegs++
+	dr := degRec{inUse: true, typeID: typeID, next: rec.firstDeg}
+	if out {
+		dr.outDeg = 1
+	} else {
+		dr.inDeg = 1
+	}
+	if err := s.writeDeg(id, dr); err != nil {
+		return err
+	}
+	rec.firstDeg = id + 1
+	return nil
 }
 
 func (s *Store) appendBlob(data []byte) (off int64, err error) {
@@ -620,6 +723,11 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 	}
 	srcRec.firstOut = int64(e) + 1
 	srcRec.outDeg++
+	if !s.legacyDegrees() {
+		if err := s.bumpDeg(&srcRec, uint32(typeID), true); err != nil {
+			return 0, err
+		}
+	}
 	if err := s.writeVertex(src, srcRec); err != nil {
 		return 0, err
 	}
@@ -630,6 +738,11 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 	er.nextIn = dstRec.firstIn
 	dstRec.firstIn = int64(e) + 1
 	dstRec.inDeg++
+	if !s.legacyDegrees() {
+		if err := s.bumpDeg(&dstRec, uint32(typeID), false); err != nil {
+			return 0, err
+		}
+	}
 	if err := s.writeVertex(dst, dstRec); err != nil {
 		return 0, err
 	}
@@ -764,9 +877,9 @@ func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn fu
 	}
 }
 
-// Degree returns the number of out- or in-edges of the given type. The
-// untyped degree is served from the vertex record's counters without
-// touching the edge file.
+// Degree returns the number of out- or in-edges of the given type. Both
+// the untyped degree (vertex-record counters) and typed degrees (per-type
+// degree records) are answered without touching the edge file.
 func (s *Store) Degree(v storage.VID, etype string, out bool) int {
 	return s.DegreeID(v, s.TypeID(etype), out)
 }
@@ -871,25 +984,44 @@ func (s *Store) ForEachInID(v storage.VID, etype storage.SymbolID, fn func(stora
 	s.forEachID(v, etype, false, fn)
 }
 
-// DegreeID is Degree with a resolved edge type.
+// DegreeID is Degree with a resolved edge type. The untyped degree comes
+// from the vertex record's counters; typed degrees walk the vertex's
+// per-type degree chain (one record per distinct edge type), except on
+// legacy v2 stores, which fall back to counting the adjacency chain.
 func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
 	if s.check(v) != nil || etype == storage.NoSymbol {
 		return 0
 	}
+	if s.legacyDegrees() && etype != storage.AnySymbol {
+		n := 0
+		s.forEachID(v, etype, out, func(storage.EID, storage.VID) bool {
+			n++
+			return true
+		})
+		return n
+	}
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return 0
+	}
 	if etype == storage.AnySymbol {
-		rec, err := s.readVertex(v)
-		if err != nil {
-			return 0
-		}
 		if out {
 			return int(rec.outDeg)
 		}
 		return int(rec.inDeg)
 	}
-	n := 0
-	s.forEachID(v, etype, out, func(storage.EID, storage.VID) bool {
-		n++
-		return true
-	})
-	return n
+	for d := rec.firstDeg; d != 0; {
+		dr, err := s.readDeg(d - 1)
+		if err != nil {
+			return 0
+		}
+		if dr.typeID == uint32(etype) {
+			if out {
+				return int(dr.outDeg)
+			}
+			return int(dr.inDeg)
+		}
+		d = dr.next
+	}
+	return 0
 }

@@ -1,6 +1,9 @@
 package diskstore
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/graph"
@@ -166,6 +169,161 @@ func TestNestedListRejected(t *testing.T) {
 func TestBadOptionsRejected(t *testing.T) {
 	if _, err := Open(t.TempDir(), Options{PageSize: 100}); err == nil {
 		t.Error("page size not divisible by record size accepted")
+	}
+}
+
+// TestTypedDegreeAvoidsAdjacencyWalk proves typed DegreeID is served from
+// the per-type degree chain: on a hub vertex with a long adjacency chain,
+// a cold typed degree lookup must read far fewer pages than the chain
+// spans.
+func TestTypedDegreeAvoidsAdjacencyWalk(t *testing.T) {
+	s := newTestStore(t, Options{PageSize: 512, CachePages: 64})
+	hub, err := s.AddVertex("Hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fan = 500
+	for i := 0; i < fan; i++ {
+		v, err := s.AddVertex("Leaf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		et := "a"
+		if i%5 == 0 {
+			et = "b"
+		}
+		if _, err := s.AddEdge(hub, v, et); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	if got := s.Degree(hub, "b", true); got != fan/5 {
+		t.Fatalf("Degree(hub, b, out) = %d, want %d", got, fan/5)
+	}
+	if got := s.Degree(hub, "a", true); got != fan-fan/5 {
+		t.Fatalf("Degree(hub, a, out) = %d, want %d", got, fan-fan/5)
+	}
+	st := s.Stats()
+	// 500 edge records at 64 B span ~63 pages at 512 B; the degree chain
+	// (2 records) plus the vertex record fit in a handful.
+	if st.PageReads > 6 {
+		t.Errorf("typed degree read %d pages cold; looks like an adjacency walk", st.PageReads)
+	}
+	// And the result still matches an actual walk.
+	n := 0
+	s.ForEachOut(hub, "b", func(storage.EID, storage.VID) bool { n++; return true })
+	if n != fan/5 {
+		t.Errorf("walk count %d disagrees with degree counter", n)
+	}
+}
+
+// rewriteManifestVersion rewrites dir's manifest to the given format
+// version, simulating a store written by an older build.
+func rewriteManifestVersion(t *testing.T, dir string, version int) {
+	t.Helper()
+	path := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = version
+	// v2 manifests never carried degree-record counts.
+	delete(m, "num_degs")
+	data, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV2StoreRemainsReadable opens a store whose manifest declares format
+// v2 (no per-type degree records): typed degrees must fall back to the
+// adjacency walk, all reads must work, and flushing must keep the store a
+// v2 store on disk.
+func TestV2StoreRemainsReadable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{PageSize: 512, CachePages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storetest.BuildRandom(s, 7, 50, 120); err != nil {
+		t.Fatal(err)
+	}
+	want := storetest.Fingerprint(s)
+	wantDeg := s.Degree(0, "r1", true)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rewriteManifestVersion(t, dir, 2)
+
+	v2, err := Open(dir, Options{PageSize: 512, CachePages: 16})
+	if err != nil {
+		t.Fatalf("v2 store rejected: %v", err)
+	}
+	if !v2.legacyDegrees() {
+		t.Error("v2 store not flagged as legacy")
+	}
+	if got := storetest.Fingerprint(v2); got != want {
+		t.Error("v2 store contents diverge")
+	}
+	if got := v2.Degree(0, "r1", true); got != wantDeg {
+		t.Errorf("v2 typed degree = %d, want %d", got, wantDeg)
+	}
+	// Edges added to a legacy store keep typed degrees correct via the
+	// fallback walk even though no degree records are maintained.
+	if _, err := v2.AddEdge(0, 1, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := v2.Degree(0, "r1", true); got != wantDeg+1 {
+		t.Errorf("v2 typed degree after AddEdge = %d, want %d", got, wantDeg+1)
+	}
+	if err := v2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closing must not silently upgrade the on-disk format.
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 2 {
+		t.Errorf("manifest version after reflush = %d, want 2", m.Version)
+	}
+	if _, err := Open(dir, Options{PageSize: 512, CachePages: 16}); err != nil {
+		t.Errorf("v2 store unreadable after reflush: %v", err)
+	}
+}
+
+func TestUnknownFormatVersionRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddVertex("N"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{1, formatVersion + 1} {
+		rewriteManifestVersion(t, dir, v)
+		if _, err := Open(dir, Options{}); err == nil {
+			t.Errorf("format v%d accepted", v)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/storage"
 )
@@ -17,6 +18,7 @@ const (
 	fileEdges
 	fileProps
 	fileBlobs
+	fileDegrees
 	numFiles
 )
 
@@ -35,12 +37,19 @@ type page struct {
 // record reads and writes go through it, so the cache size directly
 // controls how disk-bound traversals are — the knob that makes this
 // backend behave like the paper's Neo4j.
+//
+// A single mutex guards the cache structures, the page contents, and the
+// I/O counters: even a logically read-only record fetch mutates the LRU
+// list and may evict and load pages, so concurrent readers must serialize
+// here. That makes every pager operation — and therefore every Store read
+// path built on it — safe to call from multiple goroutines.
 type pager struct {
 	files    [numFiles]*os.File
 	sizes    [numFiles]int64 // logical file sizes in bytes
 	pageSize int
 	capacity int
 
+	mu    sync.Mutex
 	lru   *list.List // front = most recently used; values are *page
 	table map[pageKey]*list.Element
 
@@ -69,6 +78,7 @@ func newPager(files [numFiles]*os.File, pageSize, capacity int) (*pager, error) 
 }
 
 // fetch returns the cached page, loading and possibly evicting as needed.
+// Callers must hold p.mu.
 func (p *pager) fetch(key pageKey) (*page, error) {
 	if el, ok := p.table[key]; ok {
 		p.stats.PageHits++
@@ -127,6 +137,8 @@ func (p *pager) writePage(pg *page) error {
 // (needed for blob data); record reads never do because record sizes
 // divide the page size.
 func (p *pager) read(f fileID, off int64, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for len(buf) > 0 {
 		pageNo := off / int64(p.pageSize)
 		within := int(off % int64(p.pageSize))
@@ -143,6 +155,8 @@ func (p *pager) read(f fileID, off int64, buf []byte) error {
 
 // write copies buf to off in the file, through the cache (write-back).
 func (p *pager) write(f fileID, off int64, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for len(buf) > 0 {
 		pageNo := off / int64(p.pageSize)
 		within := int(off % int64(p.pageSize))
@@ -160,6 +174,12 @@ func (p *pager) write(f fileID, off int64, buf []byte) error {
 
 // flush writes all dirty pages back to their files.
 func (p *pager) flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *pager) flushLocked() error {
 	for el := p.lru.Front(); el != nil; el = el.Next() {
 		pg := el.Value.(*page)
 		if pg.dirty {
@@ -174,10 +194,26 @@ func (p *pager) flush() error {
 // dropCache empties the cache (flushing dirty pages first), simulating a
 // cold start without reopening the files.
 func (p *pager) dropCache() error {
-	if err := p.flush(); err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushLocked(); err != nil {
 		return err
 	}
 	p.lru.Init()
 	p.table = map[pageKey]*list.Element{}
 	return nil
+}
+
+// readStats snapshots the I/O counters.
+func (p *pager) readStats() storage.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// resetStats zeroes the I/O counters.
+func (p *pager) resetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = storage.Stats{}
 }

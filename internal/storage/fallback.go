@@ -8,8 +8,11 @@ import "repro/internal/graph"
 // map hash the wrapped store performs internally, and it lets compiled
 // query plans run unmodified against any backend.
 //
-// Like the stores it wraps, a fallback is not safe for concurrent use: the
-// symbol tables grow on first sight of each string.
+// The symbol tables grow on first sight of each string, so resolution
+// (LabelID/TypeID/KeyID) is single-threaded — query.Prepare does all of it
+// at compile time. The ID-based read methods only look symbols up, never
+// intern, so executing compiled plans concurrently is safe as long as the
+// wrapped store supports concurrent readers.
 type fallback struct {
 	Graph
 	labels symtab

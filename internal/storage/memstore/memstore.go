@@ -36,6 +36,10 @@ type vertex struct {
 
 // Store is an in-memory property graph. The zero value is not usable; call
 // New.
+//
+// Building (AddVertex, AddLabel, SetProp, AddEdge) is single-writer; once
+// built, every read method touches only data that no longer changes, so
+// the store serves any number of concurrent readers without locking.
 type Store struct {
 	vertices []vertex
 	numEdges int

@@ -35,9 +35,11 @@ const (
 
 // Graph is the read interface the query executor runs against.
 //
-// Implementations are not required to be safe for concurrent use; the
-// benchmark harness issues queries sequentially, as the paper does
-// ("executed in sequential order").
+// Implementations must be safe for concurrent readers once the store is
+// fully built (the Builder contract: build first, then query). Both
+// built-in backends satisfy this — memstore reads touch only immutable
+// data, and diskstore serializes page access internally — so one store
+// can serve any number of parallel query executors.
 type Graph interface {
 	// NumVertices returns the number of vertices.
 	NumVertices() int

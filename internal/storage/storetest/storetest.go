@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -232,6 +233,38 @@ func Run(t *testing.T, newStore Factory) {
 		}
 	})
 
+	t.Run("ParallelReaders", func(t *testing.T) {
+		// Built stores must serve concurrent readers: every goroutine
+		// sweeps the full read surface (string and fast-path APIs) and
+		// must observe exactly the state a serial sweep observed. Run
+		// under -race this also proves the read paths are data-race free.
+		s := newStore(t)
+		if _, err := BuildRandom(s, 1234, 40, 100); err != nil {
+			t.Fatal(err)
+		}
+		want := Fingerprint(s)
+		fg := storage.Fast(s)
+		wantDegrees := degreeSweep(fg)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					if got := Fingerprint(s); got != want {
+						t.Errorf("goroutine %d: concurrent fingerprint diverged", g)
+						return
+					}
+					if got := degreeSweep(fg); !reflect.DeepEqual(got, wantDegrees) {
+						t.Errorf("goroutine %d: concurrent degree sweep diverged", g)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+
 	t.Run("InvalidVertex", func(t *testing.T) {
 		s := newStore(t)
 		if err := s.SetProp(99, "k", graph.I(1)); err == nil {
@@ -391,6 +424,19 @@ func collectAdjStr(g storage.Graph, v storage.VID, etype string, out bool) [][2]
 		g.ForEachIn(v, etype, fn)
 	}
 	return res
+}
+
+// degreeSweep collects typed and untyped degrees of every vertex through
+// the fast path, using the BuildRandom vocabulary.
+func degreeSweep(fg storage.FastGraph) []int {
+	var out []int
+	types := []storage.SymbolID{fg.TypeID("r1"), fg.TypeID("r2"), fg.TypeID("r3"), storage.AnySymbol}
+	for v := 0; v < fg.NumVertices(); v++ {
+		for _, tid := range types {
+			out = append(out, fg.DegreeID(storage.VID(v), tid, true), fg.DegreeID(storage.VID(v), tid, false))
+		}
+	}
+	return out
 }
 
 func mustVertex(t *testing.T, s storage.Builder, labels ...string) storage.VID {
