@@ -215,15 +215,28 @@ func BenchmarkAblationKnapsack(b *testing.B) {
 // BenchmarkParallelScaling measures aggregate throughput of one shared
 // compiled plan under 1/2/4/8 concurrent readers per backend. ops/sec and
 // allocs/op per worker count are reported as custom metrics; flat
-// allocs/op across worker counts is the pooled-machine guarantee.
+// allocs/op across worker counts is the pooled-machine guarantee. The
+// "diskstore-tight" variant constrains the page budget to 16 pages so the
+// workload is genuinely disk-bound: its curve rising with workers is the
+// sharded-pager acceptance check (the old single pager mutex kept it
+// flat).
 func BenchmarkParallelScaling(b *testing.B) {
 	env := newBenchEnv(b, "MED")
-	for _, backend := range []bench.Backend{bench.Memstore, bench.Diskstore} {
-		b.Run(string(backend), func(b *testing.B) {
+	variants := []struct {
+		name string
+		env  *bench.Env
+		back bench.Backend
+	}{
+		{"memstore", env, bench.Memstore},
+		{"diskstore", env, bench.Diskstore},
+		{"diskstore-tight", env.WithCachePages(16), bench.Diskstore},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
 			var pts []bench.ParallelPoint
 			var err error
 			for i := 0; i < b.N; i++ {
-				pts, err = bench.ParallelScaling(env, backend, bench.DefaultParallelGoroutines, 20)
+				pts, err = bench.ParallelScaling(v.env, v.back, bench.DefaultParallelGoroutines, 20)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -232,6 +245,8 @@ func BenchmarkParallelScaling(b *testing.B) {
 				b.ReportMetric(p.OpsPerSec, fmt.Sprintf("ops/s_%dw", p.Goroutines))
 				b.ReportMetric(p.AllocsPerOp, fmt.Sprintf("allocs/op_%dw", p.Goroutines))
 			}
+			top := pts[len(pts)-1]
+			b.ReportMetric(top.Speedup, fmt.Sprintf("speedup_%dw", top.Goroutines))
 		})
 	}
 }

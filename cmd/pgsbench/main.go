@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 2021, "generation seed")
 	reps := flag.Int("reps", 3, "query repetitions per measurement")
 	cache := flag.Int("cache-pages", 64, "diskstore page cache size")
+	tight := flag.Int("tight-pages", 16, "page budget of the disk-bound parallel-scaling variant")
 	flag.Parse()
 
 	opts := bench.Options{
@@ -153,6 +154,15 @@ func main() {
 			fmt.Println(bench.FormatParallelTable(
 				fmt.Sprintf("Parallel readers — one shared plan, %s (MED)", b), pts))
 		}
+		// The disk-bound regime: a page budget far below the working set,
+		// where the paper's schema optimizations (and the sharded pager)
+		// matter most. Before the shard rewrite this curve was flat.
+		tightPts, err := bench.ParallelScaling(env("MED").WithCachePages(*tight), bench.Diskstore, bench.DefaultParallelGoroutines, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatParallelTable(
+			fmt.Sprintf("Parallel readers — one shared plan, diskstore tight cache (%d pages, MED)", *tight), tightPts))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

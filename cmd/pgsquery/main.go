@@ -119,8 +119,8 @@ func main() {
 	fmt.Println()
 	show(cache, opt, rewritten, "OPT", *maxRows, *repeat, *parallel)
 	cs := cache.Stats()
-	fmt.Printf("\nplan cache: %d hits, %d misses, %d/%d plans resident\n",
-		cs.Hits, cs.Misses, cs.Size, cs.Capacity)
+	fmt.Printf("\nplan cache: %d hits, %d misses (%d shared an in-flight compile, %d compiles), %d/%d plans resident\n",
+		cs.Hits, cs.Misses, cs.Shared, cs.Misses-cs.Shared, cs.Size, cs.Capacity)
 }
 
 func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxRows, repeat, parallel int) {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -204,6 +205,26 @@ func TestParallelScalingShapes(t *testing.T) {
 	}
 }
 
+// TestParallelScalingTightCache runs the experiment against diskstore
+// with a page budget far below the working set, so every op contends on
+// the sharded page cache (loads, evictions, latches). Correctness only;
+// scaling is asserted by TestParallelScalingDiskMultiCore.
+func TestParallelScalingTightCache(t *testing.T) {
+	env := newEnv(t, "MED").WithCachePages(8)
+	pts, err := ParallelScaling(env, Diskstore, []int{1, 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.OpsPerSec <= 0 {
+			t.Errorf("point %d has non-positive throughput: %+v", i, p)
+		}
+	}
+}
+
 // TestParallelScalingMultiCore is the throughput acceptance gate: on a
 // machine with >= 4 cores, 4 goroutines sharing one memstore plan must
 // deliver > 2x the aggregate throughput of 1 goroutine. On smaller
@@ -227,6 +248,49 @@ func TestParallelScalingMultiCore(t *testing.T) {
 	if got := pts[1].Speedup; got <= 2 {
 		t.Errorf("4-goroutine aggregate throughput = %.2fx of serial, want > 2x\n%s",
 			got, FormatParallelTable("parallel", pts))
+	}
+}
+
+// TestParallelScalingDiskMultiCore is the disk-bound half of the scaling
+// gate: with the sharded pager, concurrent readers over a tight page
+// budget must scale past 1 core (the old single pager mutex flatlined
+// this curve at ~1x). The threshold is deliberately modest — the workload
+// is eviction-heavy by construction — and, unlike the memstore gate, the
+// assertion is opt-in (PGS_DISK_SCALING_GATE=1): an eviction-heavy curve
+// on a noisy shared runner is too timing-sensitive to fail the default
+// `go test ./...` on machines we don't control. Without the variable the
+// test still runs the experiment and logs the curve.
+func TestParallelScalingDiskMultiCore(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts throughput; scaling is asserted in the non-race run")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 procs for scaling, have %d", runtime.GOMAXPROCS(0))
+	}
+	env, err := NewEnv("MED", Options{MedCard: 60, Seed: 5, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ParallelScaling(env.WithCachePages(16), Diskstore, []int{1, 4, 8}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Judge the best multi-worker point, not only the 8-worker one: on a
+	// noisy shared 4-core runner the over-subscribed 8-worker sample is
+	// the jitterier of the two.
+	best := 0.0
+	for _, p := range pts[1:] {
+		if p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	table := FormatParallelTable("parallel/diskstore-tight", pts)
+	if best <= 1.3 {
+		if os.Getenv("PGS_DISK_SCALING_GATE") == "" {
+			t.Logf("best multi-worker diskstore throughput = %.2fx of serial (gate threshold 1.3x; set PGS_DISK_SCALING_GATE=1 to enforce)\n%s", best, table)
+			return
+		}
+		t.Errorf("best multi-worker diskstore throughput = %.2fx of serial, want > 1.3x (pager no longer flat)\n%s", best, table)
 	}
 }
 

@@ -1,0 +1,16 @@
+// Package bench is the experiment harness: one driver per table/figure of
+// the paper's evaluation (§5), shared by cmd/pgsbench and the repository's
+// testing.B benchmarks. Each driver returns typed rows that print in the
+// same shape the paper reports.
+//
+// An Env bundles one generated dataset (MED or FIN) with the Options that
+// scale it; drivers load the dataset into a backend (memstore or
+// diskstore), run their experiment, and clean up. Beyond the paper's
+// figures, ParallelScaling measures how one shared compiled plan scales
+// across concurrent readers — the serving-oriented extension of the
+// paper's claim — optionally in the disk-bound regime via
+// Env.WithCachePages.
+//
+// Format* helpers render each row type as the text table cmd/pgsbench
+// prints.
+package bench

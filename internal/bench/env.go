@@ -1,7 +1,3 @@
-// Package bench is the experiment harness: one driver per table/figure of
-// the paper's evaluation (§5), shared by cmd/pgsbench and the repository's
-// testing.B benchmarks. Each driver returns typed rows that print in the
-// same shape the paper reports.
 package bench
 
 import (
@@ -101,6 +97,16 @@ func (e *Env) Inputs(af *ontology.AccessFrequencies, cfg core.Config) (*optimize
 // WorkloadAF generates a workload and returns its access summary.
 func (e *Env) WorkloadAF(dist workload.Distribution, n int) (*workload.Workload, error) {
 	return workload.Generate(e.Ontology, n, dist, e.Opts.Seed)
+}
+
+// WithCachePages returns a copy of the environment whose diskstore loads
+// use a page budget of n pages, sharing the already-generated dataset.
+// Used to run the same experiment at different disk-boundedness levels —
+// e.g. the parallel-scaling experiment under a deliberately tight cache.
+func (e *Env) WithCachePages(n int) *Env {
+	c := *e
+	c.Opts.CachePages = n
+	return &c
 }
 
 // Backend identifies a storage backend in results.

@@ -43,8 +43,11 @@ var DefaultParallelGoroutines = []int{1, 2, 4, 8}
 //
 // On a multi-core machine the memstore curve is the paper's serving-time
 // claim made concrete: an immutable plan over an immutable store scales
-// with readers. The diskstore curve shows the pager's single mutex as the
-// expected ceiling.
+// with readers. The diskstore curve scales too since the pager moved to a
+// sharded clock cache (readers contend only on same-shard access); run it
+// through Env.WithCachePages with a small budget to measure scaling in
+// the disk-bound regime, where the old single pager mutex used to
+// flatline the curve.
 func ParallelScaling(env *Env, b Backend, goroutines []int, opsPerGoroutine int) ([]ParallelPoint, error) {
 	if opsPerGoroutine <= 0 {
 		opsPerGoroutine = 50

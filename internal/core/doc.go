@@ -1,0 +1,18 @@
+// Package core implements the paper's primary contribution: the
+// relationship rules of §3 (union, inheritance, 1:1, 1:M, M:N), the
+// unconstrained schema generation of Algorithm 5, property graph schema
+// (PGS) generation with Cypher-style DDL output, and the mapping trace
+// that the graph loader and query rewriter consume.
+//
+// Rules are implemented as a monotone closure over a working schema graph:
+// every rule application only ever adds properties or edges (or merges
+// nodes in a union-find), so the fixpoint is unique regardless of
+// application order — which is exactly Theorem 3 of the paper, verified by
+// a property-based test.
+//
+// The package's outputs are consumed downstream in two places: the Mapping
+// drives internal/loader (instantiating data under the optimized schema)
+// and internal/rewrite (translating direct-schema queries to the optimized
+// one), keeping the optimizer, the storage layer, and the query engine
+// agreeing on what a rule application means.
+package core

@@ -2,7 +2,7 @@ package query
 
 import (
 	"container/list"
-
+	"errors"
 	"sync"
 
 	"repro/internal/cypher"
@@ -15,6 +15,12 @@ import (
 // query compiles it, every later Get returns the shared plan, and because
 // Prepared plans are immutable the same plan can be handed to any number
 // of concurrent executors.
+//
+// Cold misses are de-duplicated (singleflight): when N goroutines Get the
+// same uncached key concurrently, exactly one parses and compiles while
+// the other N-1 wait and share its plan (or its error). The Shared stat
+// counts those piggy-backed lookups, so compiles attempted is always
+// Misses - Shared.
 //
 // Graph identity is the storage.Graph value itself, so the graph's dynamic
 // type must be comparable — true for both built-in backends and any
@@ -29,8 +35,10 @@ type Cache struct {
 	capacity int
 	lru      *list.List // front = most recently used; values are *cacheEntry
 	table    map[cacheKey]*list.Element
+	inflight map[cacheKey]*flight
 	hits     int64
 	misses   int64
+	shared   int64
 }
 
 type cacheKey struct {
@@ -41,6 +49,15 @@ type cacheKey struct {
 type cacheEntry struct {
 	key  cacheKey
 	plan *Prepared
+}
+
+// flight is one in-progress compile. The leader fills plan/err and closes
+// done; followers block on done and read the results afterwards, so no
+// lock guards the two fields.
+type flight struct {
+	done chan struct{}
+	plan *Prepared
+	err  error
 }
 
 // DefaultCacheCapacity bounds a Cache constructed with capacity <= 0.
@@ -56,67 +73,89 @@ func NewCache(capacity int) *Cache {
 		capacity: capacity,
 		lru:      list.New(),
 		table:    map[cacheKey]*list.Element{},
+		inflight: map[cacheKey]*flight{},
 	}
 }
 
 // Get returns the cached plan for src against g, parsing and compiling it
-// on first sight. Concurrent Gets for the same key may compile the query
-// more than once while the entry is cold; all of them receive a valid
-// plan, and one of the compiled duplicates wins the cache slot.
+// on first sight. Concurrent Gets for a cold key compile exactly once:
+// one caller does the work, the rest share the result.
 func (c *Cache) Get(g storage.Graph, src string) (*Prepared, error) {
-	key := cacheKey{g: g, text: src}
-	if p, ok := c.lookup(key); ok {
-		return p, nil
-	}
-	q, err := cypher.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	p, err := Prepare(g, q)
-	if err != nil {
-		return nil, err
-	}
-	c.insert(key, p)
-	return p, nil
+	return c.get(cacheKey{g: g, text: src}, func() (*Prepared, error) {
+		q, err := cypher.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return Prepare(g, q)
+	})
 }
 
 // GetParsed is Get for an already-parsed query, keyed by the query's
-// canonical rendering. It shares an entry with Get only when Get was
-// called with that exact canonical text; non-canonical source strings
-// (extra whitespace, unnormalized literals) key separately. Note that
-// building the key renders the AST on every call — hot paths should
-// render once and use Get.
+// canonical rendering. It shares an entry (and in-flight compiles) with
+// Get only when Get was called with that exact canonical text;
+// non-canonical source strings (extra whitespace, unnormalized literals)
+// key separately. Note that building the key renders the AST on every
+// call — hot paths should render once and use Get.
 func (c *Cache) GetParsed(g storage.Graph, q *cypher.Query) (*Prepared, error) {
-	key := cacheKey{g: g, text: q.String()}
-	if p, ok := c.lookup(key); ok {
-		return p, nil
-	}
-	p, err := Prepare(g, q)
-	if err != nil {
-		return nil, err
-	}
-	c.insert(key, p)
-	return p, nil
+	return c.get(cacheKey{g: g, text: q.String()}, func() (*Prepared, error) {
+		return Prepare(g, q)
+	})
 }
 
-func (c *Cache) lookup(key cacheKey) (*Prepared, bool) {
+// get is the shared lookup/singleflight/insert path. compile runs with no
+// locks held, at most once per key across all concurrent callers.
+func (c *Cache) get(key cacheKey, compile func() (*Prepared, error)) (*Prepared, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.table[key]; ok {
 		c.hits++
 		c.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).plan, true
+		p := el.Value.(*cacheEntry).plan
+		c.mu.Unlock()
+		return p, nil
 	}
 	c.misses++
-	return nil, false
+	if f, ok := c.inflight[key]; ok {
+		// Another goroutine is compiling this key right now: piggy-back
+		// on its result instead of compiling again.
+		c.shared++
+		c.mu.Unlock()
+		<-f.done
+		return f.plan, f.err
+	}
+	// The sentinel error stands until compile assigns over it, so if
+	// compile panics the followers observe an error instead of a nil
+	// plan.
+	f := &flight{done: make(chan struct{}), err: errInflightAbandoned}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	// Unregister and release followers even if compile panics; a panic
+	// must not wedge the key forever (later Gets would attach to the
+	// stale flight and block).
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.insertLocked(key, f.plan)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.plan, f.err = compile()
+	return f.plan, f.err
 }
 
-func (c *Cache) insert(key cacheKey, p *Prepared) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// errInflightAbandoned is what singleflight followers see when the
+// leader's compile terminated abnormally (panicked) without producing a
+// plan or a real error.
+var errInflightAbandoned = errors.New("query: in-flight compile was abandoned")
+
+// insertLocked adds a compiled plan, evicting LRU entries over capacity.
+// Caller holds c.mu.
+func (c *Cache) insertLocked(key cacheKey, p *Prepared) {
 	if el, ok := c.table[key]; ok {
-		// A concurrent Get compiled the same query first; keep its plan
-		// hot and let ours be garbage.
+		// Shouldn't happen now that cold misses singleflight, but stay
+		// safe: keep the cached plan hot and let ours be garbage.
 		c.lru.MoveToFront(el)
 		return
 	}
@@ -130,15 +169,24 @@ func (c *Cache) insert(key cacheKey, p *Prepared) {
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
-	Hits     int64
-	Misses   int64
+	Hits int64
+	// Misses counts lookups that found no ready plan; the subset that
+	// attached to a compile already in flight is also counted in Shared,
+	// so compiles attempted = Misses - Shared.
+	Misses int64
+	// Shared counts cold lookups served by another goroutine's in-flight
+	// compile (the singleflight wins).
+	Shared   int64
 	Size     int // plans currently cached
 	Capacity int
 }
 
-// Stats returns hit/miss counters and current occupancy.
+// Stats returns hit/miss/singleflight counters and current occupancy.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.lru.Len(), Capacity: c.capacity}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Shared: c.shared,
+		Size: c.lru.Len(), Capacity: c.capacity,
+	}
 }

@@ -1,8 +1,8 @@
 // Package diskstore implements storage.Graph as a Neo4j-style record
 // store: fixed-size vertex and edge records with linked-list adjacency,
 // fixed-size property records chained off vertices, and a variable-length
-// blob file for strings and lists — all accessed through a write-back LRU
-// page cache.
+// blob file for strings and lists — all accessed through a sharded,
+// write-back page cache with clock-sweep eviction and per-page latches.
 //
 // It stands in for the paper's disk-based backend (Neo4j): every edge
 // traversal dereferences edge and vertex records that may or may not be
@@ -80,7 +80,9 @@ type manifest struct {
 // entire read surface — traversals, property and label lookups, degree
 // queries, stats — is safe for any number of concurrent reader
 // goroutines: the symbol tables and label index are immutable after
-// build, and all record access serializes inside the pager.
+// build, and record access goes through the pager's sharded page cache,
+// where readers contend only when they touch the same cache shard at the
+// same instant (see pager).
 type Store struct {
 	dir   string
 	pager *pager

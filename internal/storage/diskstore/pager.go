@@ -1,11 +1,11 @@
 package diskstore
 
 import (
-	"container/list"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -27,118 +27,285 @@ type pageKey struct {
 	page int64
 }
 
+// page is one cached page frame.
+//
+// Three independent mechanisms coordinate access to a frame:
+//
+//   - the latch (mu) guards the frame contents (data, dirty, loadErr). A
+//     loader holds the write latch across its disk read, so concurrent
+//     readers that found the frame in the table simply block on RLock
+//     until the bytes are in — page loads are de-duplicated for free.
+//   - the pin count (ref) keeps the frame resident: the clock sweep never
+//     evicts a pinned frame, so a reader can copy from the frame after
+//     releasing the shard lock. Pins are held only for the duration of one
+//     copy, never across I/O on another frame.
+//   - used is the clock-sweep reference bit, set on every hit and cleared
+//     (one second chance) as the hand passes.
 type page struct {
-	key   pageKey
-	data  []byte
-	dirty bool
+	key     pageKey
+	mu      sync.RWMutex
+	data    []byte
+	dirty   bool
+	loadErr error
+	ref     atomic.Int32
+	used    atomic.Bool
 }
 
-// pager is a write-back LRU page cache over the store's record files. All
+func (pg *page) unpin() { pg.ref.Add(-1) }
+
+// shard is one independently locked slice of the page cache: its own
+// table, its own clock ring, its own hand. A page load or eviction in one
+// shard never blocks lookups in any other shard.
+type shard struct {
+	mu    sync.Mutex
+	table map[pageKey]*page
+	clock []*page // resident frames, swept circularly by hand
+	hand  int
+}
+
+// pagerStats are the I/O counters, kept as atomics so the read hot path
+// bumps them without holding any lock and Stats() snapshots never contend
+// with the data path.
+type pagerStats struct {
+	hits, misses, reads, writes atomic.Int64
+}
+
+// pager is a write-back page cache over the store's record files. All
 // record reads and writes go through it, so the cache size directly
 // controls how disk-bound traversals are — the knob that makes this
 // backend behave like the paper's Neo4j.
 //
-// A single mutex guards the cache structures, the page contents, and the
-// I/O counters: even a logically read-only record fetch mutates the LRU
-// list and may evict and load pages, so concurrent readers must serialize
-// here. That makes every pager operation — and therefore every Store read
-// path built on it — safe to call from multiple goroutines.
+// The cache is sharded by hash of (file, page): each shard owns a fraction
+// of the page budget behind its own mutex and evicts with a clock sweep
+// (second-chance) instead of a linked LRU list. Within a shard, the shard
+// lock covers table lookup, pinning, victim selection, and dirty-victim
+// write-back; the disk read that fills a missing frame happens outside it
+// under the frame's own latch, so a page load (the read path's only I/O —
+// frames are clean while serving) stalls at most same-page requests, and
+// a dirty write-back stalls at most its own shard. Concurrent readers
+// therefore serialize only when they touch the
+// same shard at the same instant, and a cold miss in one shard never
+// stalls hits in the others — this is what lets N goroutines traverse a
+// disk-bound graph faster than one.
+//
+// Writes follow the storage.Builder contract: building is single-writer,
+// so flush and dropCache assume no concurrent mutators (concurrent readers
+// are fine at any time).
 type pager struct {
-	files    [numFiles]*os.File
-	sizes    [numFiles]int64 // logical file sizes in bytes
-	pageSize int
-	capacity int
+	files      [numFiles]*os.File
+	sizes      [numFiles]atomic.Int64 // logical file sizes in bytes
+	pageSize   int
+	capacity   int // total page budget, split across shards
+	shardCap   int // page budget per shard
+	shardShift uint
+	shards     []shard
 
-	mu    sync.Mutex
-	lru   *list.List // front = most recently used; values are *page
-	table map[pageKey]*list.Element
+	stats pagerStats
+}
 
-	stats storage.Stats
+// pagerShards picks the shard count for a page budget: up to 16 shards,
+// halved until each shard keeps at least minShardPages pages, so tiny
+// test-sized caches degenerate to a single shard instead of sharding away
+// all their capacity.
+const (
+	maxPagerShards = 16
+	minShardPages  = 4
+)
+
+func pagerShards(capacity int) int {
+	n := maxPagerShards
+	for n > 1 && capacity/n < minShardPages {
+		n >>= 1
+	}
+	return n
 }
 
 func newPager(files [numFiles]*os.File, pageSize, capacity int) (*pager, error) {
 	if pageSize <= 0 || capacity <= 0 {
 		return nil, fmt.Errorf("diskstore: invalid pager config pageSize=%d capacity=%d", pageSize, capacity)
 	}
+	n := pagerShards(capacity)
+	shift := uint(64)
+	for s := n; s > 1; s >>= 1 {
+		shift--
+	}
 	p := &pager{
-		files:    files,
 		pageSize: pageSize,
 		capacity: capacity,
-		lru:      list.New(),
-		table:    map[pageKey]*list.Element{},
+		// Floor, so the shards together never exceed the configured
+		// budget; up to n-1 pages of a non-divisible budget go unused.
+		shardCap:   max(1, capacity/n),
+		shardShift: shift,
+		shards:     make([]shard, n),
+	}
+	p.files = files
+	for i := range p.shards {
+		p.shards[i].table = map[pageKey]*page{}
 	}
 	for i, f := range files {
 		st, err := f.Stat()
 		if err != nil {
 			return nil, err
 		}
-		p.sizes[i] = st.Size()
+		p.sizes[i].Store(st.Size())
 	}
 	return p, nil
 }
 
-// fetch returns the cached page, loading and possibly evicting as needed.
-// Callers must hold p.mu.
+// shardOf maps a page key to its shard by Fibonacci hashing; the shard
+// count is a power of two, so the top bits of the product index directly.
+func (p *pager) shardOf(key pageKey) *shard {
+	h := (uint64(key.page)<<3 ^ uint64(key.file)) * 0x9E3779B97F4A7C15
+	return &p.shards[h>>p.shardShift]
+}
+
+// fetch returns the frame for key, pinned. The caller must take the
+// frame's latch (RLock to copy out, Lock to modify) and unpin when done.
 func (p *pager) fetch(key pageKey) (*page, error) {
-	if el, ok := p.table[key]; ok {
-		p.stats.PageHits++
-		p.lru.MoveToFront(el)
-		return el.Value.(*page), nil
+	sh := p.shardOf(key)
+	sh.mu.Lock()
+	if pg, ok := sh.table[key]; ok {
+		pg.ref.Add(1) // pin under the shard lock so the sweep cannot free it
+		pg.used.Store(true)
+		sh.mu.Unlock()
+		p.stats.hits.Add(1)
+		// If the frame is still loading, RLock blocks until the loader
+		// releases the write latch; loadErr is then final.
+		pg.mu.RLock()
+		err := pg.loadErr
+		pg.mu.RUnlock()
+		if err != nil {
+			pg.unpin()
+			return nil, err
+		}
+		return pg, nil
 	}
-	p.stats.PageMisses++
+	p.stats.misses.Add(1)
 	pg := &page{key: key, data: make([]byte, p.pageSize)}
-	off := key.page * int64(p.pageSize)
-	if off < p.sizes[key.file] {
-		n, err := p.files[key.file].ReadAt(pg.data, off)
-		if err != nil && err != io.EOF {
-			return nil, fmt.Errorf("diskstore: read page %v: %w", key, err)
-		}
-		for i := n; i < len(pg.data); i++ {
-			pg.data[i] = 0
-		}
-		p.stats.PageReads++
-	}
-	if err := p.evictIfFull(); err != nil {
+	pg.ref.Add(1)
+	pg.used.Store(true)
+	pg.mu.Lock() // held across the load; see page docs
+	if err := p.evictLocked(sh); err != nil {
+		pg.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
-	p.table[key] = p.lru.PushFront(pg)
+	sh.table[key] = pg
+	sh.clock = append(sh.clock, pg)
+	sh.mu.Unlock()
+
+	// The disk read happens outside the shard lock: only goroutines
+	// needing this same page wait (on the latch); the rest of the shard
+	// stays available.
+	off := key.page * int64(p.pageSize)
+	if off < p.sizes[key.file].Load() {
+		n, err := p.files[key.file].ReadAt(pg.data, off)
+		if err != nil && err != io.EOF {
+			pg.loadErr = fmt.Errorf("diskstore: read page %v: %w", key, err)
+		} else {
+			for i := n; i < len(pg.data); i++ {
+				pg.data[i] = 0
+			}
+			p.stats.reads.Add(1)
+		}
+	}
+	if pg.loadErr != nil {
+		err := pg.loadErr
+		pg.mu.Unlock()
+		// Drop the failed frame so a later fetch retries the read.
+		sh.mu.Lock()
+		if cur, ok := sh.table[key]; ok && cur == pg {
+			delete(sh.table, key)
+			sh.removeFromClock(pg)
+		}
+		sh.mu.Unlock()
+		pg.unpin()
+		return nil, err
+	}
+	pg.mu.Unlock()
 	return pg, nil
 }
 
-func (p *pager) evictIfFull() error {
-	for p.lru.Len() >= p.capacity {
-		el := p.lru.Back()
-		victim := el.Value.(*page)
-		if victim.dirty {
-			if err := p.writePage(victim); err != nil {
-				return err
-			}
+// evictLocked makes room for one more frame in the shard, writing dirty
+// victims back. Caller holds sh.mu. Pinned frames are skipped; if every
+// frame is pinned the shard temporarily overflows its budget rather than
+// deadlocking.
+func (p *pager) evictLocked(sh *shard) error {
+	attempts := 0
+	for len(sh.clock) >= p.shardCap && attempts < 2*len(sh.clock)+1 {
+		if sh.hand >= len(sh.clock) {
+			sh.hand = 0
 		}
-		p.lru.Remove(el)
-		delete(p.table, victim.key)
+		pg := sh.clock[sh.hand]
+		attempts++
+		if pg.ref.Load() > 0 {
+			sh.hand++
+			continue
+		}
+		if pg.used.Swap(false) {
+			sh.hand++ // second chance
+			continue
+		}
+		if err := p.writePage(pg); err != nil {
+			return err
+		}
+		delete(sh.table, pg.key)
+		sh.removeAt(sh.hand)
 	}
 	return nil
 }
 
+// removeAt swap-removes the ring entry at index i. Caller holds sh.mu.
+func (sh *shard) removeAt(i int) {
+	last := len(sh.clock) - 1
+	sh.clock[i] = sh.clock[last]
+	sh.clock[last] = nil
+	sh.clock = sh.clock[:last]
+}
+
+// removeFromClock drops pg from the ring. Caller holds sh.mu.
+func (sh *shard) removeFromClock(pg *page) {
+	for i, cur := range sh.clock {
+		if cur == pg {
+			sh.removeAt(i)
+			return
+		}
+	}
+}
+
+// writePage writes the frame back to its file if dirty. It takes the
+// frame latch itself; safe to call with only sh.mu held (lock order is
+// always shard → page).
 func (p *pager) writePage(pg *page) error {
+	pg.mu.Lock()
+	defer pg.mu.Unlock()
+	if !pg.dirty {
+		return nil
+	}
 	off := pg.key.page * int64(p.pageSize)
 	if _, err := p.files[pg.key.file].WriteAt(pg.data, off); err != nil {
 		return fmt.Errorf("diskstore: write page %v: %w", pg.key, err)
 	}
-	if end := off + int64(p.pageSize); end > p.sizes[pg.key.file] {
-		p.sizes[pg.key.file] = end
-	}
+	p.grow(pg.key.file, off+int64(p.pageSize))
 	pg.dirty = false
-	p.stats.PageWrites++
+	p.stats.writes.Add(1)
 	return nil
+}
+
+// grow raises the logical size of the file to at least end.
+func (p *pager) grow(f fileID, end int64) {
+	for {
+		cur := p.sizes[f].Load()
+		if end <= cur || p.sizes[f].CompareAndSwap(cur, end) {
+			return
+		}
+	}
 }
 
 // read copies n bytes at off in the file into buf. Reads may span pages
 // (needed for blob data); record reads never do because record sizes
 // divide the page size.
 func (p *pager) read(f fileID, off int64, buf []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for len(buf) > 0 {
 		pageNo := off / int64(p.pageSize)
 		within := int(off % int64(p.pageSize))
@@ -146,7 +313,10 @@ func (p *pager) read(f fileID, off int64, buf []byte) error {
 		if err != nil {
 			return err
 		}
+		pg.mu.RLock()
 		n := copy(buf, pg.data[within:])
+		pg.mu.RUnlock()
+		pg.unpin()
 		buf = buf[n:]
 		off += int64(n)
 	}
@@ -155,8 +325,6 @@ func (p *pager) read(f fileID, off int64, buf []byte) error {
 
 // write copies buf to off in the file, through the cache (write-back).
 func (p *pager) write(f fileID, off int64, buf []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for len(buf) > 0 {
 		pageNo := off / int64(p.pageSize)
 		within := int(off % int64(p.pageSize))
@@ -164,8 +332,11 @@ func (p *pager) write(f fileID, off int64, buf []byte) error {
 		if err != nil {
 			return err
 		}
+		pg.mu.Lock()
 		n := copy(pg.data[within:], buf)
 		pg.dirty = true
+		pg.mu.Unlock()
+		pg.unpin()
 		buf = buf[n:]
 		off += int64(n)
 	}
@@ -174,46 +345,65 @@ func (p *pager) write(f fileID, off int64, buf []byte) error {
 
 // flush writes all dirty pages back to their files.
 func (p *pager) flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.flushLocked()
-}
-
-func (p *pager) flushLocked() error {
-	for el := p.lru.Front(); el != nil; el = el.Next() {
-		pg := el.Value.(*page)
-		if pg.dirty {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, pg := range sh.clock {
 			if err := p.writePage(pg); err != nil {
+				sh.mu.Unlock()
 				return err
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
 // dropCache empties the cache (flushing dirty pages first), simulating a
-// cold start without reopening the files.
+// cold start without reopening the files. Like flush, it relies on the
+// single-writer build contract: concurrent readers are fine (frames they
+// hold pinned stay readable, merely orphaned), concurrent writers are not.
 func (p *pager) dropCache() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.flushLocked(); err != nil {
+	if err := p.flush(); err != nil {
 		return err
 	}
-	p.lru.Init()
-	p.table = map[pageKey]*list.Element{}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.table = map[pageKey]*page{}
+		sh.clock = nil
+		sh.hand = 0
+		sh.mu.Unlock()
+	}
 	return nil
+}
+
+// resident counts the frames currently cached across all shards.
+func (p *pager) resident() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += len(sh.clock)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // readStats snapshots the I/O counters.
 func (p *pager) readStats() storage.Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return storage.Stats{
+		PageHits:   p.stats.hits.Load(),
+		PageMisses: p.stats.misses.Load(),
+		PageReads:  p.stats.reads.Load(),
+		PageWrites: p.stats.writes.Load(),
+	}
 }
 
 // resetStats zeroes the I/O counters.
 func (p *pager) resetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = storage.Stats{}
+	p.stats.hits.Store(0)
+	p.stats.misses.Store(0)
+	p.stats.reads.Store(0)
+	p.stats.writes.Store(0)
 }

@@ -38,8 +38,9 @@ const (
 // Implementations must be safe for concurrent readers once the store is
 // fully built (the Builder contract: build first, then query). Both
 // built-in backends satisfy this — memstore reads touch only immutable
-// data, and diskstore serializes page access internally — so one store
-// can serve any number of parallel query executors.
+// data, and diskstore coordinates page access internally through a
+// sharded, latched page cache — so one store can serve any number of
+// parallel query executors.
 type Graph interface {
 	// NumVertices returns the number of vertices.
 	NumVertices() int
@@ -139,7 +140,9 @@ type Builder interface {
 }
 
 // Stats reports backend I/O counters where available; used to show that
-// optimized schemas reduce page reads on the disk backend.
+// optimized schemas reduce page reads on the disk backend. Backends keep
+// the underlying counters atomic, so snapshotting them never blocks the
+// data path.
 type Stats struct {
 	PageHits   int64
 	PageMisses int64
