@@ -251,6 +251,41 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkServeThroughput is the end-to-end traffic number: a live HTTP
+// server on a loopback port (admission control, plan cache, pooled JSON
+// encoding included) under 1 and 8 concurrent clients, on memstore and on
+// the disk-bound tight-cache diskstore. req/s and p50/p99 latency per
+// client count are reported as custom metrics.
+func BenchmarkServeThroughput(b *testing.B) {
+	env := newBenchEnv(b, "MED")
+	variants := []struct {
+		name string
+		env  *bench.Env
+		back bench.Backend
+	}{
+		{"memstore", env, bench.Memstore},
+		{"diskstore-tight", env.WithCachePages(16), bench.Diskstore},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var pts []bench.ServePoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pts, err = bench.ServeThroughput(v.env, v.back,
+					bench.ServeOptions{Clients: []int{1, 8}, RequestsPerClient: 25})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, p := range pts {
+				b.ReportMetric(p.ReqPerSec, fmt.Sprintf("req/s_%dc", p.Clients))
+				b.ReportMetric(p.P50Ms, fmt.Sprintf("p50ms_%dc", p.Clients))
+				b.ReportMetric(p.P99Ms, fmt.Sprintf("p99ms_%dc", p.Clients))
+			}
+		})
+	}
+}
+
 // BenchmarkMotivating regenerates the §1 examples on the disk backend.
 func BenchmarkMotivating(b *testing.B) {
 	env := newBenchEnv(b, "MED")

@@ -7,9 +7,10 @@
 //	pgsbench -exp fig11 -med-card 200 -fin-card 60
 //	pgsbench -exp table2
 //	pgsbench -exp parallel
+//	pgsbench -exp serve -serve-reqs 200
 //
 // Experiments: fig8, fig9, fig10, fig11, fig12, table2, motivating,
-// parallel, all.
+// parallel, serve, all.
 package main
 
 import (
@@ -26,13 +27,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pgsbench: ")
-	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|all")
+	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|serve|all")
 	medCard := flag.Int("med-card", 120, "MED base cardinality per concept")
 	finCard := flag.Int("fin-card", 40, "FIN base cardinality per concept")
 	seed := flag.Int64("seed", 2021, "generation seed")
 	reps := flag.Int("reps", 3, "query repetitions per measurement")
 	cache := flag.Int("cache-pages", 64, "diskstore page cache size")
 	tight := flag.Int("tight-pages", 16, "page budget of the disk-bound parallel-scaling variant")
+	serveReqs := flag.Int("serve-reqs", 100, "requests per client in the serve experiment")
 	flag.Parse()
 
 	opts := bench.Options{
@@ -163,6 +165,29 @@ func main() {
 		}
 		fmt.Println(bench.FormatParallelTable(
 			fmt.Sprintf("Parallel readers — one shared plan, diskstore tight cache (%d pages, MED)", *tight), tightPts))
+	}
+	if run("serve") {
+		ran = true
+		// The end-to-end traffic numbers: a live HTTP server on loopback,
+		// driven by concurrent loadgen clients, on the in-memory backend
+		// and on the deliberately disk-bound tight-cache diskstore.
+		serveOpts := bench.ServeOptions{RequestsPerClient: *serveReqs}
+		variants := []struct {
+			title string
+			env   *bench.Env
+			back  bench.Backend
+		}{
+			{"memstore (MED)", env("MED"), bench.Memstore},
+			{"diskstore (MED)", env("MED"), bench.Diskstore},
+			{fmt.Sprintf("diskstore tight cache (%d pages, MED)", *tight), env("MED").WithCachePages(*tight), bench.Diskstore},
+		}
+		for _, v := range variants {
+			pts, err := bench.ServeThroughput(v.env, v.back, serveOpts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(bench.FormatServeTable("HTTP serving throughput — "+v.title, pts))
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -7,13 +7,20 @@
 //
 //	pgsquery -dataset MED 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, size(COLLECT(i.desc))'
 //	pgsquery -dataset FIN -budget-pct 25 -localize 'MATCH (s:Person)-[:holds]->(a:Account) RETURN a.accountId'
-//	pgsquery -dataset MED -repeat 1000 -parallel 4 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name'
+//	pgsquery -dataset MED -repeat 1000 -parallel 4 -stats 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name'
+//	pgsquery -dataset MED -backend diskstore -stats 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name'
+//
+// -stats prints plan-cache effectiveness after the run (hits, misses,
+// singleflight shares, compiles) and, on the diskstore backend, each
+// store's pager I/O counters — so -parallel runs surface how well the
+// shared-plan path and the page cache actually held up.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -26,9 +33,27 @@ import (
 	"repro/internal/query"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
+	"repro/internal/storage/diskstore"
 	"repro/internal/storage/memstore"
 	"repro/internal/workload"
 )
+
+// cleanups are run before exit, normal or fatal: temp diskstore
+// directories must not outlive the process.
+var cleanups []func()
+
+func runCleanups() {
+	for _, f := range cleanups {
+		f()
+	}
+}
+
+// fatalf is log.Fatalf preceded by the registered cleanups (log.Fatalf
+// alone would os.Exit past the deferred ones).
+func fatalf(format string, v ...any) {
+	runCleanups()
+	log.Fatalf(format, v...)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,6 +66,9 @@ func main() {
 	maxRows := flag.Int("rows", 10, "result rows to print per schema")
 	repeat := flag.Int("repeat", 1, "execute each query this many times (compiled once) and report total latency")
 	parallel := flag.Int("parallel", 1, "drive the -repeat executions from this many goroutines sharing one cached plan")
+	backend := flag.String("backend", "memstore", "storage backend: memstore or diskstore")
+	cachePages := flag.Int("cache-pages", 64, "diskstore page cache size")
+	stats := flag.Bool("stats", false, "print plan-cache stats (and pager I/O on diskstore) after the run")
 	flag.Parse()
 	if *repeat < 1 {
 		*repeat = 1
@@ -98,12 +126,49 @@ func main() {
 		log.Fatal(err)
 	}
 
-	dir, opt := memstore.New(), memstore.New()
+	// One store per schema on the chosen backend; diskstore stores live in
+	// a temp dir removed on exit (fatalf runs the cleanups before exiting,
+	// since log.Fatal would skip deferred ones).
+	defer runCleanups()
+	newStore := func(tag string) storage.Builder {
+		switch *backend {
+		case "memstore":
+			return memstore.New()
+		case "diskstore":
+			d, err := os.MkdirTemp("", "pgsquery-"+tag+"-*")
+			if err != nil {
+				fatalf("%v", err)
+			}
+			st, err := diskstore.Open(d, diskstore.Options{CachePages: *cachePages})
+			if err != nil {
+				os.RemoveAll(d)
+				fatalf("%v", err)
+			}
+			cleanups = append(cleanups, func() {
+				st.Close()
+				os.RemoveAll(d)
+			})
+			return st
+		default:
+			log.Fatalf("unknown backend %q", *backend)
+			return nil
+		}
+	}
+	dir, opt := newStore("dir"), newStore("opt")
 	if _, _, err := loader.Load(dir, ds, nil); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	if _, _, err := loader.Load(opt, ds, plan.Result.Mapping); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
+	}
+	// Measure from a cold page cache, like a freshly started disk system.
+	for _, st := range []storage.Builder{dir, opt} {
+		if d, ok := st.(*diskstore.Store); ok {
+			if err := d.DropCache(); err != nil {
+				fatalf("%v", err)
+			}
+			d.ResetStats()
+		}
 	}
 
 	fmt.Printf("DIR query: %s\n", parsed)
@@ -118,9 +183,21 @@ func main() {
 	show(cache, dir, parsed, "DIR", *maxRows, *repeat, *parallel)
 	fmt.Println()
 	show(cache, opt, rewritten, "OPT", *maxRows, *repeat, *parallel)
-	cs := cache.Stats()
-	fmt.Printf("\nplan cache: %d hits, %d misses (%d shared an in-flight compile, %d compiles), %d/%d plans resident\n",
-		cs.Hits, cs.Misses, cs.Shared, cs.Misses-cs.Shared, cs.Size, cs.Capacity)
+	if *stats {
+		cs := cache.Stats()
+		fmt.Printf("\nplan cache: %d hits, %d misses (%d shared an in-flight compile, %d compiles), %d/%d plans resident\n",
+			cs.Hits, cs.Misses, cs.Shared, cs.Misses-cs.Shared, cs.Size, cs.Capacity)
+		for _, side := range []struct {
+			tag string
+			g   storage.Graph
+		}{{"DIR", dir}, {"OPT", opt}} {
+			if sr, ok := side.g.(storage.StatsReporter); ok {
+				ps := sr.Stats()
+				fmt.Printf("%s pager: %d hits, %d misses, %d page reads, %d page writes\n",
+					side.tag, ps.PageHits, ps.PageMisses, ps.PageReads, ps.PageWrites)
+			}
+		}
+	}
 }
 
 func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxRows, repeat, parallel int) {
@@ -128,14 +205,14 @@ func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxR
 	// -parallel goroutines: every worker shares the same immutable plan.
 	plan, err := cache.GetParsed(g, q)
 	if err != nil {
-		log.Fatalf("%s: %v", tag, err)
+		fatalf("%s: %v", tag, err)
 	}
 	// Per-run counters: every execution does identical work, so the
 	// printed stats describe one run regardless of -repeat.
 	var st query.Stats
 	res, err := plan.ExecuteWithStats(&st)
 	if err != nil {
-		log.Fatalf("%s: %v", tag, err)
+		fatalf("%s: %v", tag, err)
 	}
 	fmt.Printf("%s: %d rows | %d vertices scanned, %d edges traversed, %d properties read",
 		tag, len(res.Rows), st.VerticesScanned, st.EdgesTraversed, st.PropsRead)
@@ -173,7 +250,7 @@ func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxR
 		elapsed := time.Since(start)
 		for _, err := range errs {
 			if err != nil {
-				log.Fatalf("%s: %v", tag, err)
+				fatalf("%s: %v", tag, err)
 			}
 		}
 		fmt.Printf(" | %d runs across %d goroutines in %v (%v/run, %.0f ops/sec aggregate)",

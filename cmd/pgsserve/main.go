@@ -1,0 +1,176 @@
+// Command pgsserve is the network-facing query service: it generates a
+// dataset (MED or FIN), loads it into a backend under the direct or the
+// optimized schema, and serves it over HTTP with admission control, a
+// shared plan cache, per-request timeouts, and graceful shutdown.
+//
+// Usage:
+//
+//	pgsserve -dataset MED -addr 127.0.0.1:8080
+//	pgsserve -dataset FIN -backend diskstore -cache-pages 64 -optimize
+//	curl -s localhost:8080/query -d 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, COUNT(i.desc)'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/stats
+//
+// POST /query accepts raw Cypher (or {"query": "..."} with a JSON
+// content type) and answers with rows, work counters, and the executed —
+// possibly rewritten — query text. With -optimize the schema is chosen by
+// the paper's PGSG algorithm for the dataset's microbenchmark workload,
+// and every incoming query is rewritten through the mapping exactly like
+// pgsquery's OPT side.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/loader"
+	"repro/internal/optimizer"
+	"repro/internal/rewrite"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/storage/diskstore"
+	"repro/internal/storage/memstore"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgsserve: ")
+	// All the work happens in run so deferred cleanups (closing the
+	// diskstore, removing a temp data dir) execute on error paths too.
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dataset := flag.String("dataset", "MED", "dataset: MED or FIN")
+	card := flag.Int("card", 60, "base cardinality per concept")
+	seed := flag.Int64("seed", 2021, "data generation seed")
+	backend := flag.String("backend", "memstore", "storage backend: memstore or diskstore")
+	dataDir := flag.String("data-dir", "", "diskstore directory (default: a temp dir, removed on exit)")
+	cachePages := flag.Int("cache-pages", 64, "diskstore page cache size")
+	optimize := flag.Bool("optimize", false, "serve the optimized schema (PGSG over the dataset's microbenchmark workload)")
+	budgetPct := flag.Float64("budget-pct", 50, "space budget as % of Cost(NSC) when optimizing")
+	localize := flag.Bool("localize", false, "also localize scalar neighbor lookups in rewrites")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "queries executing at once")
+	maxQueued := flag.Int("max-queued", server.DefaultMaxQueued, "queries waiting for a slot before 429 shedding")
+	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body limit in bytes")
+	maxQueryLen := flag.Int("max-query-len", server.DefaultMaxQueryLen, "query text limit in bytes")
+	planCache := flag.Int("plan-cache", 0, "plan cache capacity (0 = default)")
+	drainWait := flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+	flag.Parse()
+
+	o := datagen.MED()
+	switch *dataset {
+	case "MED":
+	case "FIN":
+		o = datagen.FIN()
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	ds, err := datagen.Generate(o, datagen.Options{Seed: *seed, BaseCard: *card})
+	if err != nil {
+		return err
+	}
+
+	// The optimized schema targets the dataset's own microbenchmark
+	// workload, the paper's stand-in for "what this service is asked".
+	var mapping *core.Mapping
+	if *optimize {
+		af, err := workload.AFFromQueries(o, workload.MicrobenchmarkFor(*dataset))
+		if err != nil {
+			return err
+		}
+		in, err := optimizer.NewInputs(o, ds.Stats, af, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		total, err := in.NSCCost()
+		if err != nil {
+			return err
+		}
+		plan, err := optimizer.PGSG(in, total**budgetPct/100)
+		if err != nil {
+			return err
+		}
+		mapping = plan.Result.Mapping
+	}
+
+	var st storage.Builder
+	switch *backend {
+	case "memstore":
+		st = memstore.New()
+	case "diskstore":
+		dir := *dataDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "pgsserve-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		dsk, err := diskstore.Open(dir, diskstore.Options{CachePages: *cachePages})
+		if err != nil {
+			return err
+		}
+		defer dsk.Close()
+		st = dsk
+	default:
+		return fmt.Errorf("unknown backend %q", *backend)
+	}
+	vertices, edges, err := loader.Load(st, ds, mapping)
+	if err != nil {
+		return err
+	}
+
+	schema := "direct"
+	if mapping != nil {
+		schema = fmt.Sprintf("optimized (PGSG, %.4g%% budget)", *budgetPct)
+	}
+	log.Printf("loaded %s on %s: %d vertices, %d edges, %s schema", *dataset, *backend, vertices, edges, schema)
+
+	srv, err := server.New(server.Config{
+		Graph:          storage.Graph(st),
+		Mapping:        mapping,
+		RewriteOpts:    rewrite.Options{LocalizeScalarLookups: *localize},
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueued:      *maxQueued,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		MaxQueryLen:    *maxQueryLen,
+		PlanCacheSize:  *planCache,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s (POST /query, GET /healthz, GET /stats)", bound)
+
+	// Drain on SIGINT/SIGTERM: stop accepting, let in-flight requests
+	// finish (each bounded by -timeout), then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("shutting down, draining in-flight requests (up to %v)", *drainWait)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	log.Print("bye")
+	return nil
+}

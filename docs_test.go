@@ -62,6 +62,10 @@ func TestDocsPresentAndLinked(t *testing.T) {
 		"docs/ARCHITECTURE.md": {
 			"manifest", "v3", "degrees.db", "shard", "clock", "latch",
 			"build-then-concurrent-read", "singleflight",
+			// Serving layer: admission control, shutdown semantics, and
+			// the stats endpoint schema must stay documented.
+			"Serving layer", "pgsserve", "429", "admission", "drain",
+			"/stats", "ExecuteContext", "loadgen",
 		},
 		"docs/QUERY_LANGUAGE.md": {
 			"MATCH", "RETURN", "DISTINCT", "ORDER BY", "LIMIT",

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
+	"repro/internal/storage"
+)
+
+// ---------------------------------------------------------------------
+// End-to-end serving throughput: a live pgsserve-style HTTP server under
+// N concurrent clients.
+// ---------------------------------------------------------------------
+
+// ServePoint is one client-count position of the serving experiment: real
+// HTTP requests against a live server, so the number includes admission
+// control, JSON encoding, and the network loopback — the repo's first
+// end-to-end traffic measurement.
+type ServePoint struct {
+	Clients   int
+	Requests  int
+	OK        int
+	Shed      int // 429s from admission control
+	ReqPerSec float64
+	P50Ms     float64
+	P99Ms     float64
+	// CacheHits/CacheMisses snapshot the server's plan cache after the
+	// point ran, showing the compile-once path held under HTTP traffic.
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// DefaultServeClients is the experiment's x-axis.
+var DefaultServeClients = []int{1, 2, 4, 8}
+
+// ServeOptions tunes ServeThroughput beyond the environment defaults.
+type ServeOptions struct {
+	// Clients is the list of concurrent-client counts (default
+	// DefaultServeClients).
+	Clients []int
+	// RequestsPerClient scales each point (default 50).
+	RequestsPerClient int
+	// MaxConcurrent/MaxQueued configure the server's admission control
+	// (defaults: the server package's defaults).
+	MaxConcurrent int
+	MaxQueued     int
+}
+
+// ServeThroughput loads the environment's dataset on the backend, starts
+// a real HTTP server on a loopback port, and measures request throughput
+// and latency percentiles from N concurrent loadgen clients. Every point
+// must come back with non-empty rows and zero transport errors; shed
+// requests (429) are reported, not hidden.
+func ServeThroughput(env *Env, b Backend, opts ServeOptions) ([]ServePoint, error) {
+	clients := opts.Clients
+	if len(clients) == 0 {
+		clients = DefaultServeClients
+	}
+	if opts.RequestsPerClient <= 0 {
+		opts.RequestsPerClient = 50
+	}
+	st, cleanup, err := env.load(b, "serve", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	srv, err := server.New(server.Config{
+		Graph:         storage.Graph(st),
+		MaxConcurrent: opts.MaxConcurrent,
+		MaxQueued:     opts.MaxQueued,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	q, err := parallelQuery(env)
+	if err != nil {
+		return nil, err
+	}
+
+	var points []ServePoint
+	for _, n := range clients {
+		if n <= 0 {
+			return nil, fmt.Errorf("bench: invalid client count %d", n)
+		}
+		rep, err := loadgen.Run(loadgen.Options{
+			BaseURL:  "http://" + addr,
+			Query:    q,
+			Clients:  n,
+			Requests: n * opts.RequestsPerClient,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep.Errors > 0 {
+			return nil, fmt.Errorf("bench: %d/%d requests failed at %d clients: %s",
+				rep.Errors, rep.Requests, n, rep.FirstError)
+		}
+		if rep.RowsPerOK <= 0 {
+			return nil, fmt.Errorf("bench: server returned no rows at %d clients", n)
+		}
+		cs := srv.Cache().Stats()
+		points = append(points, ServePoint{
+			Clients:     n,
+			Requests:    rep.Requests,
+			OK:          rep.OK,
+			Shed:        rep.Shed,
+			ReqPerSec:   rep.ReqPerSec,
+			P50Ms:       float64(rep.P50.Microseconds()) / 1000,
+			P99Ms:       float64(rep.P99.Microseconds()) / 1000,
+			CacheHits:   cs.Hits,
+			CacheMisses: cs.Misses,
+		})
+	}
+	return points, nil
+}
+
+// FormatServeTable renders serving-throughput points.
+func FormatServeTable(title string, pts []ServePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%10s %8s %8s %6s %11s %10s %10s\n",
+		title, "clients", "reqs", "ok", "shed", "req/sec", "p50(ms)", "p99(ms)")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10d %8d %8d %6d %11.0f %10.3f %10.3f\n",
+			p.Clients, p.Requests, p.OK, p.Shed, p.ReqPerSec, p.P50Ms, p.P99Ms)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeThroughputShapes runs the end-to-end serving experiment small:
+// a real loopback HTTP server, 1 and 8 concurrent clients, a handful of
+// requests each. It validates the acceptance shape — non-empty rows,
+// zero failed requests, positive throughput and latency percentiles for
+// ≥8 concurrent clients — on both memstore and the tight-cache diskstore.
+// It runs under -race in CI, covering the full server/loadgen stack.
+func TestServeThroughputShapes(t *testing.T) {
+	env := newEnv(t, "MED")
+	for _, v := range []struct {
+		name string
+		env  *Env
+		back Backend
+	}{
+		{"memstore", env, Memstore},
+		{"diskstore-tight", env.WithCachePages(8), Diskstore},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			pts, err := ServeThroughput(v.env, v.back,
+				ServeOptions{Clients: []int{1, 8}, RequestsPerClient: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pts) != 2 {
+				t.Fatalf("%d points", len(pts))
+			}
+			for i, p := range pts {
+				if p.OK != p.Requests || p.Shed != 0 {
+					t.Errorf("point %d: %d/%d ok, %d shed — unsaturated run must fully succeed", i, p.OK, p.Requests, p.Shed)
+				}
+				if p.ReqPerSec <= 0 || p.P50Ms <= 0 || p.P99Ms < p.P50Ms {
+					t.Errorf("point %d has nonsense latency numbers: %+v", i, p)
+				}
+				if p.CacheHits+p.CacheMisses == 0 {
+					t.Errorf("point %d: plan cache untouched, requests bypassed the cache path", i)
+				}
+			}
+			if pts[1].Clients != 8 || pts[1].Requests != 8*5 {
+				t.Errorf("8-client point mis-sized: %+v", pts[1])
+			}
+		})
+	}
+	if !strings.Contains(FormatServeTable("serve", []ServePoint{{Clients: 1}}), "req/sec") {
+		t.Error("serve table formatting broken")
+	}
+	if _, err := ServeThroughput(env, Memstore, ServeOptions{Clients: []int{0}}); err == nil {
+		t.Error("invalid client count accepted")
+	}
+}

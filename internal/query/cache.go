@@ -58,6 +58,10 @@ type flight struct {
 	done chan struct{}
 	plan *Prepared
 	err  error
+	// purged is set (under Cache.mu) when Purge ran for the flight's graph
+	// while the compile was still in flight: the leader then hands its plan
+	// to the waiters but does not insert it into the table.
+	purged bool
 }
 
 // DefaultCacheCapacity bounds a Cache constructed with capacity <= 0.
@@ -135,7 +139,7 @@ func (c *Cache) get(key cacheKey, compile func() (*Prepared, error)) (*Prepared,
 	defer func() {
 		c.mu.Lock()
 		delete(c.inflight, key)
-		if f.err == nil {
+		if f.err == nil && !f.purged {
 			c.insertLocked(key, f.plan)
 		}
 		c.mu.Unlock()
@@ -165,6 +169,35 @@ func (c *Cache) insertLocked(key cacheKey, p *Prepared) {
 		delete(c.table, victim.Value.(*cacheEntry).key)
 	}
 	c.table[key] = c.lru.PushFront(&cacheEntry{key: key, plan: p})
+}
+
+// Purge drops every cached plan compiled against g and returns how many
+// were dropped. Compiles for g still in flight are allowed to finish —
+// their waiters get a valid plan — but their results are not inserted, so
+// after Purge returns no plan for g enters the cache from a compile that
+// began before the call. A server swapping datasets purges the outgoing
+// graph's plans instead of leaking them until LRU eviction; plans already
+// held by callers stay valid, like evicted ones.
+func (c *Cache) Purge(g storage.Graph) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.g == g {
+			c.lru.Remove(el)
+			delete(c.table, e.key)
+			n++
+		}
+	}
+	for key, f := range c.inflight {
+		if key.g == g {
+			f.purged = true
+		}
+	}
+	return n
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.

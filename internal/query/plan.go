@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -69,6 +70,14 @@ type machine struct {
 	stats *Stats
 	err   error
 
+	// Cancellation: done/ctx are set only by the Context execution
+	// variants. The traversal callbacks poll done every cancelMask+1
+	// iterations (a non-blocking channel read), so a deadline or a hung
+	// client stops a scan mid-flight instead of after it.
+	done <-chan struct{}
+	ctx  context.Context
+	tick uint
+
 	// root is this machine's private step chain, linked once at machine
 	// construction from the plan's immutable move list.
 	root step
@@ -89,6 +98,31 @@ type machine struct {
 }
 
 const unbound = storage.VID(-1)
+
+// cancelMask throttles cancellation polling: the context is checked once
+// every cancelMask+1 vertices scanned or edges traversed, keeping the
+// per-iteration overhead to one increment and one mask on the hot path.
+const cancelMask = 255
+
+// canceled polls the machine's context (if any) and, when it has been
+// canceled, records the context error and reports true so the enclosing
+// iterator unwinds.
+func (m *machine) canceled() bool {
+	if m.done == nil {
+		return false
+	}
+	m.tick++
+	if m.tick&cancelMask != 0 {
+		return false
+	}
+	select {
+	case <-m.done:
+		m.err = m.ctx.Err()
+		return true
+	default:
+		return false
+	}
+}
 
 // groupRow is the accumulated state of one group.
 type groupRow struct {
@@ -201,7 +235,35 @@ func (p *Prepared) Execute() (*Result, error) {
 // Safe for concurrent callers of the same plan, but each call needs its
 // own st (or external synchronization around a shared one).
 func (p *Prepared) ExecuteWithStats(st *Stats) (*Result, error) {
+	return p.run(p.pool.Get().(*machine), st)
+}
+
+// ExecuteContext runs the plan under a context: if ctx is canceled or its
+// deadline passes mid-execution the traversal unwinds within a bounded
+// number of iterations and the context's error is returned. Serving paths
+// use this for per-request timeouts and client-disconnect cancellation.
+func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
+	var st Stats
+	return p.ExecuteContextWithStats(ctx, &st)
+}
+
+// ExecuteContextWithStats is ExecuteContext accumulating work counters
+// into st. A context that can never be canceled (Done() == nil) costs
+// nothing extra on the hot path.
+func (p *Prepared) ExecuteContextWithStats(ctx context.Context, st *Stats) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m := p.pool.Get().(*machine)
+	m.done = ctx.Done()
+	m.ctx = ctx
+	return p.run(m, st)
+}
+
+// run drives one execution on a machine fetched from the pool and returns
+// the machine afterwards. Cancellation state (done/ctx) must be set by the
+// caller before run; it is cleared here before the machine is pooled.
+func (p *Prepared) run(m *machine, st *Stats) (*Result, error) {
 	m.stats = st
 	m.err = nil
 	for i := range m.slots {
@@ -218,9 +280,12 @@ func (p *Prepared) ExecuteWithStats(st *Stats) (*Result, error) {
 		res, err = p.finish(m)
 	}
 	// The row slice was handed to the Result; drop it so the pooled
-	// machine cannot alias a caller's data.
+	// machine cannot alias a caller's data, and drop the context so a
+	// pooled machine cannot keep a request's context alive.
 	m.rows = nil
 	m.stats = nil
+	m.done = nil
+	m.ctx = nil
 	p.pool.Put(m)
 	if err != nil {
 		return nil, err
@@ -385,6 +450,9 @@ func (p *Prepared) moveStep(m *machine, mv move, next step) step {
 	case mv.start:
 		scan := func(v storage.VID) bool {
 			m.stats.VerticesScanned++
+			if m.canceled() {
+				return false
+			}
 			if !m.checkNode(&node, v) {
 				return true
 			}
@@ -401,6 +469,9 @@ func (p *Prepared) moveStep(m *machine, mv move, next step) step {
 	default:
 		expand := func(e storage.EID, other storage.VID) bool {
 			m.stats.EdgesTraversed++
+			if m.canceled() {
+				return false
+			}
 			if m.edgeUsed(e) {
 				return true // Cypher relationship-uniqueness
 			}

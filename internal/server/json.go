@@ -1,0 +1,145 @@
+package server
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// encoder is a reusable JSON output buffer. The /query hot path rents one
+// from encPool, appends the whole response body into enc.buf with the
+// Append* helpers below (no reflection, no intermediate allocations), and
+// returns it — so steady-state request encoding is allocation-flat.
+type encoder struct {
+	buf []byte
+}
+
+// maxPooledEncoder caps the buffer size returned to the pool; a one-off
+// huge result should not pin megabytes inside it forever.
+const maxPooledEncoder = 1 << 20
+
+var encPool = sync.Pool{New: func() any { return &encoder{buf: make([]byte, 0, 4096)} }}
+
+func getEncoder() *encoder {
+	e := encPool.Get().(*encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+func putEncoder(e *encoder) {
+	if cap(e.buf) <= maxPooledEncoder {
+		encPool.Put(e)
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes, and control characters. Invalid UTF-8 bytes are replaced
+// so the output is always valid JSON.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"' || c == '\\':
+				dst = append(dst, '\\', c)
+			case c == '\n':
+				dst = append(dst, '\\', 'n')
+			case c == '\r':
+				dst = append(dst, '\\', 'r')
+			case c == '\t':
+				dst = append(dst, '\\', 't')
+			case c < 0x20:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			default:
+				dst = append(dst, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			continue
+		}
+		dst = append(dst, s[i:i+size]...)
+		i += size
+	}
+	return append(dst, '"')
+}
+
+// appendJSONValue appends a graph.Value as its natural JSON form: NULL →
+// null, STRING → string, INT/DOUBLE → number (non-finite doubles → null,
+// which JSON cannot represent), BOOLEAN → bool, LIST → array.
+func appendJSONValue(dst []byte, v graph.Value) []byte {
+	switch v.Kind() {
+	case graph.KindString:
+		return appendJSONString(dst, v.Str())
+	case graph.KindInt:
+		return strconv.AppendInt(dst, v.Int(), 10)
+	case graph.KindFloat:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return append(dst, "null"...)
+		}
+		return strconv.AppendFloat(dst, f, 'g', -1, 64)
+	case graph.KindBool:
+		return strconv.AppendBool(dst, v.Bool())
+	case graph.KindList:
+		dst = append(dst, '[')
+		for i, e := range v.List() {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONValue(dst, e)
+		}
+		return append(dst, ']')
+	default:
+		return append(dst, "null"...)
+	}
+}
+
+// appendQueryResponse renders the whole POST /query success body.
+func appendQueryResponse(dst []byte, executed string, res *query.Result, st *query.Stats, elapsedUS int64) []byte {
+	dst = append(dst, `{"query":`...)
+	dst = appendJSONString(dst, executed)
+	dst = append(dst, `,"columns":[`...)
+	for i, c := range res.Columns {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, c)
+	}
+	dst = append(dst, `],"rows":[`...)
+	for i, row := range res.Rows {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, '[')
+		for j, v := range row {
+			if j > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONValue(dst, v)
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `],"stats":{"vertices_scanned":`...)
+	dst = strconv.AppendInt(dst, st.VerticesScanned, 10)
+	dst = append(dst, `,"edges_traversed":`...)
+	dst = strconv.AppendInt(dst, st.EdgesTraversed, 10)
+	dst = append(dst, `,"props_read":`...)
+	dst = strconv.AppendInt(dst, st.PropsRead, 10)
+	dst = append(dst, `,"rows_emitted":`...)
+	dst = strconv.AppendInt(dst, st.RowsEmitted, 10)
+	dst = append(dst, `},"elapsed_us":`...)
+	dst = strconv.AppendInt(dst, elapsedUS, 10)
+	return append(dst, '}')
+}

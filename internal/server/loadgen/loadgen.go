@@ -1,0 +1,189 @@
+// Package loadgen is the traffic half of the serving benchmark: it drives
+// N concurrent HTTP clients against a running query server and reports
+// throughput and latency percentiles. The bench harness (`pgsbench -exp
+// serve`, BenchmarkServeThroughput) uses it for the repository's
+// end-to-end traffic numbers; it works against any base URL speaking the
+// server package's POST /query protocol.
+package loadgen
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Query is the Cypher text POSTed to /query on every request.
+	Query string
+	// Clients is the number of concurrent client connections (default 8).
+	Clients int
+	// Requests is the total request count, split across clients (default
+	// 50 per client).
+	Requests int
+	// Timeout bounds one request on the client side (default 30s).
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 50 * o.Clients
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// Report summarizes one load run. Latency percentiles are computed over
+// successful (2xx) requests only; shed requests are counted separately so
+// a saturated server shows up as Shed > 0, not as fake latency.
+type Report struct {
+	Clients  int
+	Requests int
+
+	OK     int // 2xx responses
+	Shed   int // 429s: the server's admission control pushed back
+	Errors int // transport errors and any other status
+
+	// RowsPerOK is the row count of the first verified response body; the
+	// harness uses it to reject runs that "succeed" with empty results.
+	RowsPerOK int
+
+	Elapsed   time.Duration
+	ReqPerSec float64 // successful requests per wall-clock second
+	P50       time.Duration
+	P90       time.Duration
+	P99       time.Duration
+	Max       time.Duration
+
+	// FirstError carries one representative failure for diagnostics.
+	FirstError string
+}
+
+// Run executes the load: opts.Clients goroutines, each with its own
+// keep-alive connection, issue opts.Requests requests in total and every
+// latency is recorded. The first response per run is fully decoded to
+// verify it carries rows; the rest are drained without parsing so the
+// measurement stays client-cheap.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.BaseURL == "" || opts.Query == "" {
+		return nil, errors.New("loadgen: BaseURL and Query are required")
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        opts.Clients,
+		MaxIdleConnsPerHost: opts.Clients,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: opts.Timeout}
+	url := strings.TrimRight(opts.BaseURL, "/") + "/query"
+
+	type workerResult struct {
+		latencies []time.Duration
+		ok        int
+		shed      int
+		errs      int
+		firstErr  string
+		rows      int
+	}
+	results := make([]workerResult, opts.Clients)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Clients; w++ {
+		share := opts.Requests / opts.Clients
+		if w < opts.Requests%opts.Clients {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			res := &results[w]
+			res.latencies = make([]time.Duration, 0, share)
+			res.rows = -1
+			for i := 0; i < share; i++ {
+				reqStart := time.Now()
+				resp, err := client.Post(url, "text/plain", strings.NewReader(opts.Query))
+				if err != nil {
+					res.errs++
+					if res.firstErr == "" {
+						res.firstErr = err.Error()
+					}
+					continue
+				}
+				if res.rows < 0 && resp.StatusCode == http.StatusOK {
+					// Verify the first success per worker actually carries
+					// rows; later responses are drained unparsed.
+					var body struct {
+						Rows []json.RawMessage `json:"rows"`
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&body); err == nil {
+						res.rows = len(body.Rows)
+					}
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat := time.Since(reqStart)
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					res.ok++
+					res.latencies = append(res.latencies, lat)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					res.shed++
+				default:
+					res.errs++
+					if res.firstErr == "" {
+						res.firstErr = fmt.Sprintf("status %d", resp.StatusCode)
+					}
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Clients: opts.Clients, Requests: opts.Requests, Elapsed: elapsed, RowsPerOK: -1}
+	var all []time.Duration
+	for i := range results {
+		r := &results[i]
+		rep.OK += r.ok
+		rep.Shed += r.shed
+		rep.Errors += r.errs
+		if rep.FirstError == "" {
+			rep.FirstError = r.firstErr
+		}
+		if rep.RowsPerOK < 0 && r.rows >= 0 {
+			rep.RowsPerOK = r.rows
+		}
+		all = append(all, r.latencies...)
+	}
+	if elapsed > 0 {
+		rep.ReqPerSec = float64(rep.OK) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		rep.P50 = percentile(all, 0.50)
+		rep.P90 = percentile(all, 0.90)
+		rep.P99 = percentile(all, 0.99)
+		rep.Max = all[len(all)-1]
+	}
+	return rep, nil
+}
+
+// percentile indexes a sorted latency slice at quantile q (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// holds observations whose microsecond latency has bit length i, i.e.
+// lies in [2^(i-1), 2^i). 40 buckets reach past 2^39 µs (~9 days), far
+// beyond any request the per-request timeout lets live.
+const histBuckets = 40
+
+// Histogram is a fixed-size log2 latency histogram safe for concurrent
+// Observe calls: every counter is atomic, so the hot path takes no locks
+// and a /stats scrape never blocks a request.
+type Histogram struct {
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := bits.Len64(uint64(us))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// Quantile returns an upper bound on the q-quantile latency (q in [0,1]):
+// the top of the bucket holding the rank-q observation. Zero when nothing
+// was observed. Concurrent Observes make the answer approximate — fine
+// for a stats endpoint, which is its only caller.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			// Upper bound of bucket i: 2^i - 1 microseconds.
+			return time.Duration((int64(1)<<i)-1) * time.Microsecond
+		}
+	}
+	return time.Duration((int64(1)<<(histBuckets-1))-1) * time.Microsecond
+}
+
+// HistogramSnapshot is the JSON shape of one endpoint's latency summary
+// in the /stats response.
+type HistogramSnapshot struct {
+	Count  int64 `json:"count"`
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P90US  int64 `json:"p90_us"`
+	P99US  int64 `json:"p99_us"`
+}
+
+// Snapshot summarizes the histogram for the stats endpoint.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		P50US: h.Quantile(0.50).Microseconds(),
+		P90US: h.Quantile(0.90).Microseconds(),
+		P99US: h.Quantile(0.99).Microseconds(),
+	}
+	if s.Count > 0 {
+		s.MeanUS = h.sumUS.Load() / s.Count
+	}
+	return s
+}
+
+// metrics is the server's counter set. Counters are atomics written on
+// the request path and read, racily but consistently enough, by /stats.
+type metrics struct {
+	accepted atomic.Int64 // requests that won an execution slot
+	shed     atomic.Int64 // 429s: queue full at arrival
+	drained  atomic.Int64 // 503s sent because the server is draining
+	timeouts atomic.Int64 // request deadline expired (queued or mid-query)
+	canceled atomic.Int64 // client went away (queued or mid-query)
+	failed   atomic.Int64 // 4xx/5xx other than shed/drain/timeout
+	inflight atomic.Int64 // currently executing
+	queued   atomic.Int64 // currently waiting for a slot
+
+	query   Histogram
+	healthz Histogram
+	stats   Histogram
+}

@@ -1,0 +1,496 @@
+// Package server is the network-facing query service: it exposes one
+// loaded property graph (direct or optimized schema) over HTTP, running
+// incoming Cypher through the same rewrite → plan-cache → compiled-plan
+// pipeline the offline tools use, hardened for concurrent load.
+//
+// Endpoints:
+//
+//	POST /query   — Cypher in (raw text or {"query": "..."}), JSON rows,
+//	                work counters, and the executed (rewritten) text out
+//	GET  /healthz — liveness: {"status":"ok"} while serving
+//	GET  /stats   — admission counters, plan-cache and pager stats, and
+//	                per-endpoint latency histograms
+//
+// Load hardening: a bounded admission semaphore (MaxConcurrent executing,
+// at most MaxQueued waiting; beyond that requests shed with 429), a
+// per-request timeout enforced by context cancellation inside the query
+// executor, request-body and query-length limits so hostile input cannot
+// balloon the plan-cache key space, and a sync.Pool-recycled JSON encoder
+// that keeps the hot response path allocation-flat. Shutdown drains:
+// in-flight requests finish (bounded by the request timeout), new ones
+// get 503.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cypher"
+	"repro/internal/query"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+// Config sizes a Server. The zero value of every limit field picks the
+// package default; Graph is the only mandatory field.
+type Config struct {
+	// Graph is the store to serve. It must be fully built (the Builder
+	// contract) and safe for concurrent readers; both backends are.
+	Graph storage.Graph
+	// Mapping, when non-nil, is the optimizer's schema mapping: incoming
+	// queries are rewritten through it before execution, exactly like
+	// pgsquery's OPT side. Nil serves the direct schema.
+	Mapping *core.Mapping
+	// RewriteOpts tunes the rewriter (e.g. LocalizeScalarLookups).
+	RewriteOpts rewrite.Options
+
+	// MaxConcurrent bounds queries executing at once (default
+	// DefaultMaxConcurrent).
+	MaxConcurrent int
+	// MaxQueued bounds queries waiting for an execution slot; arrivals
+	// beyond it shed with 429 instead of queueing unboundedly (default
+	// DefaultMaxQueued).
+	MaxQueued int
+	// RequestTimeout bounds one request end to end, queue wait included;
+	// expiry cancels the executor mid-traversal (default
+	// DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds the request body (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxQueryLen bounds the query text in bytes, capping the plan-cache
+	// key space a hostile client can allocate (default
+	// DefaultMaxQueryLen).
+	MaxQueryLen int
+	// PlanCacheSize bounds the plan cache (default
+	// query.DefaultCacheCapacity).
+	PlanCacheSize int
+}
+
+// Defaults for the Config limit fields.
+const (
+	DefaultMaxConcurrent  = 16
+	DefaultMaxQueued      = 64
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxBodyBytes   = 1 << 20 // 1 MiB
+	DefaultMaxQueryLen    = 8 << 10 // 8 KiB
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = DefaultMaxQueued
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxQueryLen <= 0 {
+		c.MaxQueryLen = DefaultMaxQueryLen
+	}
+	return c
+}
+
+// dataset is the atomically swappable (graph, mapping) pair a Server
+// serves; Swap installs a new one without stopping traffic.
+type dataset struct {
+	graph   storage.Graph
+	mapping *core.Mapping
+}
+
+// Server serves one property graph over HTTP. Create with New, expose via
+// Handler (tests) or Start/Shutdown (a real listener with draining).
+type Server struct {
+	cfg   Config
+	data  atomic.Pointer[dataset]
+	cache *query.Cache
+	mux   *http.ServeMux
+
+	// swapMu orders dataset swaps against the load-dataset → fetch-plan
+	// window of the request path: requests hold the read side across
+	// that window, Swap holds the write side across replace + purge, so
+	// no compile for the outgoing graph can begin after its purge (which
+	// would re-insert a plan for a graph the server no longer serves).
+	swapMu sync.RWMutex
+
+	sem      chan struct{} // execution slots
+	draining atomic.Bool
+	started  time.Time
+	m        metrics
+
+	httpSrv *http.Server
+}
+
+// New builds a Server for cfg.Graph. It validates the config but opens no
+// listener; call Start, or mount Handler yourself.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("server: Config.Graph is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   query.NewCache(cfg.PlanCacheSize),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		started: time.Now(),
+	}
+	s.data.Store(&dataset{graph: cfg.Graph, mapping: cfg.Mapping})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler; useful for tests and for
+// mounting under an outer mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the plan cache (stats, tests).
+func (s *Server) Cache() *query.Cache { return s.cache }
+
+// Swap atomically replaces the served dataset and purges the old graph's
+// plans from the cache, so a dataset reload does not leak plan memory
+// until LRU pressure. In-flight requests finish against the graph they
+// started on; Swap waits (briefly — at most one plan fetch) for requests
+// mid-way between loading the dataset and fetching their plan, so no
+// plan for the outgoing graph can enter the cache after the purge.
+// Returns the number of plans purged.
+func (s *Server) Swap(g storage.Graph, m *core.Mapping) int {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	old := s.data.Swap(&dataset{graph: g, mapping: m})
+	return s.cache.Purge(old.graph)
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in a background
+// goroutine, returning the bound address. Use Shutdown to stop.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		// Bound the whole request read: without this a client that opens
+		// a request and trickles its body would pin an execution slot
+		// forever (io.ReadAll in readQuery is not context-aware), and
+		// MaxConcurrent such sockets would shed all legitimate traffic.
+		ReadTimeout: s.cfg.RequestTimeout,
+	}
+	go s.httpSrv.Serve(lis)
+	return lis.Addr().String(), nil
+}
+
+// Shutdown drains the server: the listener closes, new requests are
+// refused (in-process callers of Handler get 503), and in-flight requests
+// run to completion — each bounded by the request timeout — before
+// Shutdown returns. ctx bounds the total wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// ---- admission control ----
+
+// errSaturated is the 429 shed condition: all execution slots busy and
+// the wait queue full.
+var errSaturated = errors.New("server saturated: all execution slots busy and queue full")
+
+// admit acquires an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns a release func on success, or the HTTP
+// status and error to send: 429 when the queue is full (shedding beats
+// queueing unboundedly), 503/504 when the caller's context ends first.
+func (s *Server) admit(ctx context.Context) (release func(), status int, err error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// No free slot: join the queue if it has room.
+		if s.m.queued.Add(1) > int64(s.cfg.MaxQueued) {
+			s.m.queued.Add(-1)
+			s.m.shed.Add(1)
+			return nil, http.StatusTooManyRequests, errSaturated
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.m.queued.Add(-1)
+		case <-ctx.Done():
+			s.m.queued.Add(-1)
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.m.timeouts.Add(1)
+				return nil, http.StatusGatewayTimeout, fmt.Errorf("timed out waiting for an execution slot: %w", ctx.Err())
+			}
+			s.m.canceled.Add(1)
+			return nil, http.StatusServiceUnavailable, fmt.Errorf("request abandoned while queued: %w", ctx.Err())
+		}
+	}
+	s.m.accepted.Add(1)
+	s.m.inflight.Add(1)
+	return func() {
+		s.m.inflight.Add(-1)
+		<-s.sem
+	}, 0, nil
+}
+
+// ---- handlers ----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.m.query.Observe(time.Since(start)) }()
+
+	if s.draining.Load() {
+		s.m.drained.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// Shed before touching the body: a saturated server should spend as
+	// close to zero work as possible on requests it will reject.
+	release, status, err := s.admit(ctx)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	defer release()
+
+	src, status, err := s.readQuery(w, r)
+	if err != nil {
+		s.m.failed.Add(1)
+		writeError(w, status, err.Error())
+		return
+	}
+
+	parsed, err := cypher.Parse(src)
+	if err != nil {
+		s.m.failed.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse: %v", err))
+		return
+	}
+	// The swap read-lock covers dataset load through plan fetch, so a
+	// concurrent Swap cannot purge the graph between the two (see Swap).
+	s.swapMu.RLock()
+	d := s.data.Load()
+	executed := parsed
+	if d.mapping != nil {
+		executed, _, err = rewrite.Rewrite(parsed, d.mapping, s.cfg.RewriteOpts)
+		if err != nil {
+			s.swapMu.RUnlock()
+			s.m.failed.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("rewrite: %v", err))
+			return
+		}
+	}
+	// Render the canonical text once; it serves as both the cache key
+	// (Get, unlike GetParsed, renders nothing per call) and the
+	// response's executed-query field.
+	text := executed.String()
+	plan, err := s.cache.Get(d.graph, text)
+	s.swapMu.RUnlock()
+	if err != nil {
+		s.m.failed.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("compile: %v", err))
+		return
+	}
+
+	var st query.Stats
+	res, err := plan.ExecuteContextWithStats(ctx, &st)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.m.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "query exceeded the request timeout")
+		case errors.Is(err, context.Canceled):
+			// The client is gone; the status is written into the void but
+			// keeps the connection state machine honest.
+			s.m.canceled.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "request canceled")
+		default:
+			s.m.failed.Add(1)
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("execute: %v", err))
+		}
+		return
+	}
+
+	enc := getEncoder()
+	enc.buf = appendQueryResponse(enc.buf, text, res, &st, time.Since(start).Microseconds())
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprint(len(enc.buf)))
+	w.Write(enc.buf)
+	putEncoder(enc)
+}
+
+// readQuery extracts the Cypher text from the request body: a JSON
+// {"query": "..."} document when the Content-Type says JSON, raw text
+// otherwise. It enforces the body-size and query-length limits.
+func (s *Server) readQuery(w http.ResponseWriter, r *http.Request) (string, int, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return "", http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return "", http.StatusBadRequest, fmt.Errorf("read body: %w", err)
+	}
+	src := string(body)
+	if ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); ct == "application/json" {
+		var req struct {
+			Query string `json:"query"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", http.StatusBadRequest, fmt.Errorf("decode JSON body: %w", err)
+		}
+		src = req.Query
+	}
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return "", http.StatusBadRequest, errors.New("empty query")
+	}
+	if len(src) > s.cfg.MaxQueryLen {
+		return "", http.StatusRequestEntityTooLarge,
+			fmt.Errorf("query length %d exceeds %d bytes", len(src), s.cfg.MaxQueryLen)
+	}
+	return src, 0, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.m.healthz.Observe(time.Since(start)) }()
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+// StatsResponse is the GET /stats JSON document.
+type StatsResponse struct {
+	UptimeS   int64          `json:"uptime_s"`
+	Admission AdmissionStats `json:"admission"`
+	PlanCache PlanCacheStats `json:"plan_cache"`
+	// Pager is present only when the backend reports I/O statistics
+	// (diskstore does, memstore does not).
+	Pager     *PagerStats                  `json:"pager,omitempty"`
+	Endpoints map[string]HistogramSnapshot `json:"endpoints"`
+}
+
+// AdmissionStats mirrors the admission-control configuration and its
+// counters since startup.
+type AdmissionStats struct {
+	MaxConcurrent int   `json:"max_concurrent"`
+	MaxQueued     int   `json:"max_queued"`
+	Inflight      int64 `json:"inflight"`
+	Queued        int64 `json:"queued"`
+	Accepted      int64 `json:"accepted"`
+	Shed          int64 `json:"shed"`
+	Drained       int64 `json:"drained"`
+	Timeouts      int64 `json:"timeouts"`
+	Canceled      int64 `json:"canceled"`
+	Failed        int64 `json:"failed"`
+}
+
+// PlanCacheStats is query.CacheStats in the /stats JSON shape.
+type PlanCacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Shared   int64 `json:"shared"`
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+}
+
+// PagerStats is storage.Stats in the /stats JSON shape.
+type PagerStats struct {
+	PageHits   int64 `json:"page_hits"`
+	PageMisses int64 `json:"page_misses"`
+	PageReads  int64 `json:"page_reads"`
+	PageWrites int64 `json:"page_writes"`
+}
+
+// Stats assembles the current StatsResponse; the /stats handler and the
+// bench harness share it.
+func (s *Server) Stats() StatsResponse {
+	cs := s.cache.Stats()
+	resp := StatsResponse{
+		UptimeS: int64(time.Since(s.started).Seconds()),
+		Admission: AdmissionStats{
+			MaxConcurrent: s.cfg.MaxConcurrent,
+			MaxQueued:     s.cfg.MaxQueued,
+			Inflight:      s.m.inflight.Load(),
+			Queued:        s.m.queued.Load(),
+			Accepted:      s.m.accepted.Load(),
+			Shed:          s.m.shed.Load(),
+			Drained:       s.m.drained.Load(),
+			Timeouts:      s.m.timeouts.Load(),
+			Canceled:      s.m.canceled.Load(),
+			Failed:        s.m.failed.Load(),
+		},
+		PlanCache: PlanCacheStats{
+			Hits: cs.Hits, Misses: cs.Misses, Shared: cs.Shared,
+			Size: cs.Size, Capacity: cs.Capacity,
+		},
+		Endpoints: map[string]HistogramSnapshot{
+			"/query":   s.m.query.Snapshot(),
+			"/healthz": s.m.healthz.Snapshot(),
+			"/stats":   s.m.stats.Snapshot(),
+		},
+	}
+	if sr, ok := s.data.Load().graph.(storage.StatsReporter); ok {
+		ps := sr.Stats()
+		resp.Pager = &PagerStats{
+			PageHits: ps.PageHits, PageMisses: ps.PageMisses,
+			PageReads: ps.PageReads, PageWrites: ps.PageWrites,
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.m.stats.Observe(time.Since(start)) }()
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// ---- response helpers ----
+
+// writeJSON marshals v on the cold paths (stats, health, errors); the hot
+// /query path uses the pooled encoder instead.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,651 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+	"repro/internal/storage/diskstore"
+	"repro/internal/storage/memstore"
+)
+
+// buildMedGraph loads the Figure 1(b)-style fixture shared with the query
+// package's tests: two drugs, two indications, one treat fan-out.
+func buildMedGraph(t *testing.T, b storage.Builder) {
+	t.Helper()
+	add := func(labels ...string) storage.VID {
+		v, err := b.AddVertex(labels...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	set := func(v storage.VID, key, val string) {
+		if err := b.SetProp(v, key, graph.S(val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edge := func(src, dst storage.VID, etype string) {
+		if _, err := b.AddEdge(src, dst, etype); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d1, d2 := add("Drug"), add("Drug")
+	set(d1, "name", "Aspirin")
+	set(d2, "name", "Ibuprofen")
+	i1, i2 := add("Indication"), add("Indication")
+	set(i1, "desc", "Fever")
+	set(i2, "desc", "Headache")
+	edge(d1, i1, "treat")
+	edge(d1, i2, "treat")
+	edge(d2, i1, "treat")
+}
+
+// buildWideGraph creates n Drug vertices — enough scan iterations for the
+// executor's cancellation checkpoint (every 256 ticks) to fire.
+func buildWideGraph(t *testing.T, n int) storage.Builder {
+	t.Helper()
+	mem := memstore.New()
+	for i := 0; i < n; i++ {
+		v, err := mem.AddVertex("Drug")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.SetProp(v, "name", graph.I(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mem
+}
+
+const drugQuery = `MATCH (d:Drug) RETURN d.name ORDER BY d.name`
+
+// queryResponse mirrors the POST /query JSON body.
+type queryResponse struct {
+	Query   string   `json:"query"`
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	Stats   struct {
+		VerticesScanned int64 `json:"vertices_scanned"`
+		EdgesTraversed  int64 `json:"edges_traversed"`
+		PropsRead       int64 `json:"props_read"`
+		RowsEmitted     int64 `json:"rows_emitted"`
+	} `json:"stats"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Error     string `json:"error"`
+}
+
+func newMedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Graph == nil {
+		mem := memstore.New()
+		buildMedGraph(t, mem)
+		cfg.Graph = mem
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, body, contentType string) (int, queryResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatalf("response %d is not JSON: %v\n%s", resp.StatusCode, err, data)
+	}
+	return resp.StatusCode, qr
+}
+
+func TestQueryRawBody(t *testing.T) {
+	_, ts := newMedServer(t, Config{})
+	status, qr := post(t, ts, drugQuery, "text/plain")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d (%s)", status, qr.Error)
+	}
+	if len(qr.Columns) != 1 || qr.Columns[0] != "d.name" {
+		t.Errorf("columns = %v", qr.Columns)
+	}
+	if len(qr.Rows) != 2 || qr.Rows[0][0] != "Aspirin" || qr.Rows[1][0] != "Ibuprofen" {
+		t.Errorf("rows = %v", qr.Rows)
+	}
+	if qr.Stats.RowsEmitted != 2 || qr.Stats.VerticesScanned == 0 {
+		t.Errorf("stats = %+v", qr.Stats)
+	}
+	if qr.Query == "" {
+		t.Error("executed query text missing from response")
+	}
+}
+
+func TestQueryJSONBody(t *testing.T) {
+	_, ts := newMedServer(t, Config{})
+	body, _ := json.Marshal(map[string]string{"query": drugQuery})
+	status, qr := post(t, ts, string(body), "application/json")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d (%s)", status, qr.Error)
+	}
+	if len(qr.Rows) != 2 {
+		t.Errorf("rows = %v", qr.Rows)
+	}
+	// Malformed JSON under a JSON content type is a 400, not a raw query.
+	if status, qr = post(t, ts, `{"query": `, "application/json"); status != http.StatusBadRequest {
+		t.Errorf("truncated JSON: status = %d (%s)", status, qr.Error)
+	}
+}
+
+func TestMalformedCypher(t *testing.T) {
+	_, ts := newMedServer(t, Config{})
+	for _, src := range []string{"THIS IS NOT CYPHER", "MATCH (d:Drug", ""} {
+		status, qr := post(t, ts, src, "text/plain")
+		if status != http.StatusBadRequest {
+			t.Errorf("query %q: status = %d (%s), want 400", src, status, qr.Error)
+		}
+		if qr.Error == "" {
+			t.Errorf("query %q: no error message", src)
+		}
+	}
+}
+
+func TestOversizedBody(t *testing.T) {
+	_, ts := newMedServer(t, Config{MaxBodyBytes: 256})
+	big := drugQuery + strings.Repeat(" ", 1024)
+	status, qr := post(t, ts, big, "text/plain")
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status = %d (%s), want 413", status, qr.Error)
+	}
+}
+
+func TestQueryTooLong(t *testing.T) {
+	_, ts := newMedServer(t, Config{MaxQueryLen: 64})
+	long := `MATCH (d:Drug) WHERE d.name = "` + strings.Repeat("x", 200) + `" RETURN d.name`
+	status, qr := post(t, ts, long, "text/plain")
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("long query: status = %d (%s), want 413", status, qr.Error)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newMedServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// gatedGraph parks every ForEachVertex call on a gate channel and counts
+// how many executors are parked, making "a query is running right now"
+// observable and controllable from the test body.
+type gatedGraph struct {
+	storage.Graph
+	gate   chan struct{}
+	parked atomic.Int32
+}
+
+func (g *gatedGraph) ForEachVertex(label string, fn func(storage.VID) bool) {
+	g.parked.Add(1)
+	<-g.gate
+	g.Graph.ForEachVertex(label, fn)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSaturationSheds429 drives the admission path to saturation
+// deterministically: one request executing (parked on the gate), one
+// waiting in the single queue slot, and a third arriving — which must be
+// shed with 429 immediately, not queued unboundedly. Releasing the gate
+// lets the first two finish with 200.
+func TestSaturationSheds429(t *testing.T) {
+	mem := memstore.New()
+	buildMedGraph(t, mem)
+	g := &gatedGraph{Graph: mem, gate: make(chan struct{})}
+	s, ts := newMedServer(t, Config{
+		Graph:          g,
+		MaxConcurrent:  1,
+		MaxQueued:      1,
+		RequestTimeout: 30 * time.Second,
+	})
+
+	type result struct {
+		status int
+		err    error
+	}
+	results := make(chan result, 2)
+	postAsync := func() {
+		resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(drugQuery))
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		results <- result{status: resp.StatusCode}
+	}
+
+	go postAsync() // request 1: takes the slot, parks on the gate
+	waitFor(t, "request 1 executing", func() bool { return g.parked.Load() == 1 })
+	go postAsync() // request 2: takes the queue slot
+	waitFor(t, "request 2 queued", func() bool { return s.Stats().Admission.Queued == 1 })
+
+	// Request 3 arrives at a full queue: shed.
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(drugQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated request: status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response has no Retry-After header")
+	}
+
+	close(g.gate)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Errorf("parked request finished with %d, want 200", r.status)
+		}
+	}
+	st := s.Stats().Admission
+	if st.Shed != 1 || st.Accepted != 2 {
+		t.Errorf("admission stats = %+v, want 1 shed / 2 accepted", st)
+	}
+}
+
+// sleeperGraph delays every HasLabel call, making a label scan take a
+// predictable minimum wall time so a short request timeout reliably
+// expires at the executor's first cancellation checkpoint.
+type sleeperGraph struct {
+	storage.Graph
+	delay time.Duration
+}
+
+func (g *sleeperGraph) HasLabel(v storage.VID, label string) bool {
+	time.Sleep(g.delay)
+	return g.Graph.HasLabel(v, label)
+}
+
+func TestRequestTimeoutCancelsMidQuery(t *testing.T) {
+	// 1000 vertices × 100µs per HasLabel: the first checkpoint (tick 256)
+	// lands ~25ms in, far past the 5ms deadline; the full scan would take
+	// ~100ms, so a hung cancellation still ends quickly but visibly.
+	g := &sleeperGraph{Graph: buildWideGraph(t, 1000), delay: 100 * time.Microsecond}
+	s, ts := newMedServer(t, Config{Graph: g, RequestTimeout: 5 * time.Millisecond})
+	status, qr := post(t, ts, `MATCH (d:Drug) RETURN COUNT(*)`, "text/plain")
+	if status != http.StatusGatewayTimeout {
+		t.Errorf("status = %d (%s), want 504", status, qr.Error)
+	}
+	if st := s.Stats().Admission; st.Timeouts != 1 {
+		t.Errorf("admission stats = %+v, want 1 timeout", st)
+	}
+}
+
+// TestClientCancelMidQuery covers the other cancellation path: the client
+// disconnects while its query is executing. The executor must notice the
+// dead request context and unwind; the server records it as canceled.
+func TestClientCancelMidQuery(t *testing.T) {
+	// Gate the scan start so the test controls when execution proceeds,
+	// and slow each HasLabel so the post-gate scan takes ~100ms — ample
+	// time for the server to register the disconnect and for the executor
+	// to pass several cancellation checkpoints before the scan could end.
+	mem := buildWideGraph(t, 1000)
+	g := &gatedGraph{Graph: &sleeperGraph{Graph: mem, delay: 100 * time.Microsecond}, gate: make(chan struct{})}
+	s, ts := newMedServer(t, Config{Graph: g, RequestTimeout: 30 * time.Second})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query",
+		strings.NewReader(`MATCH (d:Drug) RETURN COUNT(*)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	waitFor(t, "query executing", func() bool { return g.parked.Load() == 1 })
+	cancel() // client walks away mid-query
+	if err := <-done; err == nil {
+		t.Error("canceled client request unexpectedly succeeded")
+	}
+	// The client transport has closed the connection; give the server's
+	// background read a moment to notice before execution resumes.
+	time.Sleep(50 * time.Millisecond)
+	close(g.gate) // let the executor resume; it must notice and unwind
+	waitFor(t, "server to record the cancellation", func() bool {
+		return s.Stats().Admission.Canceled == 1
+	})
+}
+
+// TestConcurrentClients hammers one server from 8 concurrent clients — the
+// satellite's -race acceptance test. Every response must be a 200 with the
+// same row set, and the plan cache must show the compile happened once.
+func TestConcurrentClients(t *testing.T) {
+	s, ts := newMedServer(t, Config{})
+	const clients, perClient = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(drugQuery))
+				if err != nil {
+					errs <- err
+					return
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, data)
+					return
+				}
+				var qr queryResponse
+				if err := json.Unmarshal(data, &qr); err != nil {
+					errs <- err
+					return
+				}
+				if len(qr.Rows) != 2 {
+					errs <- fmt.Errorf("got %d rows, want 2", len(qr.Rows))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Admission.Accepted != clients*perClient {
+		t.Errorf("accepted = %d, want %d", st.Admission.Accepted, clients*perClient)
+	}
+	if got := st.Endpoints["/query"].Count; got != clients*perClient {
+		t.Errorf("/query latency count = %d, want %d", got, clients*perClient)
+	}
+	if st.PlanCache.Hits == 0 || st.PlanCache.Misses-st.PlanCache.Shared != 1 {
+		t.Errorf("plan cache = %+v, want exactly one compile and the rest hits", st.PlanCache)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	mem := memstore.New()
+	buildMedGraph(t, mem)
+	s, ts := newMedServer(t, Config{Graph: mem})
+	post(t, ts, drugQuery, "text/plain")
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz = %d %v", resp.StatusCode, health)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Admission.Accepted != 1 || st.PlanCache.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 accepted / 1 cache miss", st)
+	}
+	if st.Pager != nil {
+		t.Error("memstore-backed server reported pager stats")
+	}
+	if st.Endpoints["/query"].Count != 1 {
+		t.Errorf("per-endpoint histogram missing the query: %+v", st.Endpoints)
+	}
+	_ = s
+}
+
+func TestDiskstorePagerStats(t *testing.T) {
+	ds, err := diskstore.Open(t.TempDir(), diskstore.Options{CachePages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	buildMedGraph(t, ds)
+	_, ts := newMedServer(t, Config{Graph: ds})
+	status, qr := post(t, ts, drugQuery, "text/plain")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d (%s)", status, qr.Error)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Pager == nil {
+		t.Fatal("diskstore-backed server reported no pager stats")
+	}
+	if st.Pager.PageHits+st.Pager.PageMisses == 0 {
+		t.Error("pager stats all zero after a query")
+	}
+}
+
+func TestDrainingRefusesNewWork(t *testing.T) {
+	s, ts := newMedServer(t, Config{})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	status, qr := post(t, ts, drugQuery, "text/plain")
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("draining query: status = %d (%s), want 503", status, qr.Error)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz: status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdownDrains starts a real listener, parks one query on
+// the gate, and calls Shutdown: it must wait for the in-flight request to
+// finish (with a 200) instead of killing it.
+func TestGracefulShutdownDrains(t *testing.T) {
+	mem := memstore.New()
+	buildMedGraph(t, mem)
+	g := &gatedGraph{Graph: mem, gate: make(chan struct{})}
+	s, err := New(Config{Graph: g, RequestTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status := make(chan int, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/query", "text/plain", strings.NewReader(drugQuery))
+		if err != nil {
+			status <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		status <- resp.StatusCode
+	}()
+	waitFor(t, "query executing", func() bool { return g.parked.Load() == 1 })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// Shutdown must be draining, not done, while the request is parked.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(g.gate)
+	if got := <-status; got != http.StatusOK {
+		t.Errorf("in-flight request finished with %d, want 200", got)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+}
+
+// TestSwapPurgesOldPlans checks the dataset-swap path the Cache.Purge
+// satellite exists for: after Swap, queries see the new graph and the old
+// graph's plans are out of the cache.
+func TestSwapPurgesOldPlans(t *testing.T) {
+	g1 := memstore.New()
+	buildMedGraph(t, g1)
+	s, ts := newMedServer(t, Config{Graph: g1})
+	if _, qr := post(t, ts, drugQuery, "text/plain"); len(qr.Rows) != 2 {
+		t.Fatalf("pre-swap rows = %v", qr.Rows)
+	}
+
+	g2 := memstore.New()
+	v, err := g2.AddVertex("Drug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.SetProp(v, "name", graph.S("OnlyInG2")); err != nil {
+		t.Fatal(err)
+	}
+	if purged := s.Swap(g2, nil); purged != 1 {
+		t.Errorf("Swap purged %d plans, want 1", purged)
+	}
+	status, qr := post(t, ts, drugQuery, "text/plain")
+	if status != http.StatusOK {
+		t.Fatalf("post-swap status = %d (%s)", status, qr.Error)
+	}
+	if len(qr.Rows) != 1 || qr.Rows[0][0] != "OnlyInG2" {
+		t.Errorf("post-swap rows = %v, want the g2 drug", qr.Rows)
+	}
+	if st := s.Cache().Stats(); st.Size != 1 {
+		t.Errorf("cache size after swap+query = %d, want 1 (old plans purged)", st.Size)
+	}
+}
+
+func TestNewRequiresGraph(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted a nil graph")
+	}
+}
+
+func TestJSONEncoder(t *testing.T) {
+	cases := []struct {
+		v    graph.Value
+		want string
+	}{
+		{graph.Null, `null`},
+		{graph.S("plain"), `"plain"`},
+		{graph.S("quote\" slash\\ ctrl\n\x01"), `"quote\" slash\\ ctrl\n\u0001"`},
+		{graph.S("unicode ✓"), `"unicode ✓"`},
+		{graph.S("bad\xffutf8"), `"bad\ufffdutf8"`},
+		{graph.I(-42), `-42`},
+		{graph.F(2.5), `2.5`},
+		{graph.F(math.NaN()), `null`},
+		{graph.B(true), `true`},
+		{graph.L(graph.S("a"), graph.I(1), graph.L(graph.B(false))), `["a",1,[false]]`},
+	}
+	for _, c := range cases {
+		got := string(appendJSONValue(nil, c.v))
+		if got != c.want {
+			t.Errorf("appendJSONValue(%v) = %s, want %s", c.v, got, c.want)
+		}
+		if !json.Valid([]byte(got)) {
+			t.Errorf("appendJSONValue(%v) produced invalid JSON: %s", c.v, got)
+		}
+	}
+}
+
+// TestQueryResponseMatchesEncodingJSON cross-checks the hand-rolled
+// response encoder against a stdlib re-decode.
+func TestQueryResponseMatchesEncodingJSON(t *testing.T) {
+	_, ts := newMedServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/query", "text/plain",
+		bytes.NewReader([]byte(`MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, COUNT(i.desc) ORDER BY d.name`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("response is not valid JSON: %s", data)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 2 || qr.Rows[0][0] != "Aspirin" || qr.Rows[0][1] != float64(2) {
+		t.Errorf("rows = %v", qr.Rows)
+	}
+}
