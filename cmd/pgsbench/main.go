@@ -8,9 +8,10 @@
 //	pgsbench -exp table2
 //	pgsbench -exp parallel
 //	pgsbench -exp serve -serve-reqs 200
+//	pgsbench -exp open,bulkload
 //
 // Experiments: fig8, fig9, fig10, fig11, fig12, table2, motivating,
-// parallel, serve, all.
+// parallel, serve, open, bulkload, all.
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pgsbench: ")
-	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|serve|all")
+	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|serve|open|bulkload|all")
 	medCard := flag.Int("med-card", 120, "MED base cardinality per concept")
 	finCard := flag.Int("fin-card", 40, "FIN base cardinality per concept")
 	seed := flag.Int64("seed", 2021, "generation seed")
@@ -187,6 +188,28 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Println(bench.FormatServeTable("HTTP serving throughput — "+v.title, pts))
+		}
+	}
+	if run("open") {
+		ran = true
+		// Cold restart cost: the same v4 diskstore reopened through its
+		// persisted index versus with index.db removed (the pre-v4
+		// full-vertex scan every open used to pay).
+		rows, err := bench.ColdOpen(env("MED"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatColdOpenTable("Cold open — persisted index (v4) vs full-vertex scan (MED, diskstore)", rows))
+	}
+	if run("bulkload") {
+		ran = true
+		for _, b := range backends {
+			rows, err := bench.BulkLoad(env("MED"), b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(bench.FormatBulkLoadTable(
+				fmt.Sprintf("Dataset load — bulk pipeline vs incremental writes (%s, MED)", b), rows))
 		}
 	}
 	if !ran {

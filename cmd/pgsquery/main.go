@@ -196,6 +196,10 @@ func main() {
 				fmt.Printf("%s pager: %d hits, %d misses, %d page reads, %d page writes\n",
 					side.tag, ps.PageHits, ps.PageMisses, ps.PageReads, ps.PageWrites)
 			}
+			if d, ok := side.g.(*diskstore.Store); ok {
+				f := d.Format()
+				fmt.Printf("%s store: format v%d, segmented adjacency=%v\n", side.tag, f.Version, f.Segmented)
+			}
 		}
 	}
 }

@@ -17,6 +17,14 @@
 // the paper's PGSG algorithm for the dataset's microbenchmark workload,
 // and every incoming query is rewritten through the mapping exactly like
 // pgsquery's OPT side.
+//
+// When -data-dir points at an already-populated diskstore (e.g. written
+// by `pgsgen -store` or a previous pgsserve run), the store is served
+// as-is: no dataset load runs, and a format-v4 store restores its label
+// index from index.db instead of scanning every vertex — the fast-restart
+// path. The operator must pass the same -optimize/-localize flags the
+// store was built with; pgsserve cannot verify the schema a store on disk
+// was loaded under.
 package main
 
 import (
@@ -79,9 +87,42 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
-	ds, err := datagen.Generate(o, datagen.Options{Seed: *seed, BaseCard: *card})
-	if err != nil {
-		return err
+
+	var st storage.Builder
+	var dsk *diskstore.Store
+	var err error
+	switch *backend {
+	case "memstore":
+		st = memstore.New()
+	case "diskstore":
+		dir := *dataDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "pgsserve-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		dsk, err = diskstore.Open(dir, diskstore.Options{CachePages: *cachePages})
+		if err != nil {
+			return err
+		}
+		defer dsk.Close()
+		st = dsk
+	default:
+		return fmt.Errorf("unknown backend %q", *backend)
+	}
+
+	// Fast restart: a -data-dir that already holds a built store is served
+	// as-is — no load, and no dataset generation either unless -optimize
+	// needs the generated statistics for the rewrite mapping.
+	reuse := dsk != nil && dsk.NumVertices() > 0
+	var ds *datagen.Dataset
+	if !reuse || *optimize {
+		ds, err = datagen.Generate(o, datagen.Options{Seed: *seed, BaseCard: *card})
+		if err != nil {
+			return err
+		}
 	}
 
 	// The optimized schema targets the dataset's own microbenchmark
@@ -107,38 +148,27 @@ func run() error {
 		mapping = plan.Result.Mapping
 	}
 
-	var st storage.Builder
-	switch *backend {
-	case "memstore":
-		st = memstore.New()
-	case "diskstore":
-		dir := *dataDir
-		if dir == "" {
-			dir, err = os.MkdirTemp("", "pgsserve-*")
-			if err != nil {
-				return err
-			}
-			defer os.RemoveAll(dir)
-		}
-		dsk, err := diskstore.Open(dir, diskstore.Options{CachePages: *cachePages})
-		if err != nil {
-			return err
-		}
-		defer dsk.Close()
-		st = dsk
-	default:
-		return fmt.Errorf("unknown backend %q", *backend)
-	}
-	vertices, edges, err := loader.Load(st, ds, mapping)
-	if err != nil {
-		return err
-	}
-
 	schema := "direct"
 	if mapping != nil {
 		schema = fmt.Sprintf("optimized (PGSG, %.4g%% budget)", *budgetPct)
 	}
-	log.Printf("loaded %s on %s: %d vertices, %d edges, %s schema", *dataset, *backend, vertices, edges, schema)
+	if reuse {
+		// The schema flags must match how the store was built; pgsserve
+		// cannot verify that from the files alone.
+		log.Printf("reusing existing store in %s: %d vertices, %d edges, %s schema (assumed from flags)",
+			*dataDir, dsk.NumVertices(), dsk.NumEdges(), schema)
+	} else {
+		vertices, edges, err := loader.Load(st, ds, mapping)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %s on %s: %d vertices, %d edges, %s schema", *dataset, *backend, vertices, edges, schema)
+	}
+	if dsk != nil {
+		f := dsk.Format()
+		log.Printf("diskstore format v%d (segmented adjacency: %v, opened via persisted index: %v)",
+			f.Version, f.Segmented, f.IndexLoaded)
+	}
 
 	srv, err := server.New(server.Config{
 		Graph:          storage.Graph(st),

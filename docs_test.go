@@ -62,10 +62,15 @@ func TestDocsPresentAndLinked(t *testing.T) {
 		"docs/ARCHITECTURE.md": {
 			"manifest", "v3", "degrees.db", "shard", "clock", "latch",
 			"build-then-concurrent-read", "singleflight",
+			// Format v4: the persisted index, the segmented-adjacency
+			// invariant, and the bulk-load finalize contract must stay
+			// documented alongside the code that implements them.
+			"v4", "index.db", "segmented", "Compact", "Finalize",
+			"BulkLoader", "BatchBuilder", "writeFileAtomic", "commit point",
 			// Serving layer: admission control, shutdown semantics, and
 			// the stats endpoint schema must stay documented.
 			"Serving layer", "pgsserve", "429", "admission", "drain",
-			"/stats", "ExecuteContext", "loadgen",
+			"/stats", "ExecuteContext", "loadgen", "top_queries",
 		},
 		"docs/QUERY_LANGUAGE.md": {
 			"MATCH", "RETURN", "DISTINCT", "ORDER BY", "LIMIT",

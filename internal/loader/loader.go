@@ -26,11 +26,21 @@ type instRef struct {
 
 // Load populates the builder with the dataset under the mapping and
 // returns the number of vertices and edges created.
+//
+// Vertices and edges stream through a storage.BulkLoader in batches: on
+// stores with a native batched write path (diskstore) this defers all
+// adjacency, degree, and index construction to one finalize pass — which
+// also leaves diskstore adjacency type-segmented — instead of paying a
+// read-modify-write per AddEdge; on other stores it degrades to the
+// per-item calls transparently. Properties are written after the
+// finalize, which also keeps them at the head of record-store property
+// chains (see step 5).
 func Load(b storage.Builder, ds *datagen.Dataset, m *core.Mapping) (vertices, edges int, err error) {
 	if m == nil {
 		m = &core.Mapping{}
 	}
 	o := ds.Ontology
+	bl := storage.NewBulkLoader(b, 0)
 
 	// 1. Union-find over instances, seeded by the mapping's merges.
 	uf := newInstanceUF()
@@ -86,7 +96,7 @@ func Load(b storage.Builder, ds *datagen.Dataset, m *core.Mapping) (vertices, ed
 				labels = append(labels, ref.concept)
 			}
 		}
-		v, err := b.AddVertex(labels...)
+		v, err := bl.AddVertex(labels...)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -111,11 +121,17 @@ func Load(b storage.Builder, ds *datagen.Dataset, m *core.Mapping) (vertices, ed
 			if reversed {
 				sv, dv = dv, sv
 			}
-			if _, err := b.AddEdge(sv, dv, r.Name); err != nil {
+			if err := bl.AddEdge(sv, dv, r.Name); err != nil {
 				return 0, 0, err
 			}
 			edges++
 		}
+	}
+	// All structural data is in; one finalize builds the deferred
+	// adjacency/degree/index structures before the property phases below
+	// start reading the graph.
+	if err := bl.Finalize(); err != nil {
+		return 0, 0, err
 	}
 
 	// 4. Replicated list properties. Values are collected directly from

@@ -32,6 +32,11 @@ type Prepared struct {
 	moves  []move
 	nSlots int
 	where  cexpr
+	// uniqEdges is set when the plan expands more than one relationship,
+	// the only case where Cypher's relationship-uniqueness rule can bind:
+	// single-expand plans (the typed one-hop shapes dominating the paper's
+	// workloads) skip the per-edge used-stack scan entirely.
+	uniqEdges bool
 
 	// Return processing.
 	grouped    bool
@@ -186,6 +191,13 @@ func Prepare(g storage.Graph, q *cypher.Query) (*Prepared, error) {
 	for _, pat := range q.Patterns {
 		p.moves = append(p.moves, c.planPattern(pat, boundSlots)...)
 	}
+	expands := 0
+	for _, mv := range p.moves {
+		if !mv.start {
+			expands++
+		}
+	}
+	p.uniqEdges = expands > 1
 	p.nSlots = len(c.order)
 	p.pool.New = func() any { return p.newMachine() }
 	return p, nil
@@ -467,32 +479,63 @@ func (p *Prepared) moveStep(m *machine, mv move, next step) step {
 			return m.err
 		}
 	default:
-		expand := func(e storage.EID, other storage.VID) bool {
-			m.stats.EdgesTraversed++
-			if m.canceled() {
-				return false
-			}
-			if m.edgeUsed(e) {
-				return true // Cypher relationship-uniqueness
-			}
-			if mv.bound {
-				if m.slots[node.slot] != other || !m.checkNode(&node, other) {
+		// The expand callback hands the typed iteration to the store's
+		// ForEach*ID: on type-segmented backends (diskstore v4 after
+		// finalize, finalized memstore) that call seeks straight to the
+		// matching segment, so neither the store nor this callback filters
+		// edges by type. Plans with at most one relationship additionally
+		// skip the relationship-uniqueness stack — with a single expand
+		// there is no other edge to collide with.
+		var expand func(e storage.EID, other storage.VID) bool
+		if p.uniqEdges {
+			expand = func(e storage.EID, other storage.VID) bool {
+				m.stats.EdgesTraversed++
+				if m.canceled() {
+					return false
+				}
+				if m.edgeUsed(e) {
+					return true // Cypher relationship-uniqueness
+				}
+				if mv.bound {
+					if m.slots[node.slot] != other || !m.checkNode(&node, other) {
+						return true
+					}
+					m.used = append(m.used, e)
+					m.err = next()
+					m.used = m.used[:len(m.used)-1]
+					return m.err == nil
+				}
+				if !m.checkNode(&node, other) {
 					return true
 				}
+				m.slots[node.slot] = other
 				m.used = append(m.used, e)
 				m.err = next()
 				m.used = m.used[:len(m.used)-1]
+				m.slots[node.slot] = unbound
 				return m.err == nil
 			}
-			if !m.checkNode(&node, other) {
-				return true
+		} else {
+			expand = func(e storage.EID, other storage.VID) bool {
+				m.stats.EdgesTraversed++
+				if m.canceled() {
+					return false
+				}
+				if mv.bound {
+					if m.slots[node.slot] != other || !m.checkNode(&node, other) {
+						return true
+					}
+					m.err = next()
+					return m.err == nil
+				}
+				if !m.checkNode(&node, other) {
+					return true
+				}
+				m.slots[node.slot] = other
+				m.err = next()
+				m.slots[node.slot] = unbound
+				return m.err == nil
 			}
-			m.slots[node.slot] = other
-			m.used = append(m.used, e)
-			m.err = next()
-			m.used = m.used[:len(m.used)-1]
-			m.slots[node.slot] = unbound
-			return m.err == nil
 		}
 		etype, from, outgoing := mv.etype, mv.fromSlot, mv.outgoing
 		if outgoing {

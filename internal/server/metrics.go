@@ -2,6 +2,8 @@ package server
 
 import (
 	"math/bits"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -85,6 +87,75 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.MeanUS = h.sumUS.Load() / s.Count
 	}
 	return s
+}
+
+// QueryShapeStats is one executed query text's latency summary in the
+// /stats response.
+type QueryShapeStats struct {
+	Query string `json:"query"`
+	HistogramSnapshot
+}
+
+// shapeTracker maintains one latency Histogram per executed (canonical,
+// post-rewrite) query text, bounded to a fixed number of distinct shapes
+// so hostile traffic cannot balloon it. The hot path is one RLock'd map
+// lookup plus the histogram's atomic Observe; the write lock is taken
+// only the first time a shape is seen. Shapes arriving past the capacity
+// are counted in dropped rather than tracked.
+type shapeTracker struct {
+	mu      sync.RWMutex
+	shapes  map[string]*Histogram
+	cap     int
+	dropped atomic.Int64
+}
+
+func newShapeTracker(capacity int) *shapeTracker {
+	return &shapeTracker{shapes: make(map[string]*Histogram), cap: capacity}
+}
+
+func (t *shapeTracker) observe(text string, d time.Duration) {
+	t.mu.RLock()
+	h := t.shapes[text]
+	t.mu.RUnlock()
+	if h == nil {
+		t.mu.Lock()
+		if h = t.shapes[text]; h == nil {
+			if len(t.shapes) >= t.cap {
+				t.mu.Unlock()
+				t.dropped.Add(1)
+				return
+			}
+			h = &Histogram{}
+			t.shapes[text] = h
+		}
+		t.mu.Unlock()
+	}
+	h.Observe(d)
+}
+
+// top returns the k tracked shapes with the highest p99 latency,
+// worst first (ties broken by count, then query text, for a stable
+// /stats response).
+func (t *shapeTracker) top(k int) []QueryShapeStats {
+	t.mu.RLock()
+	out := make([]QueryShapeStats, 0, len(t.shapes))
+	for text, h := range t.shapes {
+		out = append(out, QueryShapeStats{Query: text, HistogramSnapshot: h.Snapshot()})
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P99US != out[j].P99US {
+			return out[i].P99US > out[j].P99US
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Query < out[j].Query
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // metrics is the server's counter set. Counters are atomics written on

@@ -75,6 +75,13 @@ type Config struct {
 	// PlanCacheSize bounds the plan cache (default
 	// query.DefaultCacheCapacity).
 	PlanCacheSize int
+	// TopQueries is how many query shapes /stats reports, highest p99
+	// first (default DefaultTopQueries).
+	TopQueries int
+	// MaxQueryShapes bounds the distinct executed query texts tracked for
+	// the top-queries report; shapes beyond it are counted as dropped
+	// instead of tracked (default DefaultMaxQueryShapes).
+	MaxQueryShapes int
 }
 
 // Defaults for the Config limit fields.
@@ -84,6 +91,8 @@ const (
 	DefaultRequestTimeout = 10 * time.Second
 	DefaultMaxBodyBytes   = 1 << 20 // 1 MiB
 	DefaultMaxQueryLen    = 8 << 10 // 8 KiB
+	DefaultTopQueries     = 5
+	DefaultMaxQueryShapes = 256
 )
 
 func (c Config) withDefaults() Config {
@@ -101,6 +110,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueryLen <= 0 {
 		c.MaxQueryLen = DefaultMaxQueryLen
+	}
+	if c.TopQueries <= 0 {
+		c.TopQueries = DefaultTopQueries
+	}
+	if c.MaxQueryShapes <= 0 {
+		c.MaxQueryShapes = DefaultMaxQueryShapes
 	}
 	return c
 }
@@ -131,6 +146,7 @@ type Server struct {
 	draining atomic.Bool
 	started  time.Time
 	m        metrics
+	shapes   *shapeTracker
 
 	httpSrv *http.Server
 }
@@ -147,6 +163,7 @@ func New(cfg Config) (*Server, error) {
 		cache:   query.NewCache(cfg.PlanCacheSize),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
+		shapes:  newShapeTracker(cfg.MaxQueryShapes),
 	}
 	s.data.Store(&dataset{graph: cfg.Graph, mapping: cfg.Mapping})
 	s.mux = http.NewServeMux()
@@ -303,9 +320,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// Render the canonical text once; it serves as both the cache key
-	// (Get, unlike GetParsed, renders nothing per call) and the
-	// response's executed-query field.
+	// Render the canonical text once; it serves as the cache key (Get,
+	// unlike GetParsed, renders nothing per call), the response's
+	// executed-query field, and the per-shape latency key — so the top-N
+	// report groups requests that execute identically, whatever their
+	// source formatting.
 	text := executed.String()
 	plan, err := s.cache.Get(d.graph, text)
 	s.swapMu.RUnlock()
@@ -314,6 +333,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("compile: %v", err))
 		return
 	}
+	// Track the shape only once a plan exists: uncompilable texts must
+	// not occupy the bounded tracker — top_queries reports *executed*
+	// shapes (timeouts and execution failures included). The clock starts
+	// here, not at handler entry: queue wait under saturation is the
+	// aggressor's cost, and attributing it to whichever shape happened to
+	// be waiting would finger the victims in the top-N report. (The
+	// /query endpoint histogram still measures end-to-end latency.)
+	execStart := time.Now()
+	defer func() { s.shapes.observe(text, time.Since(execStart)) }()
 
 	var st query.Stats
 	res, err := plan.ExecuteContextWithStats(ctx, &st)
@@ -398,6 +426,12 @@ type StatsResponse struct {
 	// (diskstore does, memstore does not).
 	Pager     *PagerStats                  `json:"pager,omitempty"`
 	Endpoints map[string]HistogramSnapshot `json:"endpoints"`
+	// TopQueries lists the executed query shapes with the highest p99
+	// latency, worst first (Config.TopQueries entries at most).
+	TopQueries []QueryShapeStats `json:"top_queries"`
+	// QueryShapesDropped counts observations discarded because more than
+	// Config.MaxQueryShapes distinct query texts were seen.
+	QueryShapesDropped int64 `json:"query_shapes_dropped,omitempty"`
 }
 
 // AdmissionStats mirrors the admission-control configuration and its
@@ -459,6 +493,8 @@ func (s *Server) Stats() StatsResponse {
 			"/healthz": s.m.healthz.Snapshot(),
 			"/stats":   s.m.stats.Snapshot(),
 		},
+		TopQueries:         s.shapes.top(s.cfg.TopQueries),
+		QueryShapesDropped: s.shapes.dropped.Load(),
 	}
 	if sr, ok := s.data.Load().graph.(storage.StatsReporter); ok {
 		ps := sr.Stats()

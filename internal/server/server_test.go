@@ -649,3 +649,86 @@ func TestQueryResponseMatchesEncodingJSON(t *testing.T) {
 		t.Errorf("rows = %v", qr.Rows)
 	}
 }
+
+// TestStatsTopQueries: /stats must report per-shape latency for the
+// executed (post-rewrite, canonical) query texts, worst p99 first, with
+// repeat executions of the same shape folded into one entry.
+func TestStatsTopQueries(t *testing.T) {
+	s, ts := newMedServer(t, Config{})
+	countQuery := `MATCH (d:Drug) RETURN COUNT(*)`
+	for i := 0; i < 3; i++ {
+		if status, _ := post(t, ts, drugQuery, "text/plain"); status != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, status)
+		}
+	}
+	if status, _ := post(t, ts, countQuery, "text/plain"); status != http.StatusOK {
+		t.Fatalf("count query: status %d", status)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if len(st.TopQueries) != 2 {
+		t.Fatalf("top_queries has %d entries, want 2: %+v", len(st.TopQueries), st.TopQueries)
+	}
+	byText := map[string]QueryShapeStats{}
+	for _, q := range st.TopQueries {
+		byText[q.Query] = q
+	}
+	// The tracked text is the canonical rendering, which these plain
+	// queries round-trip to themselves.
+	if got := byText[drugQuery].Count; got != 3 {
+		t.Errorf("shape %q count = %d, want 3 (tracked by canonical text)", drugQuery, got)
+	}
+	if got := byText[countQuery].Count; got != 1 {
+		t.Errorf("shape %q count = %d, want 1", countQuery, got)
+	}
+	for i := 1; i < len(st.TopQueries); i++ {
+		if st.TopQueries[i-1].P99US < st.TopQueries[i].P99US {
+			t.Errorf("top_queries not sorted by p99 desc: %+v", st.TopQueries)
+		}
+	}
+	if st.QueryShapesDropped != 0 {
+		t.Errorf("query_shapes_dropped = %d, want 0", st.QueryShapesDropped)
+	}
+	_ = s
+}
+
+// TestStatsTopQueriesBounded: past MaxQueryShapes distinct texts, new
+// shapes are dropped (and counted), never tracked — the key-space bound.
+func TestStatsTopQueriesBounded(t *testing.T) {
+	_, ts := newMedServer(t, Config{MaxQueryShapes: 2, TopQueries: 10})
+	shapes := []string{
+		`MATCH (d:Drug) RETURN d.name`,
+		`MATCH (d:Drug) RETURN COUNT(*)`,
+		`MATCH (d:Drug) RETURN d.name LIMIT 1`,
+		`MATCH (d:Drug) RETURN d.name LIMIT 2`,
+	}
+	for _, q := range shapes {
+		if status, _ := post(t, ts, q, "text/plain"); status != http.StatusOK {
+			t.Fatalf("%q: status %d", q, status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.TopQueries) != 2 {
+		t.Errorf("tracked %d shapes with a capacity of 2: %+v", len(st.TopQueries), st.TopQueries)
+	}
+	if st.QueryShapesDropped != 2 {
+		t.Errorf("query_shapes_dropped = %d, want 2", st.QueryShapesDropped)
+	}
+}

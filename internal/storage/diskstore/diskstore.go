@@ -15,11 +15,13 @@ package diskstore
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/bits"
 	"os"
 	"path/filepath"
 	"sort"
+	"syscall"
 
 	"repro/internal/graph"
 	"repro/internal/storage"
@@ -29,8 +31,11 @@ const (
 	vertexRecSize = 64
 	edgeRecSize   = 64
 	propRecSize   = 32
-	degRecSize    = 32
-	maxLabels     = 128
+	// degRecSize is the legacy (v3) degree record size; v4 degree records
+	// grew to degRecSizeV4 to carry per-type adjacency segment heads.
+	degRecSize   = 32
+	degRecSizeV4 = 64
+	maxLabels    = 128
 )
 
 // Options configures a Store.
@@ -41,6 +46,11 @@ type Options struct {
 	// CachePages is the page cache capacity (default 256 pages = 2 MiB
 	// with the default page size).
 	CachePages int
+
+	// formatVersion forces the on-disk format of a newly created store
+	// (tests only: it lets the current code synthesize legacy v2/v3
+	// stores). Zero means the current format.
+	formatVersion int
 }
 
 func (o Options) withDefaults() Options {
@@ -54,14 +64,28 @@ func (o Options) withDefaults() Options {
 }
 
 // formatVersion is the on-disk record layout version. Version 2 added
-// untyped degree counters to vertex records (bytes 41-48). Version 3 adds
-// per-type degree records (degrees.db, chained off bytes 49-56 of the
-// vertex record) so typed Degree lookups no longer walk the adjacency
-// chain. Version 2 stores remain readable: they open in a legacy mode
-// that answers typed degrees by walking the chain and keeps writing a v2
-// manifest. Version 1 and unknown versions are rejected — v1 vertex
-// records would silently read their degree counters as zero.
-const formatVersion = 3
+// untyped degree counters to vertex records (bytes 41-48). Version 3
+// added per-type degree records (degrees.db, chained off bytes 49-56 of
+// the vertex record) so typed Degree lookups no longer walk the adjacency
+// chain. Version 4 — current — adds:
+//
+//   - a persisted derived-structure file (index.db) holding the label-scan
+//     index and redundant symbol tables, so Open is O(index size) instead
+//     of a full vertex scan;
+//   - 64-byte degree records carrying per-type adjacency segment heads;
+//   - the type-segmented adjacency invariant ("segmented" manifest flag):
+//     after Finalize/Compact, each vertex's out/in chains are grouped by
+//     edge type (out-chains additionally physically clustered in
+//     edges.db), so typed traversals seek to their segment and never read
+//     other types' edge records.
+//
+// Version 2 and 3 stores remain readable: they open in a legacy mode that
+// rebuilds the label index by scanning vertices, answers typed queries
+// the old way, and keeps writing a same-version manifest on Flush
+// (opening never silently upgrades a store; Compact upgrades explicitly).
+// Version 1 and unknown versions are rejected — v1 vertex records would
+// silently read their degree counters as zero.
+const formatVersion = 4
 
 type manifest struct {
 	Version     int      `json:"version"`
@@ -73,6 +97,9 @@ type manifest struct {
 	NumProps    int64    `json:"num_props"`
 	NumDegs     int64    `json:"num_degs,omitempty"`
 	BlobSize    int64    `json:"blob_size"`
+	// Segmented records the type-segmented adjacency invariant (v4; see
+	// formatVersion).
+	Segmented bool `json:"segmented,omitempty"`
 }
 
 // Store is a disk-backed property graph. Building (AddVertex, AddEdge,
@@ -89,8 +116,33 @@ type Store struct {
 	opts  Options
 
 	// version is the manifest version this store was opened with; Flush
-	// preserves it so a v2 store stays a valid v2 store on disk.
+	// preserves it so a v2/v3 store stays a valid same-version store on
+	// disk. Only Finalize/Compact (and the bulk ingest path, which implies
+	// Finalize) upgrade a store to the current format.
 	version int
+
+	// segmented is the type-segmented adjacency invariant: every vertex's
+	// out/in chains are grouped by edge type and the per-type degree
+	// records carry segment heads, so typed iteration seeks instead of
+	// filtering. Established by Finalize, broken by incremental AddEdge.
+	segmented bool
+	// needFinalize is set by AddEdgeBatch: edges were appended without
+	// adjacency linkage and Finalize must run before the store is read.
+	// Flush finalizes automatically as a safety net.
+	needFinalize bool
+	// indexLoaded reports that Open restored the label index from
+	// index.db instead of scanning every vertex record.
+	indexLoaded bool
+	// indexCurrent reports that the index.db on disk describes the
+	// current in-memory state: set by a successful load at Open and by
+	// every index write, cleared by the first mutation. A clean Flush
+	// with a current index skips the rewrite.
+	indexCurrent bool
+	// dirty is set by the first mutation since open/flush (markDirty),
+	// which also removes index.db at that moment — so no crash window
+	// exists in which on-disk data coexists with a stale-but-validating
+	// index.
+	dirty bool
 
 	labels   []string
 	labelIDs map[string]int
@@ -113,10 +165,42 @@ type Store struct {
 // adjacency chain, and AddEdge does not maintain degree records.
 func (s *Store) legacyDegrees() bool { return s.version < 3 }
 
+// degSize is the on-disk degree record size for this store's format.
+func (s *Store) degSize() int64 {
+	if s.version >= 4 {
+		return degRecSizeV4
+	}
+	return degRecSize
+}
+
+// FormatInfo describes how a store was opened; see (*Store).Format.
+type FormatInfo struct {
+	// Version is the on-disk format version (2-4).
+	Version int
+	// Segmented reports the type-segmented adjacency invariant.
+	Segmented bool
+	// IndexLoaded reports that Open restored the label index from
+	// index.db rather than scanning every vertex record.
+	IndexLoaded bool
+}
+
+// Format reports the store's on-disk format version and how it was
+// opened. Serving and benchmark tools log it so "did this store open the
+// fast way" is observable.
+func (s *Store) Format() FormatInfo {
+	return FormatInfo{Version: s.version, Segmented: s.segmented, IndexLoaded: s.indexLoaded}
+}
+
+// SegmentedAdjacency reports whether adjacency is currently grouped by
+// edge type (see storage.TypeSegmentedGraph).
+func (s *Store) SegmentedAdjacency() bool { return s.segmented }
+
 var (
-	_ storage.Builder       = (*Store)(nil)
-	_ storage.FastGraph     = (*Store)(nil)
-	_ storage.StatsReporter = (*Store)(nil)
+	_ storage.Builder            = (*Store)(nil)
+	_ storage.FastGraph          = (*Store)(nil)
+	_ storage.StatsReporter      = (*Store)(nil)
+	_ storage.BatchBuilder       = (*Store)(nil)
+	_ storage.TypeSegmentedGraph = (*Store)(nil)
 )
 
 // Open creates (or reopens) a store in dir.
@@ -127,6 +211,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, finalizeMarker)); err == nil {
+		// Finalize rewrites edges.db in place with renumbered IDs; the
+		// marker survives only when that rewrite never committed, so the
+		// edge file may hold a mix of old- and new-order records that the
+		// manifest cannot detect. Refusing is the only safe answer.
+		return nil, fmt.Errorf("diskstore: %s was interrupted mid-finalize/compact and its edge records may be partially rewritten; rebuild the store", dir)
 	}
 	var files [numFiles]*os.File
 	for i, name := range []string{"vertices.db", "edges.db", "props.db", "blobs.db", "degrees.db"} {
@@ -140,15 +231,20 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	version := formatVersion
+	if opts.formatVersion != 0 {
+		version = opts.formatVersion
+	}
 	s := &Store{
-		dir:      dir,
-		pager:    pg,
-		opts:     opts,
-		version:  formatVersion,
-		labelIDs: map[string]int{},
-		typeIDs:  map[string]int{},
-		keyIDs:   map[string]int{},
-		byLabel:  map[int][]storage.VID{},
+		dir:       dir,
+		pager:     pg,
+		opts:      opts,
+		version:   version,
+		segmented: true, // trivially: no edges yet (loadManifest overrides)
+		labelIDs:  map[string]int{},
+		typeIDs:   map[string]int{},
+		keyIDs:    map[string]int{},
+		byLabel:   map[int][]storage.VID{},
 	}
 	if err := s.loadManifest(); err != nil {
 		return nil, err
@@ -168,10 +264,13 @@ func (s *Store) loadManifest() error {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return err
 	}
-	if m.Version != formatVersion && m.Version != 2 {
-		return fmt.Errorf("diskstore: store format v%d is not supported (want v%d or v2); rebuild the store", m.Version, formatVersion)
+	if m.Version < 2 || m.Version > formatVersion {
+		return fmt.Errorf("diskstore: store format v%d is not supported (want v2..v%d); rebuild the store", m.Version, formatVersion)
 	}
 	s.version = m.Version
+	// Only v4 degree records carry the segment heads the seek path needs;
+	// never trust a segmented claim on a legacy manifest.
+	s.segmented = m.Segmented && m.Version >= 4
 	s.labels, s.types, s.keys = m.Labels, m.Types, m.Keys
 	s.numVertices, s.numEdges, s.numProps, s.blobSize = m.NumVertices, m.NumEdges, m.NumProps, m.BlobSize
 	s.numDegs = m.NumDegs
@@ -184,7 +283,15 @@ func (s *Store) loadManifest() error {
 	for i, k := range s.keys {
 		s.keyIDs[k] = i
 	}
-	// Rebuild the label scan index.
+	// Restore the label-scan index: v4 stores persist it in index.db, so
+	// opening costs O(index size). Legacy stores — and v4 stores whose
+	// index file is missing, torn, or out of step with the manifest — fall
+	// back to rebuilding it from a full vertex scan.
+	if s.version >= 4 && s.loadIndex() {
+		s.indexLoaded = true
+		s.indexCurrent = true
+		return nil
+	}
 	for v := int64(0); v < s.numVertices; v++ {
 		rec, err := s.readVertex(storage.VID(v))
 		if err != nil {
@@ -197,22 +304,137 @@ func (s *Store) loadManifest() error {
 	return nil
 }
 
-// Flush writes dirty pages and the manifest to disk.
+// markDirty records the first mutation since open/flush. For v4 stores
+// it removes index.db at that moment — before the mutation's page write,
+// and crucially before cache eviction can push any dirty page to disk —
+// because no index may ever sit on disk alongside data newer than it:
+// record counts and symbol tables cannot catch every mutation (e.g.
+// AddLabel of an existing label to an existing vertex changes neither),
+// so a surviving stale index could still validate. From the first
+// mutation until the next successful Flush, a crash leaves a store with
+// no index that rebuilds correctly by scanning.
+func (s *Store) markDirty() error {
+	if s.dirty {
+		return nil
+	}
+	if s.version >= 4 {
+		if err := os.Remove(s.indexPath()); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	s.indexCurrent = false
+	s.dirty = true
+	return nil
+}
+
+// Flush writes dirty pages, the derived-index file (v4), and the manifest
+// to disk. The index and manifest are each written to a temp file and
+// renamed into place, so a crash mid-flush leaves either the old or the
+// new file — never a torn one — and the manifest rename is the commit
+// point (index.db itself was already removed by the first mutation; see
+// markDirty). A store with nothing mutated since open skips the rewrites
+// entirely — read-only workloads stay read-only on close — unless it is
+// a v4 store whose index had to be rebuilt by scanning, which writes once
+// to repair the missing index file. Pending bulk edges (AddEdgeBatch
+// without Finalize) are finalized first so a flushed store is always
+// fully linked.
 func (s *Store) Flush() error {
+	if s.needFinalize {
+		if err := s.Finalize(); err != nil {
+			return err
+		}
+	}
+	if !s.dirty && (s.version < 4 || s.indexCurrent) {
+		return s.pager.flush()
+	}
 	if err := s.pager.flush(); err != nil {
 		return err
+	}
+	if s.version >= 4 {
+		if err := s.writeIndex(); err != nil {
+			return err
+		}
+		s.indexCurrent = true
 	}
 	m := manifest{
 		Version: s.version,
 		Labels:  s.labels, Types: s.types, Keys: s.keys,
 		NumVertices: s.numVertices, NumEdges: s.numEdges, NumProps: s.numProps,
 		NumDegs: s.numDegs, BlobSize: s.blobSize,
+		Segmented: s.segmented && s.version >= 4,
 	}
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(s.dir, "manifest.json"), data, 0o644)
+	if err := writeFileAtomic(filepath.Join(s.dir, "manifest.json"), data); err != nil {
+		return err
+	}
+	// The manifest rename committed the flush; a finalize that ran since
+	// the last commit is now fully durable, so its marker can go. (A
+	// crash between the two leaves the marker on a consistent store — a
+	// safe false positive: Open refuses and asks for a rebuild.)
+	if err := os.Remove(filepath.Join(s.dir, finalizeMarker)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// finalizeMarker is the sentinel file present while a Finalize/Compact
+// edge rewrite is in flight but not yet committed by a Flush; see
+// Finalize and Open.
+const finalizeMarker = "finalize.inprogress"
+
+// placeFinalizeMarker creates (and syncs) the in-flight finalize
+// sentinel.
+func (s *Store) placeFinalizeMarker() error {
+	return writeFileAtomic(filepath.Join(s.dir, finalizeMarker),
+		[]byte("edge rewrite in flight; removed by the next committed Flush\n"))
+}
+
+// writeFileAtomic writes data to a sibling temp file, syncs it, renames
+// it over path, and syncs the parent directory, so readers only ever
+// observe the old or the new content — and the rename itself survives a
+// power loss, which the finalize-marker protocol depends on.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-completed rename in it is
+// durable. Filesystems that cannot sync directories make it a no-op.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
 }
 
 // Close flushes and closes the underlying files.
@@ -264,15 +486,25 @@ type edgeRec struct {
 }
 
 // degRec is one vertex's degree counters for one edge type, chained per
-// vertex in type-first-seen order. Chains are short — one record per
+// vertex (Finalize chains them in ascending type order; incremental
+// building in type-first-seen order). Chains are short — one record per
 // distinct edge type the vertex touches — so walking them is cheap even
 // for hub vertices with huge adjacency chains.
+//
+// In format v4 the record doubles as the type's adjacency segment
+// descriptor: firstOut/firstIn point at the first edge of this type's
+// segment in the vertex's out/in chains, valid while the store's
+// segmented invariant holds. Legacy (v3) records are 32 bytes and have no
+// segment heads.
 type degRec struct {
 	inUse  bool
 	typeID uint32
 	outDeg uint32
 	inDeg  uint32
 	next   int64 // deg id + 1
+	// v4 only: heads of this type's adjacency segments (edge id + 1).
+	firstOut int64
+	firstIn  int64
 }
 
 type propRec struct {
@@ -373,21 +605,28 @@ func (s *Store) writeProp(p int64, r propRec) error {
 }
 
 func (s *Store) readDeg(d int64) (degRec, error) {
-	var buf [degRecSize]byte
-	if err := s.pager.read(fileDegrees, d*degRecSize, buf[:]); err != nil {
+	size := s.degSize()
+	var buf [degRecSizeV4]byte
+	if err := s.pager.read(fileDegrees, d*size, buf[:size]); err != nil {
 		return degRec{}, err
 	}
-	return degRec{
+	r := degRec{
 		inUse:  buf[0]&1 != 0,
 		typeID: binary.LittleEndian.Uint32(buf[1:]),
 		outDeg: binary.LittleEndian.Uint32(buf[5:]),
 		inDeg:  binary.LittleEndian.Uint32(buf[9:]),
 		next:   int64(binary.LittleEndian.Uint64(buf[13:])),
-	}, nil
+	}
+	if size == degRecSizeV4 {
+		r.firstOut = int64(binary.LittleEndian.Uint64(buf[21:]))
+		r.firstIn = int64(binary.LittleEndian.Uint64(buf[29:]))
+	}
+	return r, nil
 }
 
 func (s *Store) writeDeg(d int64, r degRec) error {
-	var buf [degRecSize]byte
+	size := s.degSize()
+	var buf [degRecSizeV4]byte
 	if r.inUse {
 		buf[0] = 1
 	}
@@ -395,7 +634,11 @@ func (s *Store) writeDeg(d int64, r degRec) error {
 	binary.LittleEndian.PutUint32(buf[5:], r.outDeg)
 	binary.LittleEndian.PutUint32(buf[9:], r.inDeg)
 	binary.LittleEndian.PutUint64(buf[13:], uint64(r.next))
-	return s.pager.write(fileDegrees, d*degRecSize, buf[:])
+	if size == degRecSizeV4 {
+		binary.LittleEndian.PutUint64(buf[21:], uint64(r.firstOut))
+		binary.LittleEndian.PutUint64(buf[29:], uint64(r.firstIn))
+	}
+	return s.pager.write(fileDegrees, d*size, buf[:size])
 }
 
 // bumpDeg increments the per-type degree counter reachable from rec,
@@ -600,6 +843,9 @@ func decodeList(data []byte) (graph.Value, error) {
 
 // AddVertex creates a vertex with the given labels.
 func (s *Store) AddVertex(labels ...string) (storage.VID, error) {
+	if err := s.markDirty(); err != nil {
+		return 0, err
+	}
 	v := storage.VID(s.numVertices)
 	s.numVertices++
 	if err := s.writeVertex(v, vertexRec{inUse: true}); err != nil {
@@ -647,6 +893,9 @@ func (s *Store) AddLabel(v storage.VID, label string) error {
 		return nil
 	}
 	rec.labels[w] |= 1 << b
+	if err := s.markDirty(); err != nil {
+		return err
+	}
 	if err := s.writeVertex(v, rec); err != nil {
 		return err
 	}
@@ -664,6 +913,9 @@ func (s *Store) SetProp(v storage.VID, key string, val graph.Value) error {
 		keyID = len(s.keys)
 		s.keys = append(s.keys, key)
 		s.keyIDs[key] = keyID
+	}
+	if err := s.markDirty(); err != nil {
+		return err
 	}
 	kind, a, b, err := s.encodeValue(val)
 	if err != nil {
@@ -711,8 +963,14 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 		s.types = append(s.types, etype)
 		s.typeIDs[etype] = typeID
 	}
+	if err := s.markDirty(); err != nil {
+		return 0, err
+	}
 	e := storage.EID(s.numEdges)
 	s.numEdges++
+	// Prepending to the chain heads interleaves types; the segmented
+	// invariant is gone until the next Finalize/Compact.
+	s.segmented = false
 
 	srcRec, err := s.readVertex(src)
 	if err != nil {
@@ -855,6 +1113,10 @@ func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn fu
 	if err != nil {
 		return
 	}
+	if etype != storage.AnySymbol && s.segmented {
+		s.forEachSegment(rec, uint32(etype), out, fn)
+		return
+	}
 	p := rec.firstOut
 	if !out {
 		p = rec.firstIn
@@ -876,6 +1138,48 @@ func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn fu
 			}
 		}
 		p = next
+	}
+}
+
+// forEachSegment is the typed iteration fast path on a segmented store:
+// it finds the type's degree record (one short chain walk), seeks to its
+// adjacency segment head, and consumes edges until the segment ends —
+// other types' edge records are never read, the storage-level analogue of
+// the paper's schema-driven traversal pruning.
+func (s *Store) forEachSegment(rec vertexRec, typeID uint32, out bool, fn func(storage.EID, storage.VID) bool) {
+	for d := rec.firstDeg; d != 0; {
+		dr, err := s.readDeg(d - 1)
+		if err != nil {
+			return
+		}
+		if dr.typeID != typeID {
+			d = dr.next
+			continue
+		}
+		p := dr.firstOut
+		if !out {
+			p = dr.firstIn
+		}
+		for p != 0 {
+			er, err := s.readEdge(storage.EID(p - 1))
+			if err != nil {
+				return
+			}
+			if er.typeID != typeID {
+				return // left the segment
+			}
+			other := storage.VID(er.dst)
+			next := er.nextOut
+			if !out {
+				other = storage.VID(er.src)
+				next = er.nextIn
+			}
+			if !fn(storage.EID(p-1), other) {
+				return
+			}
+			p = next
+		}
+		return
 	}
 }
 

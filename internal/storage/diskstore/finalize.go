@@ -1,0 +1,297 @@
+package diskstore
+
+// The bulk-build write path (storage.BatchBuilder) and the finalize /
+// compact step that establishes format v4's type-segmented adjacency.
+//
+// Bulk ingestion defers all adjacency work: AddVertexBatch writes bare
+// vertex records, AddEdgeBatch appends bare edge records with no chain
+// links, and Finalize builds everything derived — chain links, degree
+// records with segment heads, untyped degree counters — in one sorted
+// pass. The same pass doubles as the upgrade step for legacy stores
+// (Compact), because it never trusts any derived structure: only the
+// src/dst/type triples in edges.db.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// AddVertexBatch creates the batch's vertices with consecutive VIDs
+// starting at the returned ID. Labels are set directly in the fresh
+// record — one record write per vertex instead of AddVertex's write plus
+// one read-modify-write per label.
+func (s *Store) AddVertexBatch(batch []storage.BulkVertex) (storage.VID, error) {
+	if err := s.markDirty(); err != nil {
+		return 0, err
+	}
+	first := storage.VID(s.numVertices)
+	for _, bv := range batch {
+		v := storage.VID(s.numVertices)
+		s.numVertices++
+		rec := vertexRec{inUse: true}
+		for _, l := range bv.Labels {
+			id, _, err := s.labelID(l, true)
+			if err != nil {
+				return 0, err
+			}
+			w, b := id/64, uint(id%64)
+			if rec.labels[w]&(1<<b) == 0 {
+				rec.labels[w] |= 1 << b
+				s.byLabel[id] = append(s.byLabel[id], v)
+			}
+		}
+		if err := s.writeVertex(v, rec); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+// AddEdgeBatch appends bare edge records — src, dst, type, no chain
+// links. The edges are invisible to traversals until Finalize links them;
+// Flush runs Finalize automatically if the caller has not. The
+// pending-finalize state is set before the first record goes out, so even
+// a mid-batch failure leaves a store whose next Flush links whatever was
+// appended.
+func (s *Store) AddEdgeBatch(batch []storage.BulkEdge) error {
+	if err := s.markDirty(); err != nil {
+		return err
+	}
+	s.segmented = false
+	s.needFinalize = true
+	for _, be := range batch {
+		if err := s.check(be.Src); err != nil {
+			return err
+		}
+		if err := s.check(be.Dst); err != nil {
+			return err
+		}
+		typeID, ok := s.typeIDs[be.Type]
+		if !ok {
+			typeID = len(s.types)
+			s.types = append(s.types, be.Type)
+			s.typeIDs[be.Type] = typeID
+		}
+		e := storage.EID(s.numEdges)
+		s.numEdges++
+		if err := s.writeEdge(e, edgeRec{
+			inUse: true, typeID: uint32(typeID),
+			src: int64(be.Src), dst: int64(be.Dst),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// edgeLite is the in-memory shape of one edge during Finalize.
+type edgeLite struct {
+	src, dst int64
+	typeID   uint32
+}
+
+// Finalize completes deferred bulk construction and (re)establishes the
+// v4 physical layout. It rewrites edges.db clustered by (source vertex,
+// edge type) — so a vertex's out adjacency is one contiguous, type-grouped
+// run of records and a typed out-traversal touches the minimum number of
+// pages — threads type-grouped in-chains through the new records, and
+// rebuilds every vertex's degree counters and per-type degree records
+// (now doubling as segment descriptors). Afterwards the store satisfies
+// the segmented-adjacency invariant: typed ForEach seeks straight to its
+// type's segment.
+//
+// Because Finalize rebuilds all derived structures from the base
+// src/dst/type records, it also serves as the format upgrade for legacy
+// v2/v3 stores (see Compact) and as the repair step after incremental
+// AddEdge calls broke segmentation. Edge IDs are renumbered by the
+// clustering; EIDs observed before Finalize are invalid after it (the
+// storage.BatchBuilder contract).
+func (s *Store) Finalize() error {
+	if err := s.markDirty(); err != nil {
+		return err
+	}
+	if s.version < 4 {
+		// The rebuild writes current-format degree records and flushes a
+		// current-format manifest + index; this is the explicit upgrade
+		// path, never taken by plain Open/Flush.
+		s.version = 4
+	}
+	nE := int(s.numEdges)
+	recs := make([]edgeLite, nE)
+	for e := 0; e < nE; e++ {
+		er, err := s.readEdge(storage.EID(e))
+		if err != nil {
+			return fmt.Errorf("diskstore: finalize: read edge %d: %w", e, err)
+		}
+		if !er.inUse {
+			return fmt.Errorf("diskstore: finalize: edge %d not in use", e)
+		}
+		recs[e] = edgeLite{src: er.src, dst: er.dst, typeID: er.typeID}
+	}
+	// The rewrite below renumbers edges.db in place, and cache eviction
+	// may push any subset of the new pages to disk at any moment — a
+	// crash mid-rewrite would leave records in a mixed old/new order that
+	// the (unchanged) manifest still validates. The marker file turns
+	// that silent corruption into a detected one: it is created before
+	// the first rewritten page can reach disk and removed only by the
+	// next successful Flush, so Open refuses a store whose finalize never
+	// committed.
+	if err := s.placeFinalizeMarker(); err != nil {
+		return err
+	}
+
+	// New edge order, clustered by (src, type): the new ID of edge
+	// perm[k] is k, so a vertex's out-chain is the contiguous run of its
+	// records and nextOut links are simply "the next record".
+	perm := make([]int, nE)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool {
+		a, b := &recs[perm[i]], &recs[perm[j]]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.typeID != b.typeID {
+			return a.typeID < b.typeID
+		}
+		return perm[i] < perm[j] // stable: keep ingest order within a segment
+	})
+	newID := make([]int, nE)
+	for k, old := range perm {
+		newID[old] = k
+	}
+
+	// In-chains cannot also be physically contiguous, but they are
+	// threaded type-grouped (and in ascending new ID within a segment,
+	// for what locality remains).
+	inOrder := make([]int, nE)
+	for i := range inOrder {
+		inOrder[i] = i
+	}
+	sort.Slice(inOrder, func(i, j int) bool {
+		a, b := &recs[inOrder[i]], &recs[inOrder[j]]
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		if a.typeID != b.typeID {
+			return a.typeID < b.typeID
+		}
+		return newID[inOrder[i]] < newID[inOrder[j]]
+	})
+	nextIn := make([]int64, nE) // indexed by new ID; new EID+1 or 0
+	for i := 0; i+1 < nE; i++ {
+		a, b := inOrder[i], inOrder[i+1]
+		if recs[a].dst == recs[b].dst {
+			nextIn[newID[a]] = int64(newID[b]) + 1
+		}
+	}
+
+	// Rewrite edges.db in the new order — one sequential pass.
+	for k, old := range perm {
+		r := recs[old]
+		var nextOut int64
+		if k+1 < nE && recs[perm[k+1]].src == r.src {
+			nextOut = int64(k) + 2
+		}
+		if err := s.writeEdge(storage.EID(k), edgeRec{
+			inUse: true, typeID: r.typeID, src: r.src, dst: r.dst,
+			nextOut: nextOut, nextIn: nextIn[k],
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Per-vertex: adjacency heads, untyped degree counters, and the
+	// ascending-type degree chain with segment heads. degrees.db is
+	// rewritten from scratch.
+	s.numDegs = 0
+	oi, ii := 0, 0
+	var degs []degRec
+	for v := int64(0); v < s.numVertices; v++ {
+		rec, err := s.readVertex(storage.VID(v))
+		if err != nil {
+			return err
+		}
+		outStart := oi
+		for oi < nE && recs[perm[oi]].src == v {
+			oi++
+		}
+		inStart := ii
+		for ii < nE && recs[inOrder[ii]].dst == v {
+			ii++
+		}
+		rec.outDeg = uint32(oi - outStart)
+		rec.inDeg = uint32(ii - inStart)
+		rec.firstOut, rec.firstIn, rec.firstDeg = 0, 0, 0
+		if oi > outStart {
+			rec.firstOut = int64(outStart) + 1
+		}
+		if ii > inStart {
+			rec.firstIn = int64(newID[inOrder[inStart]]) + 1
+		}
+		// Merge the two type-grouped runs into one ascending-type chain.
+		degs = degs[:0]
+		o, i := outStart, inStart
+		for o < oi || i < ii {
+			var t uint32
+			switch {
+			case o >= oi:
+				t = recs[inOrder[i]].typeID
+			case i >= ii:
+				t = recs[perm[o]].typeID
+			default:
+				t = min(recs[perm[o]].typeID, recs[inOrder[i]].typeID)
+			}
+			dr := degRec{inUse: true, typeID: t}
+			if o < oi && recs[perm[o]].typeID == t {
+				dr.firstOut = int64(o) + 1
+				for o < oi && recs[perm[o]].typeID == t {
+					o++
+					dr.outDeg++
+				}
+			}
+			if i < ii && recs[inOrder[i]].typeID == t {
+				dr.firstIn = int64(newID[inOrder[i]]) + 1
+				for i < ii && recs[inOrder[i]].typeID == t {
+					i++
+					dr.inDeg++
+				}
+			}
+			degs = append(degs, dr)
+		}
+		if len(degs) > 0 {
+			base := s.numDegs
+			rec.firstDeg = base + 1
+			for j := range degs {
+				if j+1 < len(degs) {
+					degs[j].next = base + int64(j) + 2
+				}
+				if err := s.writeDeg(base+int64(j), degs[j]); err != nil {
+					return err
+				}
+			}
+			s.numDegs += int64(len(degs))
+		}
+		if err := s.writeVertex(storage.VID(v), rec); err != nil {
+			return err
+		}
+	}
+	s.segmented = true
+	s.needFinalize = false
+	return nil
+}
+
+// Compact rewrites the store as a fully finalized current-format (v4)
+// store and flushes it: legacy v2/v3 stores are upgraded in place (the
+// next Open restores the label index from index.db instead of scanning),
+// and stores whose segmentation was broken by incremental AddEdge calls
+// get the invariant back. Edge IDs are renumbered; see Finalize.
+func (s *Store) Compact() error {
+	if err := s.Finalize(); err != nil {
+		return err
+	}
+	return s.Flush()
+}

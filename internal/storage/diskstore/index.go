@@ -1,0 +1,171 @@
+package diskstore
+
+// index.db persists the store's derived open-time structures — the
+// label-scan index and (redundantly, for validation) the symbol tables —
+// so reopening a v4 store costs O(index size) instead of the full vertex
+// scan legacy formats pay. The file is advisory: it is rewritten on every
+// Flush via writeFileAtomic, carries a CRC, and is cross-checked against
+// the manifest on load; if it is missing, torn, or out of step, Open
+// silently falls back to rebuilding the index by scanning vertices.
+//
+// Layout (little-endian):
+//
+//	magic   [8]byte  "PGSIDX04"
+//	crc32   u32      IEEE CRC of everything after this field
+//	numVertices, numEdges, numDegs  u64 × 3   (validated vs manifest)
+//	labels, types, keys   3 × (u32 count, then per entry u32 len + bytes)
+//	label index           u32 count (== len(labels)), then per label:
+//	                      u64 entry count + that many u64 VIDs, in the
+//	                      in-memory (insertion) order of the scan index
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/storage"
+)
+
+const indexMagic = "PGSIDX04"
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.db") }
+
+// writeIndex serializes the label index and symbol tables and atomically
+// replaces index.db.
+func (s *Store) writeIndex() error {
+	var buf []byte
+	var scratch [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		buf = append(buf, scratch[:4]...)
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		buf = append(buf, scratch[:]...)
+	}
+	str := func(x string) {
+		u32(uint32(len(x)))
+		buf = append(buf, x...)
+	}
+	u64(uint64(s.numVertices))
+	u64(uint64(s.numEdges))
+	u64(uint64(s.numDegs))
+	for _, table := range [][]string{s.labels, s.types, s.keys} {
+		u32(uint32(len(table)))
+		for _, entry := range table {
+			str(entry)
+		}
+	}
+	u32(uint32(len(s.labels)))
+	for id := range s.labels {
+		vids := s.byLabel[id]
+		u64(uint64(len(vids)))
+		for _, v := range vids {
+			u64(uint64(v))
+		}
+	}
+	out := make([]byte, 0, len(indexMagic)+4+len(buf))
+	out = append(out, indexMagic...)
+	binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(buf))
+	out = append(out, scratch[:4]...)
+	out = append(out, buf...)
+	return writeFileAtomic(s.indexPath(), out)
+}
+
+// loadIndex restores the label index from index.db, reporting success.
+// Any inconsistency — missing file, bad magic or CRC, counts or symbol
+// tables disagreeing with the already-loaded manifest — makes it report
+// false without touching store state, and the caller rebuilds by
+// scanning.
+func (s *Store) loadIndex() bool {
+	data, err := os.ReadFile(s.indexPath())
+	if err != nil || len(data) < len(indexMagic)+4 || string(data[:len(indexMagic)]) != indexMagic {
+		return false
+	}
+	payload := data[len(indexMagic)+4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[len(indexMagic):]) {
+		return false
+	}
+	r := idxReader{data: payload, ok: true}
+	if int64(r.u64()) != s.numVertices || int64(r.u64()) != s.numEdges || int64(r.u64()) != s.numDegs {
+		return false
+	}
+	for _, table := range [][]string{s.labels, s.types, s.keys} {
+		if int(r.u32()) != len(table) {
+			return false
+		}
+		for _, want := range table {
+			if r.str() != want {
+				return false
+			}
+		}
+	}
+	if int(r.u32()) != len(s.labels) {
+		return false
+	}
+	byLabel := make(map[int][]storage.VID, len(s.labels))
+	for id := range s.labels {
+		n := r.u64()
+		if !r.ok || n > uint64(s.numVertices) {
+			return false
+		}
+		vids := make([]storage.VID, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v := storage.VID(r.u64())
+			if v < 0 || int64(v) >= s.numVertices {
+				return false
+			}
+			vids = append(vids, v)
+		}
+		if len(vids) > 0 {
+			byLabel[id] = vids
+		}
+	}
+	if !r.ok || len(r.data) != 0 {
+		return false
+	}
+	s.byLabel = byLabel
+	return true
+}
+
+// idxReader is a bounds-checked little-endian decoder; after any
+// overrun, ok is false and every read returns zero values.
+type idxReader struct {
+	data []byte
+	ok   bool
+}
+
+func (r *idxReader) take(n int) []byte {
+	if !r.ok || len(r.data) < n {
+		r.ok = false
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *idxReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *idxReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *idxReader) str() string {
+	n := r.u32()
+	if !r.ok || uint64(n) > uint64(len(r.data)) {
+		r.ok = false
+		return ""
+	}
+	return string(r.take(int(n)))
+}

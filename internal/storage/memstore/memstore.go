@@ -6,6 +6,7 @@ package memstore
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/storage"
@@ -52,20 +53,28 @@ type Store struct {
 	keys     []string
 
 	byLabel map[int32][]storage.VID
+
+	// segmented reports that every vertex's out/in lists are sorted by
+	// (etype, id), so typed iteration and degree queries can binary-search
+	// the matching segment. Established by Finalize, broken by AddEdge.
+	segmented bool
 }
 
 var (
-	_ storage.Builder   = (*Store)(nil)
-	_ storage.FastGraph = (*Store)(nil)
+	_ storage.Builder            = (*Store)(nil)
+	_ storage.FastGraph          = (*Store)(nil)
+	_ storage.BatchBuilder       = (*Store)(nil)
+	_ storage.TypeSegmentedGraph = (*Store)(nil)
 )
 
 // New returns an empty in-memory store.
 func New() *Store {
 	return &Store{
-		labelIDs: map[string]int32{},
-		typeIDs:  map[string]int32{},
-		keyIDs:   map[string]int32{},
-		byLabel:  map[int32][]storage.VID{},
+		labelIDs:  map[string]int32{},
+		typeIDs:   map[string]int32{},
+		keyIDs:    map[string]int32{},
+		byLabel:   map[int32][]storage.VID{},
+		segmented: true, // trivially: no edges yet
 	}
 }
 
@@ -154,8 +163,64 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 	s.numEdges++
 	s.vertices[src].out = append(s.vertices[src].out, halfEdge{etype: t, other: dst, id: id})
 	s.vertices[dst].in = append(s.vertices[dst].in, halfEdge{etype: t, other: src, id: id})
+	// Appending in arrival order breaks type grouping until the next
+	// Finalize.
+	s.segmented = false
 	return id, nil
 }
+
+// ---- storage.BatchBuilder ----
+
+// AddVertexBatch creates the batch's vertices with consecutive IDs.
+func (s *Store) AddVertexBatch(batch []storage.BulkVertex) (storage.VID, error) {
+	first := storage.VID(len(s.vertices))
+	s.vertices = append(s.vertices, make([]vertex, len(batch))...)
+	for i, bv := range batch {
+		for _, l := range bv.Labels {
+			if err := s.AddLabel(first+storage.VID(i), l); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return first, nil
+}
+
+// AddEdgeBatch creates the batch's edges. In-memory adjacency is built
+// eagerly (there is no deferred-linkage saving to be had), so the only
+// deferred work is Finalize's type segmentation.
+func (s *Store) AddEdgeBatch(batch []storage.BulkEdge) error {
+	for _, be := range batch {
+		if _, err := s.AddEdge(be.Src, be.Dst, be.Type); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finalize sorts every vertex's out/in lists by (edge type, edge id), so
+// typed traversals and degree queries binary-search straight to their
+// type's segment instead of filtering the whole list.
+func (s *Store) Finalize() error {
+	for i := range s.vertices {
+		sortSegmented(s.vertices[i].out)
+		sortSegmented(s.vertices[i].in)
+	}
+	s.segmented = true
+	return nil
+}
+
+func sortSegmented(list []halfEdge) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].etype != list[j].etype {
+			return list[i].etype < list[j].etype
+		}
+		return list[i].id < list[j].id
+	})
+}
+
+// SegmentedAdjacency reports whether adjacency is currently grouped by
+// edge type (see storage.TypeSegmentedGraph).
+func (s *Store) SegmentedAdjacency() bool { return s.segmented }
 
 // Close is a no-op for the in-memory store.
 func (s *Store) Close() error { return nil }
@@ -287,6 +352,16 @@ func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn fu
 		return
 	}
 	want := int32(etype)
+	if s.segmented {
+		// Type-segmented list: seek to the segment, stop at its end — no
+		// per-edge type filtering.
+		for i := segmentStart(list, want); i < len(list) && list[i].etype == want; i++ {
+			if !fn(list[i].id, list[i].other) {
+				return
+			}
+		}
+		return
+	}
 	for _, e := range list {
 		if e.etype != want {
 			continue
@@ -295,6 +370,12 @@ func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn fu
 			return
 		}
 	}
+}
+
+// segmentStart returns the index of the first edge with type >= want in a
+// type-sorted list.
+func segmentStart(list []halfEdge, want int32) int {
+	return sort.Search(len(list), func(i int) bool { return list[i].etype >= want })
 }
 
 // Degree returns the number of out- or in-edges of the given type.
@@ -414,6 +495,11 @@ func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
 		return len(list)
 	}
 	want := int32(etype)
+	if s.segmented {
+		lo := segmentStart(list, want)
+		hi := lo + sort.Search(len(list)-lo, func(i int) bool { return list[lo+i].etype > want })
+		return hi - lo
+	}
 	n := 0
 	for _, e := range list {
 		if e.etype == want {

@@ -208,10 +208,10 @@ func Run(t *testing.T, newStore Factory) {
 		// native FastGraph implementation. Both must agree with the
 		// string API on every operation.
 		t.Run("Native", func(t *testing.T) {
-			checkFastEquivalence(t, s, storage.Fast(s))
+			CheckFastEquivalence(t, s, storage.Fast(s))
 		})
 		t.Run("Fallback", func(t *testing.T) {
-			checkFastEquivalence(t, s, storage.Fast(stringOnly{s}))
+			CheckFastEquivalence(t, s, storage.Fast(stringOnly{s}))
 		})
 		if fg, ok := storage.Builder(s).(storage.FastGraph); ok {
 			// Native stores resolve unknown symbols to NoSymbol and the
@@ -265,6 +265,26 @@ func Run(t *testing.T, newStore Factory) {
 		wg.Wait()
 	})
 
+	t.Run("BulkBuild", func(t *testing.T) {
+		// The batched write path must produce a graph observably identical
+		// to the incremental one: same vertices, labels, properties, and
+		// (order-insensitively) the same adjacency. A small batch size
+		// forces multiple flush cycles, and the finalized store must also
+		// keep its fast path equivalent to its string API.
+		inc := newStore(t)
+		if _, err := BuildRandom(inc, 77, 50, 130); err != nil {
+			t.Fatal(err)
+		}
+		bulk := newStore(t)
+		if _, err := BuildRandomBulk(bulk, 77, 50, 130, 16); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := Fingerprint(bulk), Fingerprint(inc); got != want {
+			t.Errorf("bulk-built store diverges from incremental build:\n got: %.300s...\nwant: %.300s...", got, want)
+		}
+		CheckFastEquivalence(t, bulk, storage.Fast(bulk))
+	})
+
 	t.Run("InvalidVertex", func(t *testing.T) {
 		s := newStore(t)
 		if err := s.SetProp(99, "k", graph.I(1)); err == nil {
@@ -306,9 +326,12 @@ func buildFastPathGraph(t *testing.T, s storage.Builder) {
 	}
 }
 
-// checkFastEquivalence verifies that every ID-based operation of fg agrees
-// with g's string API, for known and unknown symbols alike.
-func checkFastEquivalence(t *testing.T, g storage.Graph, fg storage.FastGraph) {
+// CheckFastEquivalence verifies that every ID-based operation of fg
+// agrees with g's string API, for known and unknown symbols alike. It is
+// exported so backend-specific tests can re-run it after physical
+// reorganizations (diskstore Compact, bulk finalize) that the generic
+// suite's build-then-read flow cannot reach.
+func CheckFastEquivalence(t *testing.T, g storage.Graph, fg storage.FastGraph) {
 	t.Helper()
 	labels := []string{"Drug", "Compound", "Indication", "Risk", "NoSuchLabel"}
 	etypes := []string{"treat", "cause", "implies", "noSuchType", ""}
@@ -452,20 +475,40 @@ func sortVIDs(vs []storage.VID) {
 	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
 }
 
-// BuildRandom populates b with a pseudo-random graph (deterministic in
-// seed) and returns the vertex count. Used for differential tests.
-func BuildRandom(b storage.Builder, seed int64, nVertices, nEdges int) (int, error) {
+// randomWriter is the write surface buildRandomInto needs. Both write
+// paths satisfy it — storage.Builder through the builderWriter adapter,
+// *storage.BulkLoader directly — so the generator exists exactly once
+// and the BulkBuild conformance comparison can never drift out of rng
+// sync between the two.
+type randomWriter interface {
+	AddVertex(labels ...string) (storage.VID, error)
+	AddLabel(v storage.VID, label string) error
+	SetProp(v storage.VID, key string, val graph.Value) error
+	AddEdge(src, dst storage.VID, etype string) error
+}
+
+// builderWriter adapts storage.Builder's AddEdge signature (which returns
+// the EID) to randomWriter.
+type builderWriter struct{ storage.Builder }
+
+func (w builderWriter) AddEdge(src, dst storage.VID, etype string) error {
+	_, err := w.Builder.AddEdge(src, dst, etype)
+	return err
+}
+
+// buildRandomInto writes the pseudo-random graph for seed through w.
+func buildRandomInto(w randomWriter, seed int64, nVertices, nEdges int) error {
 	rng := rand.New(rand.NewSource(seed))
 	labels := []string{"A", "B", "C", "D"}
 	etypes := []string{"r1", "r2", "r3"}
 	for i := 0; i < nVertices; i++ {
-		v, err := b.AddVertex(labels[rng.Intn(len(labels))])
+		v, err := w.AddVertex(labels[rng.Intn(len(labels))])
 		if err != nil {
-			return 0, err
+			return err
 		}
 		if rng.Intn(2) == 0 {
-			if err := b.AddLabel(v, labels[rng.Intn(len(labels))]); err != nil {
-				return 0, err
+			if err := w.AddLabel(v, labels[rng.Intn(len(labels))]); err != nil {
+				return err
 			}
 		}
 		nProps := rng.Intn(4)
@@ -481,17 +524,42 @@ func BuildRandom(b storage.Builder, seed int64, nVertices, nEdges int) (int, err
 			default:
 				val = graph.L(graph.S("x"), graph.I(rng.Int63n(10)))
 			}
-			if err := b.SetProp(v, fmt.Sprintf("p%d", rng.Intn(5)), val); err != nil {
-				return 0, err
+			if err := w.SetProp(v, fmt.Sprintf("p%d", rng.Intn(5)), val); err != nil {
+				return err
 			}
 		}
 	}
 	for i := 0; i < nEdges; i++ {
 		src := storage.VID(rng.Intn(nVertices))
 		dst := storage.VID(rng.Intn(nVertices))
-		if _, err := b.AddEdge(src, dst, etypes[rng.Intn(len(etypes))]); err != nil {
-			return 0, err
+		if err := w.AddEdge(src, dst, etypes[rng.Intn(len(etypes))]); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// BuildRandom populates b with a pseudo-random graph (deterministic in
+// seed) and returns the vertex count. Used for differential tests.
+func BuildRandom(b storage.Builder, seed int64, nVertices, nEdges int) (int, error) {
+	if err := buildRandomInto(builderWriter{b}, seed, nVertices, nEdges); err != nil {
+		return 0, err
+	}
+	return nVertices, nil
+}
+
+// BuildRandomBulk builds the same pseudo-random graph as BuildRandom with
+// the same seed, but through the storage.BulkLoader batched write path
+// (native BatchBuilder batches where the store provides them, per-item
+// calls otherwise), finishing with one Finalize. Used to prove the two
+// write paths produce observably identical graphs.
+func BuildRandomBulk(b storage.Builder, seed int64, nVertices, nEdges, batchSize int) (int, error) {
+	bl := storage.NewBulkLoader(b, batchSize)
+	if err := buildRandomInto(bl, seed, nVertices, nEdges); err != nil {
+		return 0, err
+	}
+	if err := bl.Finalize(); err != nil {
+		return 0, err
 	}
 	return nVertices, nil
 }
