@@ -19,16 +19,19 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/storage/diskstore/crashtest"
 	"repro/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pgsbench: ")
-	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|serve|open|bulkload|all")
+	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|serve|open|bulkload|crash|all")
 	medCard := flag.Int("med-card", 120, "MED base cardinality per concept")
 	finCard := flag.Int("fin-card", 40, "FIN base cardinality per concept")
 	seed := flag.Int64("seed", 2021, "generation seed")
@@ -36,7 +39,18 @@ func main() {
 	cache := flag.Int("cache-pages", 64, "diskstore page cache size")
 	tight := flag.Int("tight-pages", 16, "page budget of the disk-bound parallel-scaling variant")
 	serveReqs := flag.Int("serve-reqs", 100, "requests per client in the serve experiment")
+	serveMutateFrac := flag.Float64("serve-mutate-frac", 0,
+		"fraction of serve-experiment requests that are durable writes (diskstore variants only)")
+	crashMuts := flag.Int("crash-muts", 60, "mutations per truncation sweep in the crash experiment")
+	crashKills := flag.Int("crash-kills", 120, "minimum WAL kill points in the crash experiment")
+	crashRounds := flag.Int("crash-rounds", 12, "SIGKILL rounds in the crash experiment")
 	flag.Parse()
+
+	if *exp == "crash-child" {
+		// Hidden mode: the crash experiment re-invokes this binary as the
+		// workload child it SIGKILLs. Never returns.
+		crashtest.ChildMain()
+	}
 
 	opts := bench.Options{
 		MedCard: *medCard, FinCard: *finCard, Seed: *seed,
@@ -172,23 +186,64 @@ func main() {
 		// The end-to-end traffic numbers: a live HTTP server on loopback,
 		// driven by concurrent loadgen clients, on the in-memory backend
 		// and on the deliberately disk-bound tight-cache diskstore.
-		serveOpts := bench.ServeOptions{RequestsPerClient: *serveReqs}
 		variants := []struct {
-			title string
-			env   *bench.Env
-			back  bench.Backend
+			title  string
+			env    *bench.Env
+			back   bench.Backend
+			mutate float64
 		}{
-			{"memstore (MED)", env("MED"), bench.Memstore},
-			{"diskstore (MED)", env("MED"), bench.Diskstore},
-			{fmt.Sprintf("diskstore tight cache (%d pages, MED)", *tight), env("MED").WithCachePages(*tight), bench.Diskstore},
+			// Only diskstore has the durable write path, so the mutate
+			// fraction applies to the diskstore variants alone.
+			{"memstore (MED)", env("MED"), bench.Memstore, 0},
+			{"diskstore (MED)", env("MED"), bench.Diskstore, *serveMutateFrac},
+			{fmt.Sprintf("diskstore tight cache (%d pages, MED)", *tight), env("MED").WithCachePages(*tight), bench.Diskstore, *serveMutateFrac},
 		}
 		for _, v := range variants {
-			pts, err := bench.ServeThroughput(v.env, v.back, serveOpts)
+			title := "HTTP serving throughput — " + v.title
+			if v.mutate > 0 {
+				title = fmt.Sprintf("HTTP serving under ingest (%.0f%% writes) — %s", v.mutate*100, v.title)
+			}
+			pts, err := bench.ServeThroughput(v.env, v.back,
+				bench.ServeOptions{RequestsPerClient: *serveReqs, MutateFrac: v.mutate})
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Println(bench.FormatServeTable("HTTP serving throughput — "+v.title, pts))
+			fmt.Println(bench.FormatServeTable(title, pts))
 		}
+	}
+	if run("crash") {
+		ran = true
+		// The crash-recovery audit: first the deterministic WAL truncation
+		// sweep (every acknowledged prefix must reopen exactly), then the
+		// SIGKILL loop against a real child process (this binary, re-run
+		// in the hidden crash-child mode).
+		scratch, err := os.MkdirTemp("", "pgs-crash-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(scratch)
+		srep, err := crashtest.TruncationSweep(filepath.Join(scratch, "sweep"), *crashMuts, *crashKills)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Crash recovery — truncation sweep: %d mutations, %d WAL bytes, %d kill points, all recovered exactly\n",
+			srep.Mutations, srep.WALBytes, srep.KillPoints)
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		krep, err := crashtest.KillLoop(crashtest.KillConfig{
+			Scratch: filepath.Join(scratch, "kill"),
+			Rounds:  *crashRounds,
+			Child:   []string{exe, "-exp", "crash-child"},
+			Seed:    time.Now().UnixNano(),
+			Log:     func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Crash recovery — SIGKILL loop: %d rounds, %d killed, %d clean exits, %d mid-compact detections, %d mutations survive\n\n",
+			krep.Rounds, krep.Kills, krep.CleanExits, krep.Detected, krep.FinalOps)
 	}
 	if run("open") {
 		ran = true

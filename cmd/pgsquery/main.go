@@ -12,8 +12,10 @@
 //
 // -stats prints plan-cache effectiveness after the run (hits, misses,
 // singleflight shares, compiles) and, on the diskstore backend, each
-// store's pager I/O counters — so -parallel runs surface how well the
-// shared-plan path and the page cache actually held up.
+// store's pager I/O counters plus its format/live-write state (segmented
+// adjacency, delta segment sizes, WAL activity) — so -parallel runs
+// surface how well the shared-plan path and the page cache actually held
+// up.
 package main
 
 import (
@@ -198,7 +200,13 @@ func main() {
 			}
 			if d, ok := side.g.(*diskstore.Store); ok {
 				f := d.Format()
-				fmt.Printf("%s store: format v%d, segmented adjacency=%v\n", side.tag, f.Version, f.Segmented)
+				ls := d.LiveStats()
+				fmt.Printf("%s store: format v%d, segmented adjacency=%v, live writes=%v, delta %d vertices / %d edges\n",
+					side.tag, f.Version, f.Segmented, ls.Live, ls.DeltaVertices, ls.DeltaEdges)
+				if ls.WALAppends > 0 {
+					fmt.Printf("%s wal: %d batches in %d fsyncs, %d bytes\n",
+						side.tag, ls.WALAppends, ls.WALSyncs, ls.WALBytes)
+				}
 			}
 		}
 	}

@@ -8,6 +8,8 @@
 //	pgsserve -dataset MED -addr 127.0.0.1:8080
 //	pgsserve -dataset FIN -backend diskstore -cache-pages 64 -optimize
 //	curl -s localhost:8080/query -d 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, COUNT(i.desc)'
+//	curl -s localhost:8080/mutate -H 'Content-Type: application/json' \
+//	     -d '{"vertices":[{"labels":["Drug"],"props":{"name":"Naproxen"}}],"edges":[{"src":-1,"dst":2,"type":"treat"}]}'
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/stats
 //
@@ -17,6 +19,13 @@
 // the paper's PGSG algorithm for the dataset's microbenchmark workload,
 // and every incoming query is rewritten through the mapping exactly like
 // pgsquery's OPT side.
+//
+// POST /mutate accepts one durable mutation batch on a diskstore backend
+// in live-write mode: the batch is WAL-logged and fsynced before the 200,
+// so acknowledged writes survive a crash (see the server package for the
+// request shape). /stats reports the live-write gauges — delta segment
+// sizes, WAL fsync counts and mean latency — next to the pager and
+// admission numbers.
 //
 // When -data-dir points at an already-populated diskstore (e.g. written
 // by `pgsgen -store` or a previous pgsserve run), the store is served
@@ -168,6 +177,10 @@ func run() error {
 		f := dsk.Format()
 		log.Printf("diskstore format v%d (segmented adjacency: %v, opened via persisted index: %v)",
 			f.Version, f.Segmented, f.IndexLoaded)
+		if ls := dsk.LiveStats(); ls.Live {
+			log.Printf("live writes enabled (POST /mutate): delta carries %d vertices / %d edges from the WAL",
+				ls.DeltaVertices, ls.DeltaEdges)
+		}
 	}
 
 	srv, err := server.New(server.Config{
@@ -188,7 +201,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("listening on %s (POST /query, GET /healthz, GET /stats)", bound)
+	log.Printf("listening on %s (POST /query, POST /mutate, GET /healthz, GET /stats)", bound)
 
 	// Drain on SIGINT/SIGTERM: stop accepting, let in-flight requests
 	// finish (each bounded by -timeout), then exit.

@@ -71,6 +71,12 @@ func TestDocsPresentAndLinked(t *testing.T) {
 			// the stats endpoint schema must stay documented.
 			"Serving layer", "pgsserve", "429", "admission", "drain",
 			"/stats", "ExecuteContext", "loadgen", "top_queries",
+			// Durability: the WAL/delta live-write path, its checkpoint
+			// protocol, and the crash-recovery contract must stay
+			// documented alongside the recovery code.
+			"wal.db", "group commit", "delta segment", "wal_seq",
+			"ErrFinalizeInterrupted", "/mutate", "crashtest",
+			"Crash matrix", "MutateFrac",
 		},
 		"docs/QUERY_LANGUAGE.md": {
 			"MATCH", "RETURN", "DISTINCT", "ORDER BY", "LIMIT",

@@ -32,6 +32,12 @@ type ServePoint struct {
 	// point ran, showing the compile-once path held under HTTP traffic.
 	CacheHits   int64
 	CacheMisses int64
+	// Write-side numbers of a mixed run (ServeOptions.MutateFrac > 0).
+	// The read percentiles above then measure query latency under this
+	// concurrent durable ingest.
+	Mutates     int
+	MutateShed  int
+	MutateP99Ms float64
 }
 
 // DefaultServeClients is the experiment's x-axis.
@@ -48,7 +54,17 @@ type ServeOptions struct {
 	// (defaults: the server package's defaults).
 	MaxConcurrent int
 	MaxQueued     int
+	// MutateFrac turns each point into a mixed read/write run: every
+	// request is a POST /mutate with this probability, so the read p99
+	// is measured under concurrent durable (WAL-fsynced) ingest. The
+	// backend must have a live write path — diskstore, not memstore.
+	MutateFrac float64
 }
+
+// serveMutateBody is the write mixed into a MutateFrac run: the smallest
+// realistic durable batch — one new vertex, wired into the existing graph
+// through a batch-relative reference. It stays valid as the graph grows.
+const serveMutateBody = `{"vertices":[{"labels":["Noise"],"props":{"n":1}}],"edges":[{"src":-1,"dst":0,"type":"noise"}]}`
 
 // ServeThroughput loads the environment's dataset on the backend, starts
 // a real HTTP server on a loopback port, and measures request throughput
@@ -97,18 +113,27 @@ func ServeThroughput(env *Env, b Backend, opts ServeOptions) ([]ServePoint, erro
 		if n <= 0 {
 			return nil, fmt.Errorf("bench: invalid client count %d", n)
 		}
-		rep, err := loadgen.Run(loadgen.Options{
+		lopts := loadgen.Options{
 			BaseURL:  "http://" + addr,
 			Query:    q,
 			Clients:  n,
 			Requests: n * opts.RequestsPerClient,
-		})
+		}
+		if opts.MutateFrac > 0 {
+			lopts.MutateFrac = opts.MutateFrac
+			lopts.MutateBody = serveMutateBody
+		}
+		rep, err := loadgen.Run(lopts)
 		if err != nil {
 			return nil, err
 		}
 		if rep.Errors > 0 {
 			return nil, fmt.Errorf("bench: %d/%d requests failed at %d clients: %s",
 				rep.Errors, rep.Requests, n, rep.FirstError)
+		}
+		if rep.MutateErrors > 0 {
+			return nil, fmt.Errorf("bench: %d/%d mutations failed at %d clients: %s",
+				rep.MutateErrors, rep.Mutates, n, rep.FirstError)
 		}
 		if rep.RowsPerOK <= 0 {
 			return nil, fmt.Errorf("bench: server returned no rows at %d clients", n)
@@ -124,19 +149,37 @@ func ServeThroughput(env *Env, b Backend, opts ServeOptions) ([]ServePoint, erro
 			P99Ms:       float64(rep.P99.Microseconds()) / 1000,
 			CacheHits:   cs.Hits,
 			CacheMisses: cs.Misses,
+			Mutates:     rep.Mutates,
+			MutateShed:  rep.MutateShed,
+			MutateP99Ms: float64(rep.MutateP99.Microseconds()) / 1000,
 		})
 	}
 	return points, nil
 }
 
-// FormatServeTable renders serving-throughput points.
+// FormatServeTable renders serving-throughput points. Mixed read/write
+// runs grow write columns; pure-read tables keep the original shape.
 func FormatServeTable(title string, pts []ServePoint) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n%10s %8s %8s %6s %11s %10s %10s\n",
-		title, "clients", "reqs", "ok", "shed", "req/sec", "p50(ms)", "p99(ms)")
+	mixed := false
 	for _, p := range pts {
-		fmt.Fprintf(&b, "%10d %8d %8d %6d %11.0f %10.3f %10.3f\n",
+		if p.Mutates > 0 {
+			mixed = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%10s %8s %8s %6s %11s %10s %10s",
+		title, "clients", "reqs", "ok", "shed", "req/sec", "p50(ms)", "p99(ms)")
+	if mixed {
+		fmt.Fprintf(&b, " %8s %9s %11s", "writes", "wshed", "wp99(ms)")
+	}
+	b.WriteByte('\n')
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10d %8d %8d %6d %11.0f %10.3f %10.3f",
 			p.Clients, p.Requests, p.OK, p.Shed, p.ReqPerSec, p.P50Ms, p.P99Ms)
+		if mixed {
+			fmt.Fprintf(&b, " %8d %9d %11.3f", p.Mutates, p.MutateShed, p.MutateP99Ms)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -53,3 +53,34 @@ func TestServeThroughputShapes(t *testing.T) {
 		t.Error("invalid client count accepted")
 	}
 }
+
+// TestServeThroughputMixed runs the serve experiment with a write
+// fraction against the diskstore backend: reads and durable writes share
+// the server, every mutation must succeed, and the table grows the write
+// columns. This is the loadgen -mutate-frac satellite's acceptance test.
+func TestServeThroughputMixed(t *testing.T) {
+	env := newEnv(t, "MED")
+	pts, err := ServeThroughput(env, Diskstore,
+		ServeOptions{Clients: []int{4}, RequestsPerClient: 25, MutateFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if p.Mutates == 0 {
+		t.Fatal("mixed run issued no mutations")
+	}
+	reads := p.Requests - p.Mutates
+	if p.OK+p.Shed != reads {
+		t.Errorf("reads: %d ok + %d shed != %d issued", p.OK, p.Shed, reads)
+	}
+	if p.ReqPerSec <= 0 || p.P99Ms <= 0 {
+		t.Errorf("read latency numbers missing under ingest: %+v", p)
+	}
+	table := FormatServeTable("mixed", pts)
+	if !strings.Contains(table, "wp99(ms)") || !strings.Contains(table, "writes") {
+		t.Errorf("mixed table lacks write columns:\n%s", table)
+	}
+	if strings.Contains(FormatServeTable("pure", []ServePoint{{Clients: 1}}), "wp99") {
+		t.Error("pure-read table grew write columns")
+	}
+}

@@ -32,9 +32,9 @@ type instRef struct {
 // adjacency, degree, and index construction to one finalize pass — which
 // also leaves diskstore adjacency type-segmented — instead of paying a
 // read-modify-write per AddEdge; on other stores it degrades to the
-// per-item calls transparently. Properties are written after the
-// finalize, which also keeps them at the head of record-store property
-// chains (see step 5).
+// per-item calls transparently. Properties are written before the single
+// finalize at the end of the load, scalars last so they sit at the head
+// of record-store property chains (see step 5).
 func Load(b storage.Builder, ds *datagen.Dataset, m *core.Mapping) (vertices, edges int, err error) {
 	if m == nil {
 		m = &core.Mapping{}
@@ -127,10 +127,13 @@ func Load(b storage.Builder, ds *datagen.Dataset, m *core.Mapping) (vertices, ed
 			edges++
 		}
 	}
-	// All structural data is in; one finalize builds the deferred
-	// adjacency/degree/index structures before the property phases below
-	// start reading the graph.
-	if err := bl.Finalize(); err != nil {
+	// All structural data is in. Flush the buffered batches so the
+	// property phases below can address every vertex, but defer the
+	// finalize itself to the end of the load: the property phases only
+	// need label iteration (safe on an unfinalized store), and finalizing
+	// first would flip a live-capable store into durable-write mode —
+	// WAL-logging and fsyncing every one of the bulk SetProp calls below.
+	if err := bl.Flush(); err != nil {
 		return 0, 0, err
 	}
 
@@ -186,6 +189,13 @@ func Load(b storage.Builder, ds *datagen.Dataset, m *core.Mapping) (vertices, ed
 				}
 			}
 		}
+	}
+
+	// One finalize builds the deferred adjacency/degree/index structures
+	// (and, on diskstore, leaves the finished store accepting durable
+	// live mutations).
+	if err := bl.Finalize(); err != nil {
+		return 0, 0, err
 	}
 	return vertices, edges, nil
 }

@@ -3,7 +3,9 @@
 // throughput and latency percentiles. The bench harness (`pgsbench -exp
 // serve`, BenchmarkServeThroughput) uses it for the repository's
 // end-to-end traffic numbers; it works against any base URL speaking the
-// server package's POST /query protocol.
+// server package's POST /query protocol. With MutateFrac set, a fraction
+// of requests become POST /mutate writes, and the read percentiles then
+// measure query latency under concurrent durable ingest.
 package loadgen
 
 import (
@@ -11,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
@@ -31,6 +34,19 @@ type Options struct {
 	Requests int
 	// Timeout bounds one request on the client side (default 30s).
 	Timeout time.Duration
+
+	// MutateFrac turns the run into a mixed read/write workload: each
+	// request is a POST /mutate with probability MutateFrac (0 disables;
+	// must be < 1 so read latency remains measurable). The mix is drawn
+	// per request from a deterministic per-worker sequence, so a rerun
+	// issues the same interleaving. Read and write latencies are reported
+	// separately — the read percentiles answer "what does ingest do to
+	// query p99", the point of the mode.
+	MutateFrac float64
+	// MutateBody is the JSON document POSTed to /mutate (required when
+	// MutateFrac > 0). The same body is sent every time; bodies with
+	// batch-relative references stay valid as the graph grows.
+	MutateBody string
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +62,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+func (o Options) validate() error {
+	if o.BaseURL == "" || o.Query == "" {
+		return errors.New("loadgen: BaseURL and Query are required")
+	}
+	if o.MutateFrac < 0 || o.MutateFrac >= 1 {
+		return errors.New("loadgen: MutateFrac must be in [0, 1)")
+	}
+	if o.MutateFrac > 0 && o.MutateBody == "" {
+		return errors.New("loadgen: MutateBody is required when MutateFrac > 0")
+	}
+	return nil
+}
+
 // Report summarizes one load run. Latency percentiles are computed over
 // successful (2xx) requests only; shed requests are counted separately so
 // a saturated server shows up as Shed > 0, not as fake latency.
@@ -53,7 +82,7 @@ type Report struct {
 	Clients  int
 	Requests int
 
-	OK     int // 2xx responses
+	OK     int // 2xx responses to reads
 	Shed   int // 429s: the server's admission control pushed back
 	Errors int // transport errors and any other status
 
@@ -62,11 +91,22 @@ type Report struct {
 	RowsPerOK int
 
 	Elapsed   time.Duration
-	ReqPerSec float64 // successful requests per wall-clock second
+	ReqPerSec float64 // successful read requests per wall-clock second
 	P50       time.Duration
 	P90       time.Duration
 	P99       time.Duration
 	Max       time.Duration
+
+	// Write-side counters of a mixed run (MutateFrac > 0). Mutate
+	// latencies are tracked apart from reads, so the read percentiles
+	// above measure query latency *under* ingest rather than averaging
+	// the two populations together.
+	Mutates      int // mutate requests issued
+	MutateOK     int // 2xx responses to mutates
+	MutateShed   int // 429s on mutates
+	MutateErrors int
+	MutateP50    time.Duration
+	MutateP99    time.Duration
 
 	// FirstError carries one representative failure for diagnostics.
 	FirstError string
@@ -79,8 +119,8 @@ type Report struct {
 // measurement stays client-cheap.
 func Run(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
-	if opts.BaseURL == "" || opts.Query == "" {
-		return nil, errors.New("loadgen: BaseURL and Query are required")
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	transport := &http.Transport{
 		MaxIdleConns:        opts.Clients,
@@ -88,15 +128,21 @@ func Run(opts Options) (*Report, error) {
 	}
 	defer transport.CloseIdleConnections()
 	client := &http.Client{Transport: transport, Timeout: opts.Timeout}
-	url := strings.TrimRight(opts.BaseURL, "/") + "/query"
+	base := strings.TrimRight(opts.BaseURL, "/")
+	queryURL, mutateURL := base+"/query", base+"/mutate"
 
 	type workerResult struct {
-		latencies []time.Duration
-		ok        int
-		shed      int
-		errs      int
-		firstErr  string
-		rows      int
+		latencies    []time.Duration
+		mutLatencies []time.Duration
+		ok           int
+		shed         int
+		errs         int
+		mutates      int
+		mutOK        int
+		mutShed      int
+		mutErrs      int
+		firstErr     string
+		rows         int
 	}
 	results := make([]workerResult, opts.Clients)
 
@@ -113,17 +159,30 @@ func Run(opts Options) (*Report, error) {
 			res := &results[w]
 			res.latencies = make([]time.Duration, 0, share)
 			res.rows = -1
+			// Deterministic per-worker mix: reruns hit the server with the
+			// same read/write interleaving.
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
 			for i := 0; i < share; i++ {
+				mutate := opts.MutateFrac > 0 && rng.Float64() < opts.MutateFrac
+				url, contentType, body := queryURL, "text/plain", opts.Query
+				if mutate {
+					url, contentType, body = mutateURL, "application/json", opts.MutateBody
+					res.mutates++
+				}
 				reqStart := time.Now()
-				resp, err := client.Post(url, "text/plain", strings.NewReader(opts.Query))
+				resp, err := client.Post(url, contentType, strings.NewReader(body))
 				if err != nil {
-					res.errs++
+					if mutate {
+						res.mutErrs++
+					} else {
+						res.errs++
+					}
 					if res.firstErr == "" {
 						res.firstErr = err.Error()
 					}
 					continue
 				}
-				if res.rows < 0 && resp.StatusCode == http.StatusOK {
+				if !mutate && res.rows < 0 && resp.StatusCode == http.StatusOK {
 					// Verify the first success per worker actually carries
 					// rows; later responses are drained unparsed.
 					var body struct {
@@ -138,14 +197,27 @@ func Run(opts Options) (*Report, error) {
 				lat := time.Since(reqStart)
 				switch {
 				case resp.StatusCode == http.StatusOK:
-					res.ok++
-					res.latencies = append(res.latencies, lat)
+					if mutate {
+						res.mutOK++
+						res.mutLatencies = append(res.mutLatencies, lat)
+					} else {
+						res.ok++
+						res.latencies = append(res.latencies, lat)
+					}
 				case resp.StatusCode == http.StatusTooManyRequests:
-					res.shed++
+					if mutate {
+						res.mutShed++
+					} else {
+						res.shed++
+					}
 				default:
-					res.errs++
+					if mutate {
+						res.mutErrs++
+					} else {
+						res.errs++
+					}
 					if res.firstErr == "" {
-						res.firstErr = fmt.Sprintf("status %d", resp.StatusCode)
+						res.firstErr = fmt.Sprintf("status %d on %s", resp.StatusCode, url[len(base):])
 					}
 				}
 			}
@@ -155,12 +227,16 @@ func Run(opts Options) (*Report, error) {
 	elapsed := time.Since(start)
 
 	rep := &Report{Clients: opts.Clients, Requests: opts.Requests, Elapsed: elapsed, RowsPerOK: -1}
-	var all []time.Duration
+	var all, allMut []time.Duration
 	for i := range results {
 		r := &results[i]
 		rep.OK += r.ok
 		rep.Shed += r.shed
 		rep.Errors += r.errs
+		rep.Mutates += r.mutates
+		rep.MutateOK += r.mutOK
+		rep.MutateShed += r.mutShed
+		rep.MutateErrors += r.mutErrs
 		if rep.FirstError == "" {
 			rep.FirstError = r.firstErr
 		}
@@ -168,6 +244,7 @@ func Run(opts Options) (*Report, error) {
 			rep.RowsPerOK = r.rows
 		}
 		all = append(all, r.latencies...)
+		allMut = append(allMut, r.mutLatencies...)
 	}
 	if elapsed > 0 {
 		rep.ReqPerSec = float64(rep.OK) / elapsed.Seconds()
@@ -178,6 +255,11 @@ func Run(opts Options) (*Report, error) {
 		rep.P90 = percentile(all, 0.90)
 		rep.P99 = percentile(all, 0.99)
 		rep.Max = all[len(all)-1]
+	}
+	if len(allMut) > 0 {
+		sort.Slice(allMut, func(i, j int) bool { return allMut[i] < allMut[j] })
+		rep.MutateP50 = percentile(allMut, 0.50)
+		rep.MutateP99 = percentile(allMut, 0.99)
 	}
 	return rep, nil
 }

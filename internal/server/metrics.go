@@ -171,6 +171,7 @@ type metrics struct {
 	queued   atomic.Int64 // currently waiting for a slot
 
 	query   Histogram
+	mutate  Histogram
 	healthz Histogram
 	stats   Histogram
 }

@@ -7,9 +7,11 @@
 //
 //	POST /query   — Cypher in (raw text or {"query": "..."}), JSON rows,
 //	                work counters, and the executed (rewritten) text out
+//	POST /mutate  — one atomic, WAL-durable mutation batch (backends
+//	                implementing storage.MutableGraph; others answer 501)
 //	GET  /healthz — liveness: {"status":"ok"} while serving
-//	GET  /stats   — admission counters, plan-cache and pager stats, and
-//	                per-endpoint latency histograms
+//	GET  /stats   — admission counters, plan-cache, pager and live-write
+//	                storage stats, and per-endpoint latency histograms
 //
 // Load hardening: a bounded admission semaphore (MaxConcurrent executing,
 // at most MaxQueued waiting; beyond that requests shed with 429), a
@@ -168,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 	s.data.Store(&dataset{graph: cfg.Graph, mapping: cfg.Mapping})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s, nil
@@ -424,7 +427,13 @@ type StatsResponse struct {
 	PlanCache PlanCacheStats `json:"plan_cache"`
 	// Pager is present only when the backend reports I/O statistics
 	// (diskstore does, memstore does not).
-	Pager     *PagerStats                  `json:"pager,omitempty"`
+	Pager *PagerStats `json:"pager,omitempty"`
+	// Storage is present only when the backend reports live-write state
+	// (diskstore does, memstore does not): whether the store accepts
+	// POST /mutate, whether base traversals still run on the segmented
+	// fast path, the delta-segment gauges, and WAL activity including
+	// mean fsync latency.
+	Storage   *StorageStats                `json:"storage,omitempty"`
 	Endpoints map[string]HistogramSnapshot `json:"endpoints"`
 	// TopQueries lists the executed query shapes with the highest p99
 	// latency, worst first (Config.TopQueries entries at most).
@@ -466,6 +475,20 @@ type PagerStats struct {
 	PageWrites int64 `json:"page_writes"`
 }
 
+// StorageStats is storage.LiveStats in the /stats JSON shape.
+type StorageStats struct {
+	Live          bool  `json:"live"`
+	Segmented     bool  `json:"segmented"`
+	DeltaVertices int64 `json:"delta_vertices"`
+	DeltaEdges    int64 `json:"delta_edges"`
+	WALAppends    int64 `json:"wal_appends"`
+	WALSyncs      int64 `json:"wal_syncs"`
+	WALBytes      int64 `json:"wal_bytes"`
+	// WALSyncMeanUS is the mean fsync latency in microseconds — the
+	// floor under every acknowledged mutation's latency.
+	WALSyncMeanUS int64 `json:"wal_sync_mean_us"`
+}
+
 // Stats assembles the current StatsResponse; the /stats handler and the
 // bench harness share it.
 func (s *Server) Stats() StatsResponse {
@@ -490,18 +513,32 @@ func (s *Server) Stats() StatsResponse {
 		},
 		Endpoints: map[string]HistogramSnapshot{
 			"/query":   s.m.query.Snapshot(),
+			"/mutate":  s.m.mutate.Snapshot(),
 			"/healthz": s.m.healthz.Snapshot(),
 			"/stats":   s.m.stats.Snapshot(),
 		},
 		TopQueries:         s.shapes.top(s.cfg.TopQueries),
 		QueryShapesDropped: s.shapes.dropped.Load(),
 	}
-	if sr, ok := s.data.Load().graph.(storage.StatsReporter); ok {
+	g := s.data.Load().graph
+	if sr, ok := g.(storage.StatsReporter); ok {
 		ps := sr.Stats()
 		resp.Pager = &PagerStats{
 			PageHits: ps.PageHits, PageMisses: ps.PageMisses,
 			PageReads: ps.PageReads, PageWrites: ps.PageWrites,
 		}
+	}
+	if lr, ok := g.(storage.LiveStatsReporter); ok {
+		ls := lr.LiveStats()
+		ss := &StorageStats{
+			Live: ls.Live, Segmented: ls.Segmented,
+			DeltaVertices: ls.DeltaVertices, DeltaEdges: ls.DeltaEdges,
+			WALAppends: ls.WALAppends, WALSyncs: ls.WALSyncs, WALBytes: ls.WALBytes,
+		}
+		if ls.WALSyncs > 0 {
+			ss.WALSyncMeanUS = ls.WALSyncNanos / ls.WALSyncs / 1000
+		}
+		resp.Storage = ss
 	}
 	return resp
 }

@@ -1,0 +1,297 @@
+package diskstore
+
+// The in-memory delta segment: where live (post-finalize) mutations
+// live between WAL append and the next Compact. The base files stay
+// frozen in live mode — no page is dirtied, index.db stays valid, and
+// the segmented-adjacency invariant keeps holding for base edges — while
+// the read paths merge the delta on top:
+//
+//   - vertices: delta VIDs continue the base range (base+i), so VID
+//     arithmetic distinguishes the two without lookups;
+//   - edges: delta EIDs continue the base range; traversal yields base
+//     edges first (segment fast path intact), then the vertex's delta
+//     adjacency in ingest order;
+//   - labels: a base vertex's labels are its record bits plus delta
+//     additions; label scans walk the base index then the delta's;
+//   - properties: delta values override base values key by key.
+//
+// Readers never hold the delta lock while running user callbacks or
+// touching the pager: accessors copy the (small) relevant slice under
+// RLock and iterate after release, which keeps a queued writer from
+// deadlocking a reader that re-enters the delta mid-iteration.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// deltaVertex is a vertex created after finalize, identified by
+// base-count + slice index.
+type deltaVertex struct {
+	labelIDs []int
+	props    map[int]graph.Value
+}
+
+// deltaEdge is one direction of a live edge in a vertex's delta
+// adjacency.
+type deltaEdge struct {
+	e      storage.EID
+	other  storage.VID
+	typeID uint32
+}
+
+// delta is the in-memory segment of live mutations. vertCount/edgeCount
+// shadow the slice lengths atomically so hot read paths can skip the
+// lock entirely while the delta is empty.
+type delta struct {
+	mu        sync.RWMutex
+	vertCount atomic.Int64
+	edgeCount atomic.Int64
+
+	verts     []deltaVertex
+	out       map[storage.VID][]deltaEdge
+	in        map[storage.VID][]deltaEdge
+	labelAdds map[storage.VID][]int               // labels added to base vertices
+	propOver  map[storage.VID]map[int]graph.Value // property overrides on base vertices
+	byLabel   map[int][]storage.VID               // delta label membership (both vertex kinds)
+}
+
+func newDelta() *delta {
+	return &delta{
+		out:       map[storage.VID][]deltaEdge{},
+		in:        map[storage.VID][]deltaEdge{},
+		labelAdds: map[storage.VID][]int{},
+		propOver:  map[storage.VID]map[int]graph.Value{},
+		byLabel:   map[int][]storage.VID{},
+	}
+}
+
+// empty reports a delta with nothing to fold. Callers that only need a
+// fast emptiness hint on the read path use the atomic counters instead.
+func (d *delta) empty() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.verts) == 0 && len(d.out) == 0 && len(d.in) == 0 &&
+		len(d.labelAdds) == 0 && len(d.propOver) == 0
+}
+
+// hasVertexState reports whether v has any delta-side label or property
+// state (cheap pre-check for base-vertex reads).
+func (d *delta) hasVertexState(v storage.VID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if _, ok := d.labelAdds[v]; ok {
+		return true
+	}
+	_, ok := d.propOver[v]
+	return ok
+}
+
+// adj returns a copy of v's delta adjacency in one direction.
+func (d *delta) adj(v storage.VID, out bool) []deltaEdge {
+	m := d.out
+	if !out {
+		m = d.in
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	es := m[v]
+	if len(es) == 0 {
+		return nil
+	}
+	return append([]deltaEdge(nil), es...)
+}
+
+// degree counts v's delta edges of one type (AnySymbol = all) in one
+// direction.
+func (d *delta) degree(v storage.VID, etype storage.SymbolID, out bool) int {
+	m := d.out
+	if !out {
+		m = d.in
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	es := m[v]
+	if etype == storage.AnySymbol {
+		return len(es)
+	}
+	n := 0
+	for i := range es {
+		if es[i].typeID == uint32(etype) {
+			n++
+		}
+	}
+	return n
+}
+
+// labelVIDs returns a copy of the delta members of a label.
+func (d *delta) labelVIDs(id int) []storage.VID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	vids := d.byLabel[id]
+	if len(vids) == 0 {
+		return nil
+	}
+	return append([]storage.VID(nil), vids...)
+}
+
+func (d *delta) labelCount(id int) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byLabel[id])
+}
+
+// vertexLabelIDs returns a copy of a delta vertex's label IDs (idx is
+// the delta-local index).
+func (d *delta) vertexLabelIDs(idx int64) []int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if idx < 0 || idx >= int64(len(d.verts)) {
+		return nil
+	}
+	return append([]int(nil), d.verts[idx].labelIDs...)
+}
+
+// labelAddIDs returns a copy of the labels added to base vertex v.
+func (d *delta) labelAddIDs(v storage.VID) []int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := d.labelAdds[v]
+	if len(ids) == 0 {
+		return nil
+	}
+	return append([]int(nil), ids...)
+}
+
+// hasLabel reports delta-side label membership for either vertex kind.
+// base is the store's base vertex count.
+func (d *delta) hasLabel(v storage.VID, base int64, id int) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int64(v) >= base {
+		idx := int64(v) - base
+		if idx >= int64(len(d.verts)) {
+			return false
+		}
+		for _, l := range d.verts[idx].labelIDs {
+			if l == id {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range d.labelAdds[v] {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}
+
+// prop returns the delta-side value of a property: a delta vertex's own
+// value or a base vertex's override.
+func (d *delta) prop(v storage.VID, base int64, keyID int) (graph.Value, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int64(v) >= base {
+		idx := int64(v) - base
+		if idx >= int64(len(d.verts)) {
+			return graph.Null, false
+		}
+		val, ok := d.verts[idx].props[keyID]
+		return val, ok
+	}
+	val, ok := d.propOver[v][keyID]
+	return val, ok
+}
+
+// propKeyIDs returns the key IDs with delta-side values on v.
+func (d *delta) propKeyIDs(v storage.VID, base int64) []int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var m map[int]graph.Value
+	if int64(v) >= base {
+		idx := int64(v) - base
+		if idx >= int64(len(d.verts)) {
+			return nil
+		}
+		m = d.verts[idx].props
+	} else {
+		m = d.propOver[v]
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// ---- mutators (called with d.mu held by applyToDelta) ----
+
+func (d *delta) addVertexLocked(base int64, labelIDs []int) storage.VID {
+	v := storage.VID(base + int64(len(d.verts)))
+	d.verts = append(d.verts, deltaVertex{labelIDs: labelIDs})
+	for _, id := range labelIDs {
+		d.byLabel[id] = append(d.byLabel[id], v)
+	}
+	d.vertCount.Add(1)
+	return v
+}
+
+func (d *delta) addEdgeLocked(baseEdges int64, src, dst storage.VID, typeID uint32) storage.EID {
+	// EIDs continue the base range in global ingest order.
+	e := storage.EID(baseEdges + d.edgeCount.Load())
+	d.out[src] = append(d.out[src], deltaEdge{e: e, other: dst, typeID: typeID})
+	d.in[dst] = append(d.in[dst], deltaEdge{e: e, other: src, typeID: typeID})
+	d.edgeCount.Add(1)
+	return e
+}
+
+func (d *delta) setPropLocked(v storage.VID, base int64, keyID int, val graph.Value) {
+	if int64(v) >= base {
+		dv := &d.verts[int64(v)-base]
+		if dv.props == nil {
+			dv.props = map[int]graph.Value{}
+		}
+		dv.props[keyID] = val
+		return
+	}
+	m := d.propOver[v]
+	if m == nil {
+		m = map[int]graph.Value{}
+		d.propOver[v] = m
+	}
+	m[keyID] = val
+}
+
+// addLabelLocked records a label addition; baseHas reports whether the
+// base record already carries it (pre-read by the caller outside the
+// lock), keeping byLabel duplicate-free.
+func (d *delta) addLabelLocked(v storage.VID, base int64, id int, baseHas bool) {
+	if baseHas {
+		return
+	}
+	if int64(v) >= base {
+		dv := &d.verts[int64(v)-base]
+		for _, l := range dv.labelIDs {
+			if l == id {
+				return
+			}
+		}
+		dv.labelIDs = append(dv.labelIDs, id)
+	} else {
+		for _, l := range d.labelAdds[v] {
+			if l == id {
+				return
+			}
+		}
+		d.labelAdds[v] = append(d.labelAdds[v], id)
+	}
+	d.byLabel[id] = append(d.byLabel[id], v)
+}

@@ -21,6 +21,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/graph"
@@ -100,6 +102,12 @@ type manifest struct {
 	// Segmented records the type-segmented adjacency invariant (v4; see
 	// formatVersion).
 	Segmented bool `json:"segmented,omitempty"`
+	// WalSeq fences WAL replay: the highest WAL sequence number folded
+	// into the base by a committed Compact. Records at or below it are
+	// skipped (and a fully stale log truncated) at Open, so a crash
+	// between Compact's manifest commit and its WAL truncation cannot
+	// replay folded mutations twice.
+	WalSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // Store is a disk-backed property graph. Building (AddVertex, AddEdge,
@@ -158,6 +166,31 @@ type Store struct {
 	blobSize    int64
 
 	byLabel map[int][]storage.VID
+
+	// ---- live-write state (see live.go, wal.go, delta.go) ----
+
+	// liveMode gates the durable post-finalize write path: Builder calls
+	// reroute through ApplyMutations, reads merge the delta segment, and
+	// symbol-table access takes symMu. Flipped only at Open and around
+	// Finalize/Compact, which require exclusive access.
+	liveMode atomic.Bool
+	// liveMu serializes ApplyMutations batches (WAL append order = delta
+	// apply order = replay order).
+	liveMu sync.Mutex
+	// symMu guards the symbol tables once liveMode is set; never taken
+	// outside live mode.
+	symMu sync.RWMutex
+	// delta is the in-memory segment of live mutations; always non-nil,
+	// replaced by foldDelta.
+	delta *delta
+	// wal is the open write-ahead log, created lazily on the first live
+	// mutation (atomic so LiveStats can read it without liveMu).
+	wal atomic.Pointer[wal]
+	// walFoldedSeq mirrors manifest.WalSeq; advanced by foldDelta.
+	walFoldedSeq uint64
+	// pendingCheckpoint is set by foldDelta: the next committed Flush
+	// truncates the WAL.
+	pendingCheckpoint bool
 }
 
 // legacyDegrees reports whether this store predates per-type degree
@@ -217,7 +250,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		// marker survives only when that rewrite never committed, so the
 		// edge file may hold a mix of old- and new-order records that the
 		// manifest cannot detect. Refusing is the only safe answer.
-		return nil, fmt.Errorf("diskstore: %s was interrupted mid-finalize/compact and its edge records may be partially rewritten; rebuild the store", dir)
+		return nil, fmt.Errorf("diskstore: %s: %w; rebuild the store from its source data (or restore a backup), then remove %s",
+			dir, ErrFinalizeInterrupted, finalizeMarker)
 	}
 	var files [numFiles]*os.File
 	for i, name := range []string{"vertices.db", "edges.db", "props.db", "blobs.db", "degrees.db"} {
@@ -245,12 +279,26 @@ func Open(dir string, opts Options) (*Store, error) {
 		typeIDs:   map[string]int{},
 		keyIDs:    map[string]int{},
 		byLabel:   map[int][]storage.VID{},
+		delta:     newDelta(),
 	}
 	if err := s.loadManifest(); err != nil {
 		return nil, err
 	}
+	// Recovery pass: enter live mode for finalized stores and replay any
+	// write-ahead log a crashed live session left behind (see live.go).
+	if err := s.recoverLive(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
+
+// ErrFinalizeInterrupted is returned (wrapped, with a recovery hint) by
+// Open when the finalize.inprogress marker is present: a Finalize or
+// Compact crashed after it may have started rewriting edge records and
+// before the rewrite was committed by a Flush, so edges.db may hold a
+// mix of old- and new-order records that the manifest cannot detect.
+// Test with errors.Is.
+var ErrFinalizeInterrupted = errors.New("store was interrupted mid-finalize/compact and its edge records may be partially rewritten")
 
 func (s *Store) loadManifest() error {
 	data, err := os.ReadFile(filepath.Join(s.dir, "manifest.json"))
@@ -274,6 +322,7 @@ func (s *Store) loadManifest() error {
 	s.labels, s.types, s.keys = m.Labels, m.Types, m.Keys
 	s.numVertices, s.numEdges, s.numProps, s.blobSize = m.NumVertices, m.NumEdges, m.NumProps, m.BlobSize
 	s.numDegs = m.NumDegs
+	s.walFoldedSeq = m.WalSeq
 	for i, l := range s.labels {
 		s.labelIDs[l] = i
 	}
@@ -356,12 +405,16 @@ func (s *Store) Flush() error {
 		}
 		s.indexCurrent = true
 	}
+	// Note the counts describe the base files only: in live mode the
+	// delta segment is not flushed here — it is durable through the WAL
+	// and folded into the base by the next Compact.
 	m := manifest{
 		Version: s.version,
 		Labels:  s.labels, Types: s.types, Keys: s.keys,
 		NumVertices: s.numVertices, NumEdges: s.numEdges, NumProps: s.numProps,
 		NumDegs: s.numDegs, BlobSize: s.blobSize,
 		Segmented: s.segmented && s.version >= 4,
+		WalSeq:    s.walFoldedSeq,
 	}
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -376,6 +429,18 @@ func (s *Store) Flush() error {
 	// safe false positive: Open refuses and asks for a rebuild.)
 	if err := os.Remove(filepath.Join(s.dir, finalizeMarker)); err != nil && !os.IsNotExist(err) {
 		return err
+	}
+	// Checkpoint: the manifest just committed a wal_seq covering every
+	// folded record, so the WAL can be emptied. A crash before this
+	// truncation leaves a stale log that replay skips (and truncates) via
+	// the fence.
+	if s.pendingCheckpoint {
+		if w := s.wal.Load(); w != nil {
+			if err := w.reset(); err != nil {
+				return err
+			}
+		}
+		s.pendingCheckpoint = false
 	}
 	s.dirty = false
 	return nil
@@ -437,10 +502,17 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// Close flushes and closes the underlying files.
+// Close flushes and closes the underlying files. A live store's delta
+// segment is not folded — it stays durable through the WAL and is
+// replayed on the next Open; call Compact first to fold it instead.
 func (s *Store) Close() error {
 	if err := s.Flush(); err != nil {
 		return err
+	}
+	if w := s.wal.Load(); w != nil {
+		if err := w.close(); err != nil {
+			return err
+		}
 	}
 	for _, f := range s.pager.files {
 		if err := f.Close(); err != nil {
@@ -841,8 +913,17 @@ func decodeList(data []byte) (graph.Value, error) {
 
 // ---- Builder ----
 
-// AddVertex creates a vertex with the given labels.
+// AddVertex creates a vertex with the given labels. On a live
+// (finalized) store the write is rerouted through the durable
+// WAL-backed path; see ApplyMutations.
 func (s *Store) AddVertex(labels ...string) (storage.VID, error) {
+	if s.liveMode.Load() {
+		res, err := s.ApplyMutations([]storage.Mutation{{Op: storage.MutAddVertex, Labels: labels}})
+		if err != nil {
+			return 0, err
+		}
+		return res.Vertices[0], nil
+	}
 	if err := s.markDirty(); err != nil {
 		return 0, err
 	}
@@ -875,8 +956,13 @@ func (s *Store) labelID(label string, create bool) (int, bool, error) {
 	return id, true, nil
 }
 
-// AddLabel adds a label to an existing vertex.
+// AddLabel adds a label to an existing vertex (durably via the WAL on a
+// live store).
 func (s *Store) AddLabel(v storage.VID, label string) error {
+	if s.liveMode.Load() {
+		_, err := s.ApplyMutations([]storage.Mutation{{Op: storage.MutAddLabel, V: v, Label: label}})
+		return err
+	}
 	if err := s.check(v); err != nil {
 		return err
 	}
@@ -903,17 +989,17 @@ func (s *Store) AddLabel(v storage.VID, label string) error {
 	return nil
 }
 
-// SetProp sets a vertex property, replacing any previous value.
+// SetProp sets a vertex property, replacing any previous value (durably
+// via the WAL on a live store).
 func (s *Store) SetProp(v storage.VID, key string, val graph.Value) error {
+	if s.liveMode.Load() {
+		_, err := s.ApplyMutations([]storage.Mutation{{Op: storage.MutSetProp, V: v, Key: key, Value: val}})
+		return err
+	}
 	if err := s.check(v); err != nil {
 		return err
 	}
-	keyID, ok := s.keyIDs[key]
-	if !ok {
-		keyID = len(s.keys)
-		s.keys = append(s.keys, key)
-		s.keyIDs[key] = keyID
-	}
+	keyID := s.internKey(key)
 	if err := s.markDirty(); err != nil {
 		return err
 	}
@@ -948,21 +1034,27 @@ func (s *Store) SetProp(v storage.VID, key string, val graph.Value) error {
 	return s.writeVertex(v, rec)
 }
 
-// AddEdge creates a directed edge of the given type, prepending it to the
-// source's out-chain and the destination's in-chain.
+// AddEdge creates a directed edge of the given type. During building it
+// prepends to the source's out-chain and the destination's in-chain; on
+// a live (finalized) store it is rerouted through the durable WAL-backed
+// delta path instead, which keeps the base's segmented-adjacency
+// invariant intact — typed traversals of base edges stay on the segment
+// fast path rather than silently degrading to the filter path.
 func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error) {
+	if s.liveMode.Load() {
+		res, err := s.ApplyMutations([]storage.Mutation{{Op: storage.MutAddEdge, Src: src, Dst: dst, Type: etype}})
+		if err != nil {
+			return 0, err
+		}
+		return res.Edges[0], nil
+	}
 	if err := s.check(src); err != nil {
 		return 0, err
 	}
 	if err := s.check(dst); err != nil {
 		return 0, err
 	}
-	typeID, ok := s.typeIDs[etype]
-	if !ok {
-		typeID = len(s.types)
-		s.types = append(s.types, etype)
-		s.typeIDs[etype] = typeID
-	}
+	typeID := s.internType(etype)
 	if err := s.markDirty(); err != nil {
 		return 0, err
 	}
@@ -1010,7 +1102,7 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 }
 
 func (s *Store) check(v storage.VID) error {
-	if v < 0 || int64(v) >= s.numVertices {
+	if v < 0 || int64(v) >= s.numVertices+s.delta.vertCount.Load() {
 		return fmt.Errorf("diskstore: vertex %d out of range", v)
 	}
 	return nil
@@ -1018,11 +1110,11 @@ func (s *Store) check(v storage.VID) error {
 
 // ---- Graph ----
 
-// NumVertices returns the number of vertices.
-func (s *Store) NumVertices() int { return int(s.numVertices) }
+// NumVertices returns the number of vertices (base plus delta segment).
+func (s *Store) NumVertices() int { return int(s.numVertices + s.delta.vertCount.Load()) }
 
-// NumEdges returns the number of edges.
-func (s *Store) NumEdges() int { return int(s.numEdges) }
+// NumEdges returns the number of edges (base plus delta segment).
+func (s *Store) NumEdges() int { return int(s.numEdges + s.delta.edgeCount.Load()) }
 
 // CountLabel returns the number of vertices carrying the label.
 func (s *Store) CountLabel(label string) int {
@@ -1042,51 +1134,87 @@ func (s *Store) HasLabel(v storage.VID, label string) bool {
 	return s.HasLabelID(v, s.LabelID(label))
 }
 
-// Labels returns the labels of the vertex, sorted.
+// Labels returns the labels of the vertex, sorted. Delta vertices carry
+// their labels in memory; base vertices merge delta-side additions.
 func (s *Store) Labels(v storage.VID) []string {
 	if s.check(v) != nil {
 		return nil
 	}
-	rec, err := s.readVertex(v)
-	if err != nil {
-		return nil
+	var ids []int
+	if s.liveMode.Load() && int64(v) >= s.numVertices {
+		ids = s.delta.vertexLabelIDs(int64(v) - s.numVertices)
+	} else {
+		rec, err := s.readVertex(v)
+		if err != nil {
+			return nil
+		}
+		ids = labelBitsToIDs(rec.labels)
+		if s.liveMode.Load() {
+			ids = append(ids, s.delta.labelAddIDs(v)...)
+		}
 	}
-	ids := labelBitsToIDs(rec.labels)
+	s.symRLock()
 	out := make([]string, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, s.labels[id])
 	}
+	s.symRUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // Prop returns the value of a vertex property.
 func (s *Store) Prop(v storage.VID, key string) (graph.Value, bool) {
-	keyID, ok := s.keyIDs[key]
-	if !ok {
+	keyID := s.KeyID(key)
+	if keyID < 0 { // unknown key, or "" (AnySymbol has no value meaning)
 		return graph.Null, false
 	}
-	return s.PropID(v, storage.SymbolID(keyID))
+	return s.PropID(v, keyID)
 }
 
-// PropKeys returns the property keys present on the vertex, sorted.
+// PropKeys returns the property keys present on the vertex, sorted,
+// merging base-chain keys with delta-side values (an override of an
+// existing key appears once).
 func (s *Store) PropKeys(v storage.VID) []string {
 	if s.check(v) != nil {
 		return nil
 	}
-	rec, err := s.readVertex(v)
-	if err != nil {
-		return nil
-	}
-	var out []string
-	for p := rec.firstProp; p != 0; {
-		pr, err := s.readProp(p - 1)
+	live := s.liveMode.Load()
+	var ids []int
+	if !live || int64(v) < s.numVertices {
+		rec, err := s.readVertex(v)
 		if err != nil {
 			return nil
 		}
-		out = append(out, s.keys[pr.keyID])
-		p = pr.next
+		for p := rec.firstProp; p != 0; {
+			pr, err := s.readProp(p - 1)
+			if err != nil {
+				return nil
+			}
+			ids = append(ids, int(pr.keyID))
+			p = pr.next
+		}
 	}
+	if live {
+		for _, id := range s.delta.propKeyIDs(v, s.numVertices) {
+			dup := false
+			for _, have := range ids {
+				if have == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ids = append(ids, id)
+			}
+		}
+	}
+	s.symRLock()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.keys[id])
+	}
+	s.symRUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -1109,13 +1237,40 @@ func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn fu
 	if s.check(v) != nil || etype == storage.NoSymbol {
 		return
 	}
-	rec, err := s.readVertex(v)
-	if err != nil {
+	if !s.liveMode.Load() {
+		s.forEachBase(v, etype, out, fn)
 		return
 	}
-	if etype != storage.AnySymbol && s.segmented {
-		s.forEachSegment(rec, uint32(etype), out, fn)
+	// Live merge: base edges first — on the segment fast path, untouched
+	// by live writes — then the vertex's delta adjacency. Delta vertices
+	// have no base records at all.
+	if int64(v) < s.numVertices {
+		if !s.forEachBase(v, etype, out, fn) {
+			return
+		}
+	}
+	if s.delta.edgeCount.Load() == 0 {
 		return
+	}
+	for _, de := range s.delta.adj(v, out) {
+		if etype == storage.AnySymbol || de.typeID == uint32(etype) {
+			if !fn(de.e, de.other) {
+				return
+			}
+		}
+	}
+}
+
+// forEachBase iterates v's base-file adjacency only, reporting whether
+// iteration ran to completion (false = fn stopped it or a read failed),
+// so a live caller knows whether to continue into the delta.
+func (s *Store) forEachBase(v storage.VID, etype storage.SymbolID, out bool, fn func(storage.EID, storage.VID) bool) bool {
+	rec, err := s.readVertex(v)
+	if err != nil {
+		return false
+	}
+	if etype != storage.AnySymbol && s.segmented {
+		return s.forEachSegment(rec, uint32(etype), out, fn)
 	}
 	p := rec.firstOut
 	if !out {
@@ -1124,7 +1279,7 @@ func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn fu
 	for p != 0 {
 		er, err := s.readEdge(storage.EID(p - 1))
 		if err != nil {
-			return
+			return false
 		}
 		other := storage.VID(er.dst)
 		next := er.nextOut
@@ -1134,23 +1289,25 @@ func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn fu
 		}
 		if etype == storage.AnySymbol || er.typeID == uint32(etype) {
 			if !fn(storage.EID(p-1), other) {
-				return
+				return false
 			}
 		}
 		p = next
 	}
+	return true
 }
 
 // forEachSegment is the typed iteration fast path on a segmented store:
 // it finds the type's degree record (one short chain walk), seeks to its
 // adjacency segment head, and consumes edges until the segment ends —
 // other types' edge records are never read, the storage-level analogue of
-// the paper's schema-driven traversal pruning.
-func (s *Store) forEachSegment(rec vertexRec, typeID uint32, out bool, fn func(storage.EID, storage.VID) bool) {
+// the paper's schema-driven traversal pruning. Reports whether iteration
+// ran to completion (see forEachBase).
+func (s *Store) forEachSegment(rec vertexRec, typeID uint32, out bool, fn func(storage.EID, storage.VID) bool) bool {
 	for d := rec.firstDeg; d != 0; {
 		dr, err := s.readDeg(d - 1)
 		if err != nil {
-			return
+			return false
 		}
 		if dr.typeID != typeID {
 			d = dr.next
@@ -1163,10 +1320,10 @@ func (s *Store) forEachSegment(rec vertexRec, typeID uint32, out bool, fn func(s
 		for p != 0 {
 			er, err := s.readEdge(storage.EID(p - 1))
 			if err != nil {
-				return
+				return false
 			}
 			if er.typeID != typeID {
-				return // left the segment
+				return true // left the segment
 			}
 			other := storage.VID(er.dst)
 			next := er.nextOut
@@ -1175,12 +1332,13 @@ func (s *Store) forEachSegment(rec vertexRec, typeID uint32, out bool, fn func(s
 				next = er.nextIn
 			}
 			if !fn(storage.EID(p-1), other) {
-				return
+				return false
 			}
 			p = next
 		}
-		return
+		return true
 	}
+	return true
 }
 
 // Degree returns the number of out- or in-edges of the given type. Both
@@ -1193,39 +1351,49 @@ func (s *Store) Degree(v storage.VID, etype string, out bool) int {
 // ---- storage.FastGraph ----
 
 // LabelID resolves a vertex label to its interned ID.
-func (s *Store) LabelID(label string) storage.SymbolID { return resolve(label, s.labelIDs) }
+func (s *Store) LabelID(label string) storage.SymbolID { return s.resolveSym(label, s.labelIDs) }
 
 // TypeID resolves an edge type to its interned ID.
-func (s *Store) TypeID(etype string) storage.SymbolID { return resolve(etype, s.typeIDs) }
+func (s *Store) TypeID(etype string) storage.SymbolID { return s.resolveSym(etype, s.typeIDs) }
 
 // KeyID resolves a property key to its interned ID.
-func (s *Store) KeyID(key string) storage.SymbolID { return resolve(key, s.keyIDs) }
+func (s *Store) KeyID(key string) storage.SymbolID { return s.resolveSym(key, s.keyIDs) }
 
-func resolve(name string, ids map[string]int) storage.SymbolID {
+func (s *Store) resolveSym(name string, ids map[string]int) storage.SymbolID {
 	if name == "" {
 		return storage.AnySymbol
 	}
-	if id, ok := ids[name]; ok {
+	s.symRLock()
+	id, ok := ids[name]
+	s.symRUnlock()
+	if ok {
 		return storage.SymbolID(id)
 	}
 	return storage.NoSymbol
 }
 
-// CountLabelID is CountLabel with a resolved label.
+// CountLabelID is CountLabel with a resolved label: the base index size
+// plus the delta segment's members.
 func (s *Store) CountLabelID(label storage.SymbolID) int {
 	if label == storage.AnySymbol {
-		return int(s.numVertices)
+		return s.NumVertices()
 	}
 	if label < 0 {
 		return 0
 	}
-	return len(s.byLabel[int(label)])
+	n := len(s.byLabel[int(label)])
+	if s.liveMode.Load() {
+		n += s.delta.labelCount(int(label))
+	}
+	return n
 }
 
-// ForEachVertexID is ForEachVertex with a resolved label.
+// ForEachVertexID is ForEachVertex with a resolved label: the base index
+// first, then the delta segment's members.
 func (s *Store) ForEachVertexID(label storage.SymbolID, fn func(storage.VID) bool) {
 	if label == storage.AnySymbol {
-		for v := int64(0); v < s.numVertices; v++ {
+		total := int64(s.NumVertices())
+		for v := int64(0); v < total; v++ {
 			if !fn(storage.VID(v)) {
 				return
 			}
@@ -1240,24 +1408,48 @@ func (s *Store) ForEachVertexID(label storage.SymbolID, fn func(storage.VID) boo
 			return
 		}
 	}
+	if s.liveMode.Load() {
+		for _, v := range s.delta.labelVIDs(int(label)) {
+			if !fn(v) {
+				return
+			}
+		}
+	}
 }
 
-// HasLabelID is HasLabel with a resolved label.
+// HasLabelID is HasLabel with a resolved label; base record bits are
+// merged with delta-side label additions.
 func (s *Store) HasLabelID(v storage.VID, label storage.SymbolID) bool {
 	if label < 0 || s.check(v) != nil {
 		return false
+	}
+	live := s.liveMode.Load()
+	if live && int64(v) >= s.numVertices {
+		return s.delta.hasLabel(v, s.numVertices, int(label))
 	}
 	rec, err := s.readVertex(v)
 	if err != nil {
 		return false
 	}
-	return rec.labels[label/64]&(1<<uint(label%64)) != 0
+	if rec.labels[label/64]&(1<<uint(label%64)) != 0 {
+		return true
+	}
+	return live && s.delta.hasLabel(v, s.numVertices, int(label))
 }
 
-// PropID is Prop with a resolved key.
+// PropID is Prop with a resolved key. Delta-side values win: a live
+// SetProp overrides the base chain without touching it.
 func (s *Store) PropID(v storage.VID, key storage.SymbolID) (graph.Value, bool) {
 	if key < 0 || s.check(v) != nil {
 		return graph.Null, false
+	}
+	if s.liveMode.Load() {
+		if int64(v) >= s.numVertices {
+			return s.delta.prop(v, s.numVertices, int(key))
+		}
+		if val, ok := s.delta.prop(v, s.numVertices, int(key)); ok {
+			return val, true
+		}
 	}
 	rec, err := s.readVertex(v)
 	if err != nil {
@@ -1298,13 +1490,20 @@ func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
 	if s.check(v) != nil || etype == storage.NoSymbol {
 		return 0
 	}
+	deltaN := 0
+	if s.liveMode.Load() {
+		if int64(v) >= s.numVertices {
+			return s.delta.degree(v, etype, out) // delta vertex: no base records
+		}
+		deltaN = s.delta.degree(v, etype, out)
+	}
 	if s.legacyDegrees() && etype != storage.AnySymbol {
 		n := 0
-		s.forEachID(v, etype, out, func(storage.EID, storage.VID) bool {
+		s.forEachBase(v, etype, out, func(storage.EID, storage.VID) bool {
 			n++
 			return true
 		})
-		return n
+		return n + deltaN
 	}
 	rec, err := s.readVertex(v)
 	if err != nil {
@@ -1312,9 +1511,9 @@ func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
 	}
 	if etype == storage.AnySymbol {
 		if out {
-			return int(rec.outDeg)
+			return int(rec.outDeg) + deltaN
 		}
-		return int(rec.inDeg)
+		return int(rec.inDeg) + deltaN
 	}
 	for d := rec.firstDeg; d != 0; {
 		dr, err := s.readDeg(d - 1)
@@ -1323,11 +1522,11 @@ func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
 		}
 		if dr.typeID == uint32(etype) {
 			if out {
-				return int(dr.outDeg)
+				return int(dr.outDeg) + deltaN
 			}
-			return int(dr.inDeg)
+			return int(dr.inDeg) + deltaN
 		}
 		d = dr.next
 	}
-	return 0
+	return deltaN
 }

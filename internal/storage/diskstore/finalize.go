@@ -23,6 +23,20 @@ import (
 // record — one record write per vertex instead of AddVertex's write plus
 // one read-modify-write per label.
 func (s *Store) AddVertexBatch(batch []storage.BulkVertex) (storage.VID, error) {
+	if s.liveMode.Load() {
+		if len(batch) == 0 {
+			return storage.VID(s.NumVertices()), nil
+		}
+		muts := make([]storage.Mutation, len(batch))
+		for i, bv := range batch {
+			muts[i] = storage.Mutation{Op: storage.MutAddVertex, Labels: bv.Labels}
+		}
+		res, err := s.ApplyMutations(muts)
+		if err != nil {
+			return 0, err
+		}
+		return res.Vertices[0], nil
+	}
 	if err := s.markDirty(); err != nil {
 		return 0, err
 	}
@@ -56,6 +70,14 @@ func (s *Store) AddVertexBatch(batch []storage.BulkVertex) (storage.VID, error) 
 // a mid-batch failure leaves a store whose next Flush links whatever was
 // appended.
 func (s *Store) AddEdgeBatch(batch []storage.BulkEdge) error {
+	if s.liveMode.Load() {
+		muts := make([]storage.Mutation, len(batch))
+		for i, be := range batch {
+			muts[i] = storage.Mutation{Op: storage.MutAddEdge, Src: be.Src, Dst: be.Dst, Type: be.Type}
+		}
+		_, err := s.ApplyMutations(muts)
+		return err
+	}
 	if err := s.markDirty(); err != nil {
 		return err
 	}
@@ -109,6 +131,12 @@ type edgeLite struct {
 // clustering; EIDs observed before Finalize are invalid after it (the
 // storage.BatchBuilder contract).
 func (s *Store) Finalize() error {
+	// Live state is folded into the base below; base writers are used for
+	// the fold, so live routing is switched off for the duration.
+	// Finalize requires exclusive access (no concurrent readers or
+	// writers) — it rewrites edges.db in place.
+	wasLive := s.liveMode.Load()
+	s.liveMode.Store(false)
 	if err := s.markDirty(); err != nil {
 		return err
 	}
@@ -117,6 +145,22 @@ func (s *Store) Finalize() error {
 		// current-format manifest + index; this is the explicit upgrade
 		// path, never taken by plain Open/Flush.
 		s.version = 4
+	}
+	// The fold and the rewrite below mutate base records in place, and
+	// cache eviction may push any subset of the new pages to disk at any
+	// moment — a crash leaves files in a mixed old/new state that the
+	// (unchanged) manifest still validates. The marker file turns that
+	// silent corruption into a detected one: it is created before the
+	// first mutated page can reach disk and removed only by the next
+	// successful Flush, so Open refuses a store whose finalize never
+	// committed (see ErrFinalizeInterrupted).
+	if err := s.placeFinalizeMarker(); err != nil {
+		return err
+	}
+	if wasLive {
+		if err := s.foldDelta(); err != nil {
+			return err
+		}
 	}
 	nE := int(s.numEdges)
 	recs := make([]edgeLite, nE)
@@ -129,17 +173,6 @@ func (s *Store) Finalize() error {
 			return fmt.Errorf("diskstore: finalize: edge %d not in use", e)
 		}
 		recs[e] = edgeLite{src: er.src, dst: er.dst, typeID: er.typeID}
-	}
-	// The rewrite below renumbers edges.db in place, and cache eviction
-	// may push any subset of the new pages to disk at any moment — a
-	// crash mid-rewrite would leave records in a mixed old/new order that
-	// the (unchanged) manifest still validates. The marker file turns
-	// that silent corruption into a detected one: it is created before
-	// the first rewritten page can reach disk and removed only by the
-	// next successful Flush, so Open refuses a store whose finalize never
-	// committed.
-	if err := s.placeFinalizeMarker(); err != nil {
-		return err
 	}
 
 	// New edge order, clustered by (src, type): the new ID of edge
@@ -281,6 +314,116 @@ func (s *Store) Finalize() error {
 	}
 	s.segmented = true
 	s.needFinalize = false
+	// A finalized store with at least one vertex and one edge accepts
+	// durable live mutations (see live.go). Empty or vertex-only stores
+	// stay in build mode: they are still being constructed and their
+	// cheap base mutations need no WAL.
+	if s.numVertices > 0 && s.numEdges > 0 {
+		s.liveMode.Store(true)
+	}
+	return nil
+}
+
+// foldDelta appends the delta segment's state to the base files so the
+// rebuild that follows links it. Delta vertices keep their VIDs (the
+// delta numbered them past the base, so appending in slice order
+// reproduces the live IDs) and delta edges keep their ingest order
+// (bare records only — Finalize's rewrite links and renumbers them).
+// Once the fold is in the base, the WAL records it absorbed are dead
+// weight: walFoldedSeq advances to fence them out of replay, and the
+// next Flush — the manifest commit that makes the fold durable —
+// truncates the log (pendingCheckpoint). The caller has switched live
+// routing off and placed the finalize marker, so every write here uses
+// the base build path and a crash mid-fold is detected at next Open.
+func (s *Store) foldDelta() error {
+	d := s.delta
+	base := s.numVertices
+	for i := range d.verts {
+		v := storage.VID(s.numVertices)
+		s.numVertices++
+		rec := vertexRec{inUse: true}
+		for _, id := range d.verts[i].labelIDs {
+			w, b := id/64, uint(id%64)
+			if rec.labels[w]&(1<<b) == 0 {
+				rec.labels[w] |= 1 << b
+				s.byLabel[id] = append(s.byLabel[id], v)
+			}
+		}
+		if err := s.writeVertex(v, rec); err != nil {
+			return err
+		}
+	}
+	// Label additions on base vertices (delta-vertex labels were folded
+	// into their fresh records above). The delta deduplicated against
+	// base bits at apply time, but re-checking here keeps byLabel clean
+	// even if the same label was added twice across batches.
+	for v, ids := range d.labelAdds {
+		rec, err := s.readVertex(v)
+		if err != nil {
+			return err
+		}
+		changed := false
+		for _, id := range ids {
+			w, b := id/64, uint(id%64)
+			if rec.labels[w]&(1<<b) == 0 {
+				rec.labels[w] |= 1 << b
+				s.byLabel[id] = append(s.byLabel[id], v)
+				changed = true
+			}
+		}
+		if changed {
+			if err := s.writeVertex(v, rec); err != nil {
+				return err
+			}
+		}
+	}
+	// Delta edges in EID order: sequential appends reproduce the live
+	// EIDs (not that they survive — the rebuild renumbers; what matters
+	// is that ingest order is preserved for the stable sort).
+	type foldEdge struct {
+		src storage.VID
+		de  deltaEdge
+	}
+	var edges []foldEdge
+	for src, es := range d.out {
+		for _, de := range es {
+			edges = append(edges, foldEdge{src: src, de: de})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].de.e < edges[j].de.e })
+	for _, fe := range edges {
+		e := storage.EID(s.numEdges)
+		s.numEdges++
+		if err := s.writeEdge(e, edgeRec{
+			inUse: true, typeID: fe.de.typeID,
+			src: int64(fe.src), dst: int64(fe.de.other),
+		}); err != nil {
+			return err
+		}
+	}
+	// Properties last, once every vertex they touch has a base record:
+	// delta-vertex values and base-vertex overrides both go through the
+	// base prop chain.
+	for i := range d.verts {
+		v := storage.VID(base + int64(i))
+		for keyID, val := range d.verts[i].props {
+			if err := s.SetProp(v, s.keys[keyID], val); err != nil {
+				return err
+			}
+		}
+	}
+	for v, m := range d.propOver {
+		for keyID, val := range m {
+			if err := s.SetProp(v, s.keys[keyID], val); err != nil {
+				return err
+			}
+		}
+	}
+	if w := s.wal.Load(); w != nil {
+		s.walFoldedSeq = w.lastAppended()
+		s.pendingCheckpoint = true
+	}
+	s.delta = newDelta()
 	return nil
 }
 

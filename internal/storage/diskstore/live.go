@@ -1,0 +1,396 @@
+package diskstore
+
+// Live-write mode: the durable post-finalize mutation path.
+//
+// A store is live when its base layout is a finalized v4 store with at
+// least one edge (or when a wal.db from a previous live session needs
+// replaying). In live mode the base files are frozen — Builder calls are
+// rerouted here instead of dirtying pages — and every mutation batch is:
+//
+//  1. validated and resolved (batch-relative vertex references become
+//     absolute VIDs),
+//  2. encoded into one WAL record, appended, and fsynced (group commit)
+//     — the durability point: the batch is acknowledged only after this,
+//  3. applied to the in-memory delta segment the read paths merge.
+//
+// Crashing before the fsync completes leaves at most a torn record that
+// recovery truncates (the batch was never acknowledged); crashing after
+// it leaves a whole record that recovery replays. Compact folds the
+// delta into a fresh finalized base and checkpoints the WAL.
+//
+// Concurrency: ApplyMutations calls serialize on liveMu. Readers never
+// block on it — they see the delta through its own RWMutex and the
+// symbol tables through symMu, which is only engaged in live mode so the
+// build-then-read fast path stays lock-free.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+var (
+	_ storage.MutableGraph      = (*Store)(nil)
+	_ storage.LiveStatsReporter = (*Store)(nil)
+)
+
+// Live reports whether the store accepts ApplyMutations.
+func (s *Store) Live() bool { return s.liveMode.Load() }
+
+// LiveStats reports delta segment sizes and WAL activity.
+func (s *Store) LiveStats() storage.LiveStats {
+	ls := storage.LiveStats{
+		Live:          s.liveMode.Load(),
+		Segmented:     s.segmented,
+		DeltaVertices: s.delta.vertCount.Load(),
+		DeltaEdges:    s.delta.edgeCount.Load(),
+	}
+	if w := s.wal.Load(); w != nil {
+		ls.WALAppends = w.appends.Load()
+		ls.WALSyncs = w.syncs.Load()
+		ls.WALSyncNanos = w.syncNanos.Load()
+		ls.WALBytes = w.bytes.Load()
+	}
+	return ls
+}
+
+// ApplyMutations validates, logs, fsyncs, and applies one batch; see the
+// storage.MutableGraph contract. The batch is atomic with respect to
+// crashes: it becomes one WAL record, so after reopen either every
+// mutation in it is present or none is.
+func (s *Store) ApplyMutations(batch []storage.Mutation) (storage.MutationResult, error) {
+	var res storage.MutationResult
+	if !s.liveMode.Load() {
+		return res, fmt.Errorf("diskstore: %w (run Compact to finalize the store first)", storage.ErrNotLive)
+	}
+	if len(batch) == 0 {
+		return res, nil
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	resolved, err := s.resolveBatch(batch)
+	if err != nil {
+		return res, err
+	}
+	if err := s.internBatch(resolved); err != nil {
+		return res, err
+	}
+	ops, err := encodeWALOps(resolved)
+	if err != nil {
+		return res, err
+	}
+	w, err := s.walHandle()
+	if err != nil {
+		return res, err
+	}
+	seq, err := w.append(ops, len(resolved))
+	if err != nil {
+		return res, err
+	}
+	if err := w.sync(seq); err != nil {
+		return res, err
+	}
+	return s.applyToDelta(resolved), nil
+}
+
+// walHandle returns the open WAL, creating wal.db on the first live
+// mutation — never at Open, so read-only open/close cycles leave the
+// store directory untouched.
+func (s *Store) walHandle() (*wal, error) {
+	if w := s.wal.Load(); w != nil {
+		return w, nil
+	}
+	w, err := openWAL(filepath.Join(s.dir, walFileName))
+	if err != nil {
+		return nil, err
+	}
+	// Fresh log: start sequences above the manifest's checkpoint fence so
+	// replay's seq <= wal_seq skip can never discard a new record.
+	w.seed(w.size, s.walFoldedSeq)
+	s.wal.Store(w)
+	return w, nil
+}
+
+// resolveBatch validates a batch and returns a copy with every vertex
+// reference absolute. It rejects the whole batch — before anything is
+// logged — on an unknown vertex, a forward batch reference, an empty
+// symbol name, or an unstorable value.
+func (s *Store) resolveBatch(batch []storage.Mutation) ([]storage.Mutation, error) {
+	existing := s.numVertices + s.delta.vertCount.Load()
+	newSoFar := int64(0)
+	resolveRef := func(v storage.VID) (storage.VID, error) {
+		if v >= 0 {
+			if int64(v) >= existing {
+				return 0, fmt.Errorf("diskstore: vertex %d out of range", v)
+			}
+			return v, nil
+		}
+		k := int64(-v) // -1 = first vertex created by this batch
+		if k > newSoFar {
+			return 0, fmt.Errorf("diskstore: batch reference %d points at a vertex not yet created in the batch", v)
+		}
+		return storage.VID(existing + k - 1), nil
+	}
+	out := make([]storage.Mutation, len(batch))
+	for i := range batch {
+		m := batch[i]
+		var err error
+		switch m.Op {
+		case storage.MutAddVertex:
+			for _, l := range m.Labels {
+				if l == "" {
+					return nil, fmt.Errorf("diskstore: empty label in AddVertex")
+				}
+			}
+			m.Labels = append([]string(nil), m.Labels...)
+			newSoFar++
+		case storage.MutAddEdge:
+			if m.Type == "" {
+				return nil, fmt.Errorf("diskstore: empty edge type in AddEdge")
+			}
+			if m.Src, err = resolveRef(m.Src); err != nil {
+				return nil, err
+			}
+			if m.Dst, err = resolveRef(m.Dst); err != nil {
+				return nil, err
+			}
+		case storage.MutSetProp:
+			if m.Key == "" {
+				return nil, fmt.Errorf("diskstore: empty property key in SetProp")
+			}
+			if err := checkValueKind(m.Value); err != nil {
+				return nil, err
+			}
+			if m.V, err = resolveRef(m.V); err != nil {
+				return nil, err
+			}
+		case storage.MutAddLabel:
+			if m.Label == "" {
+				return nil, fmt.Errorf("diskstore: empty label in AddLabel")
+			}
+			if m.V, err = resolveRef(m.V); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("diskstore: unknown mutation op %d", m.Op)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// checkValueKind rejects values the record format cannot store, before
+// they reach the WAL.
+func checkValueKind(v graph.Value) error {
+	switch v.Kind() {
+	case graph.KindNull, graph.KindInt, graph.KindFloat, graph.KindBool, graph.KindString:
+		return nil
+	case graph.KindList:
+		for _, el := range v.List() {
+			if el.Kind() == graph.KindList {
+				return fmt.Errorf("diskstore: cannot store nested list value")
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("diskstore: unsupported value kind %v", v.Kind())
+	}
+}
+
+// internBatch interns every symbol the batch mentions under the
+// symbol-table write lock. Readers resolving symbols concurrently hold
+// the read lock (see resolveSym).
+func (s *Store) internBatch(batch []storage.Mutation) error {
+	s.symMu.Lock()
+	defer s.symMu.Unlock()
+	for i := range batch {
+		m := &batch[i]
+		switch m.Op {
+		case storage.MutAddVertex:
+			for _, l := range m.Labels {
+				if _, _, err := s.labelID(l, true); err != nil {
+					return err
+				}
+			}
+		case storage.MutAddEdge:
+			s.internType(m.Type)
+		case storage.MutSetProp:
+			s.internKey(m.Key)
+		case storage.MutAddLabel:
+			if _, _, err := s.labelID(m.Label, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyToDelta applies a fully resolved, interned batch to the delta
+// segment and assigns IDs. Label additions pre-read the base record
+// outside the delta lock so byLabel stays duplicate-free against base
+// membership.
+func (s *Store) applyToDelta(batch []storage.Mutation) storage.MutationResult {
+	var res storage.MutationResult
+	d := s.delta
+	baseHas := make([]bool, len(batch))
+	for i := range batch {
+		m := &batch[i]
+		if m.Op == storage.MutAddLabel && int64(m.V) < s.numVertices {
+			id := s.labelIDs[m.Label]
+			if rec, err := s.readVertex(m.V); err == nil {
+				baseHas[i] = rec.labels[id/64]&(1<<uint(id%64)) != 0
+			}
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range batch {
+		m := &batch[i]
+		switch m.Op {
+		case storage.MutAddVertex:
+			var ids []int
+			for _, l := range m.Labels {
+				id := s.labelIDs[l]
+				dup := false
+				for _, have := range ids {
+					if have == id {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					ids = append(ids, id)
+				}
+			}
+			res.Vertices = append(res.Vertices, d.addVertexLocked(s.numVertices, ids))
+		case storage.MutAddEdge:
+			e := d.addEdgeLocked(s.numEdges, m.Src, m.Dst, uint32(s.typeIDs[m.Type]))
+			res.Edges = append(res.Edges, e)
+		case storage.MutSetProp:
+			d.setPropLocked(m.V, s.numVertices, s.keyIDs[m.Key], m.Value)
+		case storage.MutAddLabel:
+			d.addLabelLocked(m.V, s.numVertices, s.labelIDs[m.Label], baseHas[i])
+		}
+	}
+	return res
+}
+
+// recoverLive runs at Open: it decides whether the store is live and
+// replays any WAL a previous process left behind. Records at or below
+// the manifest's wal_seq fence were already folded into the base by a
+// committed Compact and are skipped; a torn tail is truncated; a log
+// whose every record is stale is the residue of a crash between
+// Compact's commit and its WAL truncation, and the truncation is
+// finished here.
+func (s *Store) recoverLive() error {
+	walPath := filepath.Join(s.dir, walFileName)
+	size := int64(-1)
+	if st, err := os.Stat(walPath); err == nil {
+		size = st.Size()
+	}
+	live := s.version >= 4 && s.segmented && s.numVertices > 0 && s.numEdges > 0
+	if !live && size <= 0 {
+		return nil
+	}
+	s.liveMode.Store(true)
+	if size <= 0 {
+		return nil // no log to replay; walHandle opens one lazily
+	}
+	w, err := openWAL(walPath)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		w.close()
+		return err
+	}
+	batches, cleanOff := parseWAL(data)
+	lastSeq := s.walFoldedSeq
+	replayed := 0
+	for _, b := range batches {
+		if b.seq <= s.walFoldedSeq {
+			continue
+		}
+		if err := s.replayBatch(b.ops); err != nil {
+			w.close()
+			return fmt.Errorf("diskstore: wal replay (seq %d): %w", b.seq, err)
+		}
+		replayed++
+		lastSeq = b.seq
+	}
+	if cleanOff < int64(len(data)) {
+		if err := w.truncateTo(cleanOff); err != nil {
+			w.close()
+			return err
+		}
+	}
+	if replayed == 0 && cleanOff > 0 {
+		if err := w.truncateTo(0); err != nil {
+			w.close()
+			return err
+		}
+		cleanOff = 0
+	}
+	w.seed(cleanOff, lastSeq)
+	s.wal.Store(w)
+	return nil
+}
+
+// replayBatch re-applies one recovered WAL record. Records were
+// validated before logging, so re-validation failing means the log
+// disagrees with the base files — surfaced as an Open error rather than
+// silently dropping an acknowledged write.
+func (s *Store) replayBatch(ops []storage.Mutation) error {
+	resolved, err := s.resolveBatch(ops)
+	if err != nil {
+		return err
+	}
+	if err := s.internBatch(resolved); err != nil {
+		return err
+	}
+	s.applyToDelta(resolved)
+	return nil
+}
+
+// internType interns an edge type; caller holds symMu in live mode.
+func (s *Store) internType(etype string) int {
+	id, ok := s.typeIDs[etype]
+	if !ok {
+		id = len(s.types)
+		s.types = append(s.types, etype)
+		s.typeIDs[etype] = id
+	}
+	return id
+}
+
+// internKey interns a property key; caller holds symMu in live mode.
+func (s *Store) internKey(key string) int {
+	id, ok := s.keyIDs[key]
+	if !ok {
+		id = len(s.keys)
+		s.keys = append(s.keys, key)
+		s.keyIDs[key] = id
+	}
+	return id
+}
+
+// symRLock/symRUnlock guard symbol-table reads against live interning.
+// Outside live mode the tables are immutable after build and the lock is
+// skipped, keeping the read fast path lock-free. liveMode only flips
+// during Open and Finalize/Compact, both of which require exclusive
+// access, so the mode cannot change between the two calls.
+func (s *Store) symRLock() {
+	if s.liveMode.Load() {
+		s.symMu.RLock()
+	}
+}
+
+func (s *Store) symRUnlock() {
+	if s.liveMode.Load() {
+		s.symMu.RUnlock()
+	}
+}

@@ -5,7 +5,11 @@
 // LRU page cache).
 package storage
 
-import "repro/internal/graph"
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
 
 // VID identifies a vertex within a store.
 type VID int64
@@ -137,6 +141,90 @@ type Builder interface {
 	AddEdge(src, dst VID, etype string) (EID, error)
 	// Close releases resources (flushes files for disk-backed stores).
 	Close() error
+}
+
+// MutationOp selects which write a Mutation performs.
+type MutationOp uint8
+
+const (
+	// MutAddVertex creates a vertex with Labels (V, Src, Dst unused).
+	MutAddVertex MutationOp = iota + 1
+	// MutAddEdge creates an edge Src -> Dst of type Type.
+	MutAddEdge
+	// MutSetProp sets property Key of vertex V to Value.
+	MutSetProp
+	// MutAddLabel adds Label to vertex V.
+	MutAddLabel
+)
+
+// Mutation is one write in an ApplyMutations batch. Vertex references
+// (V, Src, Dst) are either existing VIDs (>= 0) or batch-relative
+// references to vertices created earlier in the same batch: -1 is the
+// batch's first MutAddVertex, -2 the second, and so on. This lets one
+// batch create a vertex and immediately attach edges and properties to it
+// without a round trip.
+type Mutation struct {
+	Op     MutationOp
+	Labels []string    // MutAddVertex
+	V      VID         // MutSetProp, MutAddLabel
+	Src    VID         // MutAddEdge
+	Dst    VID         // MutAddEdge
+	Type   string      // MutAddEdge
+	Key    string      // MutSetProp
+	Value  graph.Value // MutSetProp
+	Label  string      // MutAddLabel
+}
+
+// MutationResult reports the IDs assigned by an applied batch, in the
+// order the creating mutations appeared.
+type MutationResult struct {
+	Vertices []VID
+	Edges    []EID
+}
+
+// ErrNotLive is returned by ApplyMutations when the store does not accept
+// durable live writes in its current state (e.g. a diskstore that has not
+// been finalized yet, or a legacy-format store).
+var ErrNotLive = errors.New("storage: store is not in live-write mode")
+
+// MutableGraph is the durable post-build write surface. ApplyMutations
+// applies the batch atomically with respect to crashes — after a crash,
+// either every mutation in the batch is present or none is — and durably:
+// when the call returns nil, the batch has been logged and fsynced.
+// Implementations must allow concurrent readers while a batch applies;
+// concurrent ApplyMutations calls are serialized internally.
+type MutableGraph interface {
+	Graph
+	// ApplyMutations validates, logs, fsyncs, and applies the batch.
+	// Validation errors (unknown vertex, bad batch reference) reject the
+	// whole batch before anything is logged.
+	ApplyMutations(batch []Mutation) (MutationResult, error)
+}
+
+// LiveStats reports live-write state: delta segment sizes and write-ahead
+// log activity. All counters are cumulative since open.
+type LiveStats struct {
+	// Live reports that the store accepts ApplyMutations.
+	Live bool
+	// Segmented reports the base layout's type-segmented invariant; live
+	// writes land in the delta and must not clear it.
+	Segmented bool
+	// DeltaVertices and DeltaEdges are the sizes of the in-memory delta
+	// segment awaiting the next Compact.
+	DeltaVertices int64
+	DeltaEdges    int64
+	// WALAppends counts logged batches, WALSyncs physical fsyncs (group
+	// commit makes WALSyncs <= WALAppends), WALSyncNanos total time in
+	// fsync, and WALBytes bytes appended.
+	WALAppends   int64
+	WALSyncs     int64
+	WALSyncNanos int64
+	WALBytes     int64
+}
+
+// LiveStatsReporter is implemented by backends with a live-write path.
+type LiveStatsReporter interface {
+	LiveStats() LiveStats
 }
 
 // Stats reports backend I/O counters where available; used to show that
