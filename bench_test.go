@@ -219,7 +219,10 @@ func BenchmarkAblationKnapsack(b *testing.B) {
 // "diskstore-tight" variant constrains the page budget to 16 pages so the
 // workload is genuinely disk-bound: its curve rising with workers is the
 // sharded-pager acceptance check (the old single pager mutex kept it
-// flat).
+// flat). Each variant also reports the intra-query half — a single client
+// fanning each execution over 1/2/4/8 morsel workers — as
+// intra_ops/s_<n>w metrics; the rising intra curve on diskstore-tight is
+// the morsel-parallelism acceptance check.
 func BenchmarkParallelScaling(b *testing.B) {
 	env := newBenchEnv(b, "MED")
 	variants := []struct {
@@ -247,6 +250,19 @@ func BenchmarkParallelScaling(b *testing.B) {
 			}
 			top := pts[len(pts)-1]
 			b.ReportMetric(top.Speedup, fmt.Sprintf("speedup_%dw", top.Goroutines))
+
+			var ipts []bench.IntraQueryPoint
+			for i := 0; i < b.N; i++ {
+				ipts, err = bench.IntraQueryScaling(v.env, v.back, bench.DefaultQueryWorkers, 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, p := range ipts {
+				b.ReportMetric(p.OpsPerSec, fmt.Sprintf("intra_ops/s_%dw", p.Workers))
+			}
+			itop := ipts[len(ipts)-1]
+			b.ReportMetric(itop.Speedup, fmt.Sprintf("intra_speedup_%dw", itop.Workers))
 		})
 	}
 }

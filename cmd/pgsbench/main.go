@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,6 +39,8 @@ func main() {
 	reps := flag.Int("reps", 3, "query repetitions per measurement")
 	cache := flag.Int("cache-pages", 64, "diskstore page cache size")
 	tight := flag.Int("tight-pages", 16, "page budget of the disk-bound parallel-scaling variant")
+	queryWorkers := flag.String("query-workers", "1,2,4,8",
+		"comma-separated morsel worker counts for the intra-query half of -exp parallel")
 	serveReqs := flag.Int("serve-reqs", 100, "requests per client in the serve experiment")
 	serveMutateFrac := flag.Float64("serve-mutate-frac", 0,
 		"fraction of serve-experiment requests that are durable writes (diskstore variants only)")
@@ -180,6 +183,29 @@ func main() {
 		}
 		fmt.Println(bench.FormatParallelTable(
 			fmt.Sprintf("Parallel readers — one shared plan, diskstore tight cache (%d pages, MED)", *tight), tightPts))
+
+		// The intra-query half: one client, morsel workers inside each
+		// execution. Where the tables above add clients, these add workers
+		// to a single client's query — the "one heavy traversal should
+		// saturate the machine" number.
+		workers, err := parseWorkerList(*queryWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, b := range backends {
+			pts, err := bench.IntraQueryScaling(env("MED"), b, workers, 100)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(bench.FormatIntraQueryTable(
+				fmt.Sprintf("Intra-query morsel workers — single client, %s (MED)", b), pts))
+		}
+		tightIntra, err := bench.IntraQueryScaling(env("MED").WithCachePages(*tight), bench.Diskstore, workers, 100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatIntraQueryTable(
+			fmt.Sprintf("Intra-query morsel workers — single client, diskstore tight cache (%d pages, MED)", *tight), tightIntra))
 	}
 	if run("serve") {
 		ran = true
@@ -272,4 +298,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// parseWorkerList parses the -query-workers flag: a comma-separated list
+// of positive worker counts.
+func parseWorkerList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -query-workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-query-workers lists no worker counts")
+	}
+	return out, nil
 }

@@ -68,6 +68,7 @@ func main() {
 	maxRows := flag.Int("rows", 10, "result rows to print per schema")
 	repeat := flag.Int("repeat", 1, "execute each query this many times (compiled once) and report total latency")
 	parallel := flag.Int("parallel", 1, "drive the -repeat executions from this many goroutines sharing one cached plan")
+	queryWorkers := flag.Int("query-workers", 1, "morsel workers inside each query execution (intra-query parallelism)")
 	backend := flag.String("backend", "memstore", "storage backend: memstore or diskstore")
 	cachePages := flag.Int("cache-pages", 64, "diskstore page cache size")
 	stats := flag.Bool("stats", false, "print plan-cache stats (and pager I/O on diskstore) after the run")
@@ -77,6 +78,9 @@ func main() {
 	}
 	if *parallel < 1 {
 		*parallel = 1
+	}
+	if *queryWorkers < 1 {
+		*queryWorkers = 1
 	}
 
 	if flag.NArg() != 1 {
@@ -182,9 +186,9 @@ func main() {
 	// One shared plan cache serves both schemas: entries are keyed by
 	// (query text, graph), so the DIR and OPT plans never collide.
 	cache := query.NewCache(0)
-	show(cache, dir, parsed, "DIR", *maxRows, *repeat, *parallel)
+	show(cache, dir, parsed, "DIR", *maxRows, *repeat, *parallel, *queryWorkers)
 	fmt.Println()
-	show(cache, opt, rewritten, "OPT", *maxRows, *repeat, *parallel)
+	show(cache, opt, rewritten, "OPT", *maxRows, *repeat, *parallel, *queryWorkers)
 	if *stats {
 		cs := cache.Stats()
 		fmt.Printf("\nplan cache: %d hits, %d misses (%d shared an in-flight compile, %d compiles), %d/%d plans resident\n",
@@ -212,17 +216,18 @@ func main() {
 	}
 }
 
-func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxRows, repeat, parallel int) {
+func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxRows, repeat, parallel, queryWorkers int) {
 	// Compile once through the shared cache, execute -repeat times from
 	// -parallel goroutines: every worker shares the same immutable plan.
 	plan, err := cache.GetParsed(g, q)
 	if err != nil {
 		fatalf("%s: %v", tag, err)
 	}
-	// Per-run counters: every execution does identical work, so the
-	// printed stats describe one run regardless of -repeat.
+	// Per-run counters: every execution does identical work — morsel
+	// workers merge their counters exactly — so the printed stats describe
+	// one run regardless of -repeat or -query-workers.
 	var st query.Stats
-	res, err := plan.ExecuteWithStats(&st)
+	res, err := plan.ExecuteParallelWithStats(queryWorkers, &st)
 	if err != nil {
 		fatalf("%s: %v", tag, err)
 	}
@@ -249,7 +254,7 @@ func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxR
 					// are all hits on the shared plan.
 					p, err := cache.Get(g, text)
 					if err == nil {
-						_, err = p.Execute()
+						_, err = p.ExecuteParallel(queryWorkers)
 					}
 					if err != nil {
 						errs[w] = err

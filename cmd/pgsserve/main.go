@@ -81,6 +81,7 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent, "queries executing at once")
 	maxQueued := flag.Int("max-queued", server.DefaultMaxQueued, "queries waiting for a slot before 429 shedding")
+	queryWorkers := flag.Int("query-workers", server.DefaultQueryWorkers, "morsel workers per query (intra-query parallelism; total traversal goroutines <= max-concurrent * query-workers)")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body limit in bytes")
 	maxQueryLen := flag.Int("max-query-len", server.DefaultMaxQueryLen, "query text limit in bytes")
@@ -189,6 +190,7 @@ func run() error {
 		RewriteOpts:    rewrite.Options{LocalizeScalarLookups: *localize},
 		MaxConcurrent:  *maxConcurrent,
 		MaxQueued:      *maxQueued,
+		QueryWorkers:   *queryWorkers,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 		MaxQueryLen:    *maxQueryLen,

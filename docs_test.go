@@ -77,6 +77,11 @@ func TestDocsPresentAndLinked(t *testing.T) {
 			"wal.db", "group commit", "delta segment", "wal_seq",
 			"ErrFinalizeInterrupted", "/mutate", "crashtest",
 			"Crash matrix", "MutateFrac",
+			// Intra-query parallelism: the morsel partitioning hook, the
+			// bounded-memory merge pipeline, and the knob that composes
+			// with admission must stay documented.
+			"Query execution", "morsel", "PlanVertexScan",
+			"query-workers", "top-k", "MinParallelRootCount",
 		},
 		"docs/QUERY_LANGUAGE.md": {
 			"MATCH", "RETURN", "DISTINCT", "ORDER BY", "LIMIT",

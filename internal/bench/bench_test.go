@@ -294,6 +294,75 @@ func TestParallelScalingDiskMultiCore(t *testing.T) {
 	}
 }
 
+func TestIntraQueryScalingShapes(t *testing.T) {
+	env := newEnv(t, "MED")
+	for _, b := range []Backend{Memstore, Diskstore} {
+		pts, err := IntraQueryScaling(env, b, []int{1, 2}, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if len(pts) != 2 {
+			t.Fatalf("%s: %d points", b, len(pts))
+		}
+		for i, p := range pts {
+			if p.Ops != 5 {
+				t.Errorf("%s: point %d ops = %d, want 5", b, i, p.Ops)
+			}
+			if p.OpsPerSec <= 0 || p.TotalMs <= 0 {
+				t.Errorf("%s: point %d has non-positive throughput: %+v", b, i, p)
+			}
+		}
+		if pts[0].Speedup != 1 {
+			t.Errorf("%s: baseline speedup = %v, want 1", b, pts[0].Speedup)
+		}
+	}
+	if !strings.Contains(FormatIntraQueryTable("intra", []IntraQueryPoint{{Workers: 1, Ops: 5}}), "ops/sec") {
+		t.Error("intra-query table formatting broken")
+	}
+	if _, err := IntraQueryScaling(env, Memstore, []int{0}, 5); err == nil {
+		t.Error("invalid worker count accepted")
+	}
+}
+
+// TestIntraQueryScalingDiskMultiCore is the intra-query acceptance gate
+// from the morsel-parallelism work: a single client running the pattern
+// query with 4 morsel workers over a cache-tight diskstore must beat the
+// serial (1-worker) throughput by > 2x on a machine with >= 4 cores. Like
+// the disk inter-query gate the assertion is opt-in
+// (PGS_INTRA_SCALING_GATE=1) because throughput ratios on shared runners
+// we don't control are too noisy for the default `go test ./...`; without
+// the variable the test still runs the experiment and logs the curve.
+func TestIntraQueryScalingDiskMultiCore(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts throughput; scaling is asserted in the non-race run")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 procs for scaling, have %d", runtime.GOMAXPROCS(0))
+	}
+	env, err := NewEnv("MED", Options{MedCard: 60, Seed: 5, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := IntraQueryScaling(env.WithCachePages(16), Diskstore, []int{1, 4, 8}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, p := range pts[1:] {
+		if p.Speedup > best {
+			best = p.Speedup
+		}
+	}
+	table := FormatIntraQueryTable("intra-query/diskstore-tight", pts)
+	if best <= 2 {
+		if os.Getenv("PGS_INTRA_SCALING_GATE") == "" {
+			t.Logf("best intra-query diskstore throughput = %.2fx of serial (gate threshold 2x; set PGS_INTRA_SCALING_GATE=1 to enforce)\n%s", best, table)
+			return
+		}
+		t.Errorf("best intra-query diskstore throughput = %.2fx of serial, want > 2x\n%s", best, table)
+	}
+}
+
 func TestNewEnvUnknown(t *testing.T) {
 	if _, err := NewEnv("XXX", smallOpts()); err == nil {
 		t.Error("unknown dataset accepted")

@@ -97,7 +97,19 @@ func (s *aggState) update(spec *aggSpec, m *machine) error {
 			return nil
 		}
 		s.seen[string(m.scratch)] = true
+		if m.trackDistinct && spec.name != "collect" {
+			// A morsel worker records the accepted values so the sink can
+			// replay them through its own seen set at merge time; collect
+			// already keeps them in items.
+			s.items = append(s.items, val)
+		}
 	}
+	return s.fold(spec, val)
+}
+
+// fold applies one accepted value — non-NULL and already DISTINCT-filtered
+// — to the running state. Shared by per-row update and cross-worker merge.
+func (s *aggState) fold(spec *aggSpec, val graph.Value) error {
 	switch spec.name {
 	case "count":
 		s.count++
@@ -122,6 +134,49 @@ func (s *aggState) update(spec *aggSpec, m *machine) error {
 			s.minmax, s.started = val, true
 		} else if cmp, ok := val.Compare(s.minmax); ok && cmp > 0 {
 			s.minmax = val
+		}
+	default:
+		return fmt.Errorf("query: unknown aggregate %s", spec.name)
+	}
+	return nil
+}
+
+// merge folds another partial state for the same spec into s — the sink
+// side of the morsel executor's per-worker partial aggregation. For
+// DISTINCT aggregates the other state's accepted values (recorded under
+// trackDistinct) are replayed through s's seen set so duplicates observed
+// by different workers collapse; scratch is the caller's reusable key
+// buffer. Non-distinct states combine algebraically: counts and sums add,
+// collect concatenates, min/max compares the extremes.
+func (s *aggState) merge(spec *aggSpec, o *aggState, scratch *[]byte) error {
+	if spec.distinct {
+		for _, val := range o.items {
+			*scratch = val.AppendKey((*scratch)[:0])
+			if s.seen[string(*scratch)] {
+				continue
+			}
+			s.seen[string(*scratch)] = true
+			if err := s.fold(spec, val); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch spec.name {
+	case "count":
+		s.count += o.count
+	case "collect":
+		s.items = append(s.items, o.items...)
+	case "sum", "avg":
+		s.count += o.count
+		s.sumI += o.sumI
+		s.sumF += o.sumF
+		if !o.allInt {
+			s.allInt = false
+		}
+	case "min", "max":
+		if o.started {
+			return s.fold(spec, o.minmax)
 		}
 	default:
 		return fmt.Errorf("query: unknown aggregate %s", spec.name)

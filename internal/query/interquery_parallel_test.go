@@ -9,12 +9,14 @@ import (
 	"repro/internal/storage"
 )
 
-// TestParallelExecutionMatchesSerial is the concurrency contract of the
-// compiled executor: one shared Prepared plan executed from many
-// goroutines must produce, on every call, exactly the rows a serial
-// execution produces — on both backends. Under -race this also proves the
-// pooled machines never share mutable state.
-func TestParallelExecutionMatchesSerial(t *testing.T) {
+// TestInterQueryParallelMatchesSerial is the *inter*-query concurrency
+// contract of the compiled executor: one shared Prepared plan executed
+// from many goroutines (each running its own serial query) must produce,
+// on every call, exactly the rows a serial execution produces — on both
+// backends. Under -race this also proves the pooled machines never share
+// mutable state. The *intra*-query contract — one query fanned out over
+// morsel workers — lives in intraquery_parallel_test.go.
+func TestInterQueryParallelMatchesSerial(t *testing.T) {
 	queries := []string{
 		// Projection with ORDER BY.
 		`MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name, i.desc ORDER BY i.desc`,
@@ -87,10 +89,10 @@ func TestParallelExecutionMatchesSerial(t *testing.T) {
 	})
 }
 
-// TestSharedPlanViaCacheParallel drives the ad-hoc path end to end: many
-// goroutines fetch the same query text through one Cache and execute
-// whatever plan they get back, concurrently.
-func TestSharedPlanViaCacheParallel(t *testing.T) {
+// TestInterQuerySharedPlanViaCache drives the ad-hoc inter-query path end
+// to end: many goroutines fetch the same query text through one Cache and
+// execute whatever plan they get back, concurrently.
+func TestInterQuerySharedPlanViaCache(t *testing.T) {
 	forEachBackend(t, func(t *testing.T, b storage.Builder) {
 		buildMedGraph(t, b)
 		c := NewCache(4)

@@ -49,6 +49,14 @@ type Prepared struct {
 	orderDesc []bool
 	limit     int
 
+	// Morsel-driven execution (see parallel.go): parallelOK is the
+	// planner's compile-time eligibility decision — the plan's first move
+	// is an unbound label scan that PlanVertexScan can partition, and the
+	// shape has no serial early-exit worth preserving — and rootLabel is
+	// the label whose postings the morsel driver splits.
+	parallelOK bool
+	rootLabel  storage.SymbolID
+
 	// pool recycles machines across executions. A machine is created on
 	// first use (or after a GC drained the pool) and costs one step-chain
 	// build; steady-state executions reuse it allocation-free.
@@ -86,6 +94,22 @@ type machine struct {
 	// root is this machine's private step chain, linked once at machine
 	// construction from the plan's immutable move list.
 	root step
+
+	// rootScan is the root move's per-vertex callback (captured when the
+	// chain is linked): the morsel driver feeds partition iterators into
+	// it directly, bypassing root's full-label scan. Nil when the plan's
+	// first move is a bound start.
+	rootScan func(storage.VID) bool
+
+	// emit, when non-nil, receives each projected row instead of m.rows —
+	// the streaming hook of the parallel and streaming executors. Only
+	// meaningful for non-grouped plans.
+	emit func([]graph.Value) error
+
+	// trackDistinct makes DISTINCT aggregates record their accepted
+	// values so per-worker partial states can be merged at a sink (see
+	// aggState.merge).
+	trackDistinct bool
 
 	slots []storage.VID // variable bindings; -1 = unbound
 	used  []storage.EID // edges bound on the current path (Cypher uniqueness)
@@ -199,8 +223,26 @@ func Prepare(g storage.Graph, q *cypher.Query) (*Prepared, error) {
 	}
 	p.uniqEdges = expands > 1
 	p.nSlots = len(c.order)
+	p.planParallel()
 	p.pool.New = func() any { return p.newMachine() }
 	return p, nil
+}
+
+// planParallel is the compile-time half of the parallelism decision: it
+// marks plans whose root is an unbound label scan as morsel-eligible. A
+// LIMIT without ORDER BY (point lookups, LIMIT-1 probes) stays serial so
+// the executor's early exit keeps working — a fan-out would race to scan
+// work the serial plan never touches. The runtime half (worker count and
+// the label-size threshold) lives in planMorsels.
+func (p *Prepared) planParallel() {
+	if len(p.moves) == 0 || !p.moves[0].start || p.moves[0].bound {
+		return
+	}
+	if p.limit >= 0 && len(p.orderCols) == 0 {
+		return
+	}
+	p.parallelOK = true
+	p.rootLabel = p.moves[0].scanLabel
 }
 
 // newMachine builds a fresh execution context sized for the plan,
@@ -276,6 +318,22 @@ func (p *Prepared) ExecuteContextWithStats(ctx context.Context, st *Stats) (*Res
 // the machine afterwards. Cancellation state (done/ctx) must be set by the
 // caller before run; it is cleared here before the machine is pooled.
 func (p *Prepared) run(m *machine, st *Stats) (*Result, error) {
+	m.reset(p, st)
+	var res *Result
+	err := m.root()
+	if err == nil {
+		res, err = p.finish(m)
+	}
+	p.release(m)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// reset prepares a pooled machine for a fresh execution; cancellation
+// state (done/ctx) is layered on top by the caller when needed.
+func (m *machine) reset(p *Prepared, st *Stats) {
 	m.stats = st
 	m.err = nil
 	for i := range m.slots {
@@ -286,23 +344,20 @@ func (p *Prepared) run(m *machine, st *Stats) (*Result, error) {
 		clear(m.groups)
 		m.order = m.order[:0]
 	}
-	var res *Result
-	err := m.root()
-	if err == nil {
-		res, err = p.finish(m)
-	}
-	// The row slice was handed to the Result; drop it so the pooled
-	// machine cannot alias a caller's data, and drop the context so a
-	// pooled machine cannot keep a request's context alive.
+}
+
+// release returns a machine to the pool with every per-call reference
+// cleared: the row slice was handed to the Result, so drop it to avoid
+// aliasing a caller's data, and drop the context and emit hook so a
+// pooled machine cannot keep a request's context or sink alive.
+func (p *Prepared) release(m *machine) {
 	m.rows = nil
 	m.stats = nil
 	m.done = nil
 	m.ctx = nil
+	m.emit = nil
+	m.trackDistinct = false
 	p.pool.Put(m)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 // ---- pattern compilation ----
@@ -473,6 +528,10 @@ func (p *Prepared) moveStep(m *machine, mv move, next step) step {
 			m.slots[node.slot] = unbound
 			return m.err == nil
 		}
+		// The chain is linked last move first, so the final assignment —
+		// the plan's root move — wins: m.rootScan is exactly the callback
+		// the morsel driver must feed partitioned scans into.
+		m.rootScan = scan
 		label := mv.scanLabel
 		return func() error {
 			m.g.ForEachVertexID(label, scan)
@@ -577,6 +636,9 @@ func (p *Prepared) emitStep(m *machine) step {
 			}
 			row[i] = v
 		}
+		if m.emit != nil {
+			return m.emit(row)
+		}
 		m.rows = append(m.rows, row)
 		return nil
 	}
@@ -665,39 +727,51 @@ func (p *Prepared) finish(m *machine) (*Result, error) {
 		rows = dedup
 	}
 	if len(p.orderCols) > 0 {
-		sort.SliceStable(rows, func(i, j int) bool {
-			for k, col := range p.orderCols {
-				a, b := rows[i][col], rows[j][col]
-				cmp, ok := a.Compare(b)
-				if !ok {
-					// NULLs and incomparables sort last.
-					switch {
-					case a.IsNull() && b.IsNull():
-						continue
-					case a.IsNull():
-						return false
-					case b.IsNull():
-						return true
-					default:
-						continue
-					}
-				}
-				if cmp == 0 {
-					continue
-				}
-				if p.orderDesc[k] {
-					return cmp > 0
-				}
-				return cmp < 0
-			}
-			return false
-		})
+		p.sortRows(rows)
 	}
 	if p.limit >= 0 && len(rows) > p.limit {
 		rows = rows[:p.limit]
 	}
 	m.stats.RowsEmitted += int64(len(rows))
 	return &Result{Columns: p.cols, Rows: rows}, nil
+}
+
+// sortRows orders rows by the plan's ORDER BY columns. Stable, so rows
+// the comparator cannot distinguish keep their relative order.
+func (p *Prepared) sortRows(rows [][]graph.Value) {
+	sort.SliceStable(rows, func(i, j int) bool { return p.rowLess(rows[i], rows[j]) })
+}
+
+// rowLess is the plan's ORDER BY comparator: NULLs and incomparables
+// sort last regardless of direction. Shared by the serial sort and the
+// morsel executor's per-worker top-k heaps, so both paths rank rows
+// identically.
+func (p *Prepared) rowLess(ra, rb []graph.Value) bool {
+	for k, col := range p.orderCols {
+		a, b := ra[col], rb[col]
+		cmp, ok := a.Compare(b)
+		if !ok {
+			// NULLs and incomparables sort last.
+			switch {
+			case a.IsNull() && b.IsNull():
+				continue
+			case a.IsNull():
+				return false
+			case b.IsNull():
+				return true
+			default:
+				continue
+			}
+		}
+		if cmp == 0 {
+			continue
+		}
+		if p.orderDesc[k] {
+			return cmp > 0
+		}
+		return cmp < 0
+	}
+	return false
 }
 
 // sortColumns maps each ORDER BY expression to a return column, by alias

@@ -84,6 +84,14 @@ type Config struct {
 	// the top-queries report; shapes beyond it are counted as dropped
 	// instead of tracked (default DefaultMaxQueryShapes).
 	MaxQueryShapes int
+	// QueryWorkers caps morsel-driven intra-query parallelism: each
+	// admitted query may fan its root scan out over up to this many
+	// worker goroutines (plans and labels below the planner's thresholds
+	// stay serial regardless). It composes with admission — total
+	// traversal goroutines stay bounded by MaxConcurrent × QueryWorkers —
+	// so operators size the two knobs together (default
+	// DefaultQueryWorkers, i.e. serial).
+	QueryWorkers int
 }
 
 // Defaults for the Config limit fields.
@@ -95,6 +103,7 @@ const (
 	DefaultMaxQueryLen    = 8 << 10 // 8 KiB
 	DefaultTopQueries     = 5
 	DefaultMaxQueryShapes = 256
+	DefaultQueryWorkers   = 1
 )
 
 func (c Config) withDefaults() Config {
@@ -118,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueryShapes <= 0 {
 		c.MaxQueryShapes = DefaultMaxQueryShapes
+	}
+	if c.QueryWorkers <= 0 {
+		c.QueryWorkers = DefaultQueryWorkers
 	}
 	return c
 }
@@ -347,7 +359,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.shapes.observe(text, time.Since(execStart)) }()
 
 	var st query.Stats
-	res, err := plan.ExecuteContextWithStats(ctx, &st)
+	res, err := plan.ExecuteParallelContextWithStats(ctx, s.cfg.QueryWorkers, &st)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -446,16 +458,19 @@ type StatsResponse struct {
 // AdmissionStats mirrors the admission-control configuration and its
 // counters since startup.
 type AdmissionStats struct {
-	MaxConcurrent int   `json:"max_concurrent"`
-	MaxQueued     int   `json:"max_queued"`
-	Inflight      int64 `json:"inflight"`
-	Queued        int64 `json:"queued"`
-	Accepted      int64 `json:"accepted"`
-	Shed          int64 `json:"shed"`
-	Drained       int64 `json:"drained"`
-	Timeouts      int64 `json:"timeouts"`
-	Canceled      int64 `json:"canceled"`
-	Failed        int64 `json:"failed"`
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxQueued     int `json:"max_queued"`
+	// QueryWorkers is the per-query morsel worker cap; together with
+	// MaxConcurrent it bounds the server's total traversal goroutines.
+	QueryWorkers int   `json:"query_workers"`
+	Inflight     int64 `json:"inflight"`
+	Queued       int64 `json:"queued"`
+	Accepted     int64 `json:"accepted"`
+	Shed         int64 `json:"shed"`
+	Drained      int64 `json:"drained"`
+	Timeouts     int64 `json:"timeouts"`
+	Canceled     int64 `json:"canceled"`
+	Failed       int64 `json:"failed"`
 }
 
 // PlanCacheStats is query.CacheStats in the /stats JSON shape.
@@ -498,6 +513,7 @@ func (s *Server) Stats() StatsResponse {
 		Admission: AdmissionStats{
 			MaxConcurrent: s.cfg.MaxConcurrent,
 			MaxQueued:     s.cfg.MaxQueued,
+			QueryWorkers:  s.cfg.QueryWorkers,
 			Inflight:      s.m.inflight.Load(),
 			Queued:        s.m.queued.Load(),
 			Accepted:      s.m.accepted.Load(),

@@ -732,3 +732,35 @@ func TestStatsTopQueriesBounded(t *testing.T) {
 		t.Errorf("query_shapes_dropped = %d, want 2", st.QueryShapesDropped)
 	}
 }
+
+// TestQueryWorkersParallelExecution drives the -query-workers knob end to
+// end: a server configured for intra-query parallelism must answer with
+// exactly the rows and work counters of a serial server, and /stats must
+// report the configured worker cap next to the admission bounds.
+func TestQueryWorkersParallelExecution(t *testing.T) {
+	const n = 500
+	serial, serialTS := newMedServer(t, Config{Graph: buildWideGraph(t, n)})
+	parallel, parallelTS := newMedServer(t, Config{Graph: buildWideGraph(t, n), QueryWorkers: 4})
+
+	code, want := post(t, serialTS, drugQuery, "text/plain")
+	if code != http.StatusOK {
+		t.Fatalf("serial status = %d", code)
+	}
+	code, got := post(t, parallelTS, drugQuery, "text/plain")
+	if code != http.StatusOK {
+		t.Fatalf("parallel status = %d", code)
+	}
+	if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+		t.Errorf("parallel rows differ from serial:\n got %v\nwant %v", got.Rows, want.Rows)
+	}
+	if got.Stats != want.Stats {
+		t.Errorf("parallel stats = %+v, want exactly serial %+v", got.Stats, want.Stats)
+	}
+
+	if qw := serial.Stats().Admission.QueryWorkers; qw != DefaultQueryWorkers {
+		t.Errorf("serial /stats query_workers = %d, want %d", qw, DefaultQueryWorkers)
+	}
+	if qw := parallel.Stats().Admission.QueryWorkers; qw != 4 {
+		t.Errorf("parallel /stats query_workers = %d, want 4", qw)
+	}
+}

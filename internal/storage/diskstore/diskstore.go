@@ -1417,6 +1417,68 @@ func (s *Store) ForEachVertexID(label storage.SymbolID, fn func(storage.VID) boo
 	}
 }
 
+// PlanVertexScan splits the label's base postings plus its delta-segment
+// members into near-even partitions for morsel-style parallel execution.
+// The v4 persisted label index (index.db) is an in-memory posting slice,
+// so base partitions are plain subslices; the delta's members are copied
+// once here, which makes the whole plan one consistent snapshot — every
+// returned scan sees the same vertex set even while concurrent
+// ApplyMutations batches keep growing the delta.
+func (s *Store) PlanVertexScan(label storage.SymbolID, parts int) []storage.VertexScan {
+	if label == storage.AnySymbol {
+		// Snapshot the dense VID range once; vertices appended to the
+		// delta after this point belong to no partition, matching a
+		// serial scan that snapshots NumVertices up front.
+		ranges := storage.SplitRange(s.NumVertices(), parts)
+		scans := make([]storage.VertexScan, len(ranges))
+		for i, r := range ranges {
+			lo, hi := int64(r[0]), int64(r[1])
+			scans[i] = func(fn func(storage.VID) bool) {
+				for v := lo; v < hi; v++ {
+					if !fn(storage.VID(v)) {
+						return
+					}
+				}
+			}
+		}
+		return scans
+	}
+	if label < 0 {
+		return nil
+	}
+	base := s.byLabel[int(label)]
+	var delta []storage.VID
+	if s.liveMode.Load() {
+		delta = s.delta.labelVIDs(int(label))
+	}
+	// Split the virtual concatenation base ++ delta so partition sizes
+	// stay even regardless of how much of the label lives in the delta.
+	ranges := storage.SplitRange(len(base)+len(delta), parts)
+	scans := make([]storage.VertexScan, len(ranges))
+	for i, r := range ranges {
+		var basePart, deltaPart []storage.VID
+		if r[0] < len(base) {
+			basePart = base[r[0]:min(r[1], len(base))]
+		}
+		if r[1] > len(base) {
+			deltaPart = delta[max(r[0]-len(base), 0) : r[1]-len(base)]
+		}
+		scans[i] = func(fn func(storage.VID) bool) {
+			for _, v := range basePart {
+				if !fn(v) {
+					return
+				}
+			}
+			for _, v := range deltaPart {
+				if !fn(v) {
+					return
+				}
+			}
+		}
+	}
+	return scans
+}
+
 // HasLabelID is HasLabel with a resolved label; base record bits are
 // merged with delta-side label additions.
 func (s *Store) HasLabelID(v storage.VID, label storage.SymbolID) bool {

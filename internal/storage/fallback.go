@@ -88,6 +88,42 @@ func (f *fallback) ForEachVertexID(label SymbolID, fn func(VID) bool) {
 	f.ForEachVertex(name, fn)
 }
 
+// PlanVertexScan stripes the label scan modulo parts: partition p visits
+// every parts-th matching vertex, starting from the p-th. Each partition
+// re-runs the wrapped store's full label scan and skips the rest, so the
+// adapter preserves the disjoint-union contract at the cost of parts
+// redundant traversals — acceptable for the generic path; native backends
+// split their postings instead.
+func (f *fallback) PlanVertexScan(label SymbolID, parts int) []VertexScan {
+	if label != AnySymbol {
+		if _, ok := f.labels.lookup(label); !ok {
+			return nil
+		}
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if n := f.CountLabelID(label); n < parts {
+		parts = max(n, 1)
+	}
+	scans := make([]VertexScan, parts)
+	for p := 0; p < parts; p++ {
+		p := p
+		scans[p] = func(fn func(VID) bool) {
+			i := 0
+			f.ForEachVertexID(label, func(v VID) bool {
+				keep := i%parts == p
+				i++
+				if keep {
+					return fn(v)
+				}
+				return true
+			})
+		}
+	}
+	return scans
+}
+
 func (f *fallback) HasLabelID(v VID, label SymbolID) bool {
 	name, ok := f.labels.lookup(label)
 	if !ok {

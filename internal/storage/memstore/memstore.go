@@ -443,6 +443,45 @@ func (s *Store) ForEachVertexID(label storage.SymbolID, fn func(storage.VID) boo
 	}
 }
 
+// PlanVertexScan splits the label's posting list (or, for AnySymbol, the
+// dense VID range) into near-even contiguous partitions for morsel-style
+// parallel execution. memstore is immutable once built, so slicing the
+// postings directly is already a consistent snapshot.
+func (s *Store) PlanVertexScan(label storage.SymbolID, parts int) []storage.VertexScan {
+	if label == storage.AnySymbol {
+		ranges := storage.SplitRange(len(s.vertices), parts)
+		scans := make([]storage.VertexScan, len(ranges))
+		for i, r := range ranges {
+			lo, hi := r[0], r[1]
+			scans[i] = func(fn func(storage.VID) bool) {
+				for v := lo; v < hi; v++ {
+					if !fn(storage.VID(v)) {
+						return
+					}
+				}
+			}
+		}
+		return scans
+	}
+	if label < 0 {
+		return nil
+	}
+	postings := s.byLabel[int32(label)]
+	ranges := storage.SplitRange(len(postings), parts)
+	scans := make([]storage.VertexScan, len(ranges))
+	for i, r := range ranges {
+		part := postings[r[0]:r[1]]
+		scans[i] = func(fn func(storage.VID) bool) {
+			for _, v := range part {
+				if !fn(v) {
+					return
+				}
+			}
+		}
+	}
+	return scans
+}
+
 // HasLabelID is HasLabel with a resolved label.
 func (s *Store) HasLabelID(v storage.VID, label storage.SymbolID) bool {
 	if label < 0 || s.check(v) != nil {

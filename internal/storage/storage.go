@@ -86,6 +86,13 @@ type SymbolTable interface {
 	KeyID(key string) SymbolID
 }
 
+// VertexScan iterates one partition of a label scan produced by
+// FastGraph.PlanVertexScan, calling fn for each vertex until fn returns
+// false. Each scan is independent of its siblings and may run on its own
+// goroutine; the partitions of one PlanVertexScan call are disjoint and
+// together visit exactly the vertices ForEachVertexID would.
+type VertexScan func(fn func(VID) bool)
+
 // FastGraph is the interned-symbol fast path of Graph: each method mirrors
 // a string-keyed Graph method but takes pre-resolved SymbolIDs, letting a
 // compiled query plan skip per-call string hashing entirely. Both built-in
@@ -114,6 +121,38 @@ type FastGraph interface {
 	ForEachInID(v VID, etype SymbolID, fn func(e EID, src VID) bool)
 	// DegreeID is Degree with a resolved edge type.
 	DegreeID(v VID, etype SymbolID, out bool) int
+	// PlanVertexScan is the morsel partition hook: it splits the label's
+	// vertex set into at most parts disjoint scans whose union visits
+	// exactly the vertices ForEachVertexID(label) visits, each exactly
+	// once. Order within one partition follows the underlying scan; order
+	// across partitions is unspecified. The split is planned in this one
+	// call, so on stores with a live delta segment every returned scan
+	// observes the same snapshot — concurrent mutations cannot introduce
+	// gaps or overlap between partitions. NoSymbol (and any unknown ID)
+	// yields no scans; parts < 1 is treated as 1. Fewer than parts scans
+	// may be returned when the label has few vertices.
+	PlanVertexScan(label SymbolID, parts int) []VertexScan
+}
+
+// SplitRange cuts [0, n) into at most parts contiguous, non-empty,
+// near-even [lo, hi) half-open ranges covering it exactly. It returns nil
+// when n <= 0 and fewer than parts ranges when n < parts. Backends use it
+// to partition label postings and VID ranges for PlanVertexScan.
+func SplitRange(n, parts int) [][2]int {
+	if n <= 0 || parts < 1 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	for p := 0; p < parts; p++ {
+		lo, hi := p*n/parts, (p+1)*n/parts
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
 }
 
 // Fast returns g's native fast path when it has one, or wraps g in a

@@ -390,6 +390,52 @@ func CheckFastEquivalence(t *testing.T, g storage.Graph, fg storage.FastGraph) {
 			t.Errorf("DegreeID(%d, NoSymbol) = %d", v, got)
 		}
 	}
+	// PlanVertexScan conformance: for every label (plus the AnySymbol
+	// wildcard) and a spread of partition counts, the partitions must be
+	// disjoint and their union must be exactly the serial scan, and a
+	// partition must stop when fn returns false.
+	scanLabels := make([]storage.SymbolID, 0, len(labels)+1)
+	for _, l := range labels {
+		scanLabels = append(scanLabels, fg.LabelID(l))
+	}
+	scanLabels = append(scanLabels, storage.AnySymbol)
+	for _, id := range scanLabels {
+		want := collectScan(fg, id)
+		for _, parts := range []int{1, 3, 8, 64} {
+			scans := fg.PlanVertexScan(id, parts)
+			if len(scans) > parts {
+				t.Errorf("PlanVertexScan(%d, %d) returned %d partitions", id, parts, len(scans))
+			}
+			got := []storage.VID{}
+			for _, scan := range scans {
+				scan(func(v storage.VID) bool {
+					got = append(got, v)
+					return true
+				})
+			}
+			// Partitions may interleave arbitrarily, so compare as sorted
+			// multisets; duplicates across partitions surface here too.
+			sortVIDs(got)
+			wantSorted := append([]storage.VID{}, want...)
+			sortVIDs(wantSorted)
+			if !reflect.DeepEqual(got, wantSorted) {
+				t.Errorf("PlanVertexScan(%d, %d) union = %v, want %v", id, parts, got, wantSorted)
+			}
+			if len(scans) > 0 && len(want) > 0 {
+				n := 0
+				scans[0](func(storage.VID) bool {
+					n++
+					return false
+				})
+				if n != 1 {
+					t.Errorf("PlanVertexScan(%d, %d): partition ignored early termination (visited %d)", id, parts, n)
+				}
+			}
+		}
+	}
+	if got := fg.PlanVertexScan(storage.NoSymbol, 4); len(got) != 0 {
+		t.Errorf("PlanVertexScan(NoSymbol) returned %d partitions", len(got))
+	}
 	if fg.CountLabelID(storage.NoSymbol) != 0 {
 		t.Error("CountLabelID(NoSymbol) != 0")
 	}
