@@ -11,7 +11,7 @@
 //	pgsbench -exp open,bulkload
 //
 // Experiments: fig8, fig9, fig10, fig11, fig12, table2, motivating,
-// parallel, serve, open, bulkload, all.
+// parallel, serve, open, bulkload, crash, compact, all.
 package main
 
 import (
@@ -32,7 +32,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pgsbench: ")
-	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|serve|open|bulkload|crash|all")
+	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|serve|open|bulkload|crash|compact|all")
 	medCard := flag.Int("med-card", 120, "MED base cardinality per concept")
 	finCard := flag.Int("fin-card", 40, "FIN base cardinality per concept")
 	seed := flag.Int64("seed", 2021, "generation seed")
@@ -47,6 +47,8 @@ func main() {
 	crashMuts := flag.Int("crash-muts", 60, "mutations per truncation sweep in the crash experiment")
 	crashKills := flag.Int("crash-kills", 120, "minimum WAL kill points in the crash experiment")
 	crashRounds := flag.Int("crash-rounds", 12, "SIGKILL rounds in the crash experiment")
+	compactVerts := flag.Int("compact-verts", 20000, "base vertices in the compact experiment")
+	compactReaders := flag.Int("compact-readers", 4, "concurrent readers in the compact experiment")
 	flag.Parse()
 
 	if *exp == "crash-child" {
@@ -270,6 +272,24 @@ func main() {
 		}
 		fmt.Printf("Crash recovery — SIGKILL loop: %d rounds, %d killed, %d clean exits, %d mid-compact detections, %d mutations survive\n\n",
 			krep.Rounds, krep.Kills, krep.CleanExits, krep.Detected, krep.FinalOps)
+	}
+	if run("compact") {
+		ran = true
+		// Background compaction under load: read latency while a fold
+		// rewrites the base generation, versus the same store quiesced,
+		// plus the audit that every mutation acknowledged mid-fold is
+		// visible after the swap and after a cold reopen.
+		scratch, err := os.MkdirTemp("", "pgs-compact-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(scratch)
+		crep, err := bench.CompactLatency(scratch, *compactVerts, *compactVerts*3, *compactReaders, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatCompactReport(
+			fmt.Sprintf("Background compaction — read latency during fold vs quiesced (diskstore, %d readers)", *compactReaders), crep))
 	}
 	if run("open") {
 		ran = true

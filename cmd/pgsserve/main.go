@@ -86,6 +86,7 @@ func run() error {
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body limit in bytes")
 	maxQueryLen := flag.Int("max-query-len", server.DefaultMaxQueryLen, "query text limit in bytes")
 	planCache := flag.Int("plan-cache", 0, "plan cache capacity (0 = default)")
+	autoCompact := flag.Int64("auto-compact", 0, "start a background compaction once the live delta holds this many vertices+edges (0 = manual via POST /admin/compact)")
 	drainWait := flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
 
@@ -195,6 +196,8 @@ func run() error {
 		MaxBodyBytes:   *maxBody,
 		MaxQueryLen:    *maxQueryLen,
 		PlanCacheSize:  *planCache,
+
+		AutoCompactDeltaItems: *autoCompact,
 	})
 	if err != nil {
 		return err

@@ -82,6 +82,12 @@ func TestDocsPresentAndLinked(t *testing.T) {
 			// with admission must stay documented.
 			"Query execution", "morsel", "PlanVertexScan",
 			"query-workers", "top-k", "MinParallelRootCount",
+			// Background compaction: the epoch/snapshot machinery, its
+			// commit point, the WAL epoch routing, and the harnesses
+			// that enforce it must stay documented.
+			"Background compaction", "epoch", "AcquireSnapshot",
+			"ErrCompactInProgress", "/admin/compact", "auto-compact",
+			"fold.tmp", "OracleRun", "FuzzWALReplay", "PinnedSnapshots",
 		},
 		"docs/QUERY_LANGUAGE.md": {
 			"MATCH", "RETURN", "DISTINCT", "ORDER BY", "LIMIT",

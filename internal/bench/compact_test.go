@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestCompactLatencySmoke runs the -exp compact experiment at a small
+// scale: the fold must succeed under concurrent readers and writers, and
+// every mutation acknowledged mid-fold must be visible after the swap
+// and after a cold reopen (CompactLatency returns an error otherwise).
+func TestCompactLatencySmoke(t *testing.T) {
+	rep, err := CompactLatency(t.TempDir(), 1500, 4500, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quiesced.Ops == 0 {
+		t.Fatal("quiesced phase sampled no reads")
+	}
+	if rep.DeltaItems == 0 {
+		t.Fatal("the fold had no delta to absorb")
+	}
+	if rep.MidFoldPresent != rep.MidFoldAcked || rep.MidFoldReopened != rep.MidFoldAcked {
+		t.Fatalf("acked %d mid-fold batches, %d present, %d after reopen",
+			rep.MidFoldAcked, rep.MidFoldPresent, rep.MidFoldReopened)
+	}
+	t.Logf("fold %v, quiesced p99 %v, during-fold p99 %v (ratio %.2fx), %d mid-fold writes",
+		rep.FoldTime, rep.Quiesced.P99, rep.DuringFold.P99, rep.P99Ratio(), rep.MidFoldAcked)
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/cypher"
@@ -202,6 +203,126 @@ func TestIntraQueryParallelLiveDelta(t *testing.T) {
 		t.Fatalf("COUNT over base+delta = %v, want %d", got, base+extra)
 	}
 	checkIntraShapes(t, s, true)
+}
+
+// TestIntraQueryParallelDuringCompact is the epoch-swap stress test:
+// morsel-parallel queries run while a background Compact folds the live
+// delta into a new base generation and swaps epochs mid-query. Every
+// parallel execution must stay bit-for-bit equivalent — rows AND work
+// counters — to a serial reference taken while the store was quiesced,
+// because each query pins one snapshot and the fold only changes the
+// physical layout. The delta growing between rounds holds only Filler
+// vertices the Person queries never touch, so the logical answer is
+// fold-invariant by construction. Run under -race, the schedule itself
+// is half the test.
+func TestIntraQueryParallelDuringCompact(t *testing.T) {
+	s, err := diskstore.Open(t.TempDir(), diskstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const base = 1200
+	buildPeopleGraph(t, s, base)
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Live() {
+		t.Fatal("finalized non-empty diskstore should be in live mode")
+	}
+
+	shapes := []intraShape{
+		{src: `MATCH (p:Person) RETURN p.name`},
+		{src: `MATCH (p:Person) RETURN p.grp, COUNT(*), SUM(p.age), AVG(p.age), MIN(p.name), MAX(p.name)`},
+		{src: `MATCH (a:Person)-[:knows]->(b:Person)-[:knows]->(c:Person) RETURN a.grp, COUNT(*)`},
+		{src: `MATCH (p:Person) RETURN p.name, p.age ORDER BY p.age DESC, p.name LIMIT 25`, ordered: true},
+	}
+	type reference struct {
+		shape       intraShape
+		p           *Prepared
+		want        []string
+		wantOrdered []string
+		st          Stats
+	}
+
+	startGen := s.LiveStats().Generation
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		// Grow the delta with vertices no Person query can observe, so
+		// the next fold has real work without changing any answer.
+		var batch []storage.Mutation
+		for i := 0; i < 40; i++ {
+			a, b := storage.VID(-(2*i + 1)), storage.VID(-(2*i + 2))
+			batch = append(batch,
+				storage.Mutation{Op: storage.MutAddVertex, Labels: []string{"Filler"}},
+				storage.Mutation{Op: storage.MutAddVertex, Labels: []string{"Filler"}},
+				storage.Mutation{Op: storage.MutSetProp, V: a, Key: "pad", Value: graph.I(int64(round*100 + i))},
+				storage.Mutation{Op: storage.MutAddEdge, Src: a, Dst: b, Type: "pad"},
+			)
+		}
+		if _, err := s.ApplyMutations(batch); err != nil {
+			t.Fatal(err)
+		}
+
+		// Quiesced serial references for this round's logical state.
+		refs := make([]reference, 0, len(shapes))
+		for _, shape := range shapes {
+			p, err := Prepare(s, cypher.MustParse(shape.src))
+			if err != nil {
+				t.Fatalf("Prepare(%q): %v", shape.src, err)
+			}
+			r := reference{shape: shape, p: p}
+			res, err := p.ExecuteWithStats(&r.st)
+			if err != nil {
+				t.Fatalf("serial Execute(%q): %v", shape.src, err)
+			}
+			r.wantOrdered = rowStrings(res)
+			SortRowsForComparison(res.Rows)
+			r.want = rowStrings(res)
+			refs = append(refs, r)
+		}
+
+		foldDone := make(chan error, 1)
+		go func() { foldDone <- s.Compact() }()
+
+		var wg sync.WaitGroup
+		for _, r := range refs {
+			for _, workers := range []int{2, 4, 8} {
+				wg.Add(1)
+				go func(r reference, workers int) {
+					defer wg.Done()
+					var pst Stats
+					res, err := r.p.ExecuteParallelContextWithStats(context.Background(), workers, &pst)
+					if err != nil {
+						t.Errorf("round %d: ExecuteParallel(%q, %d workers): %v", round, r.shape.src, workers, err)
+						return
+					}
+					if r.shape.ordered {
+						if got := rowStrings(res); !reflect.DeepEqual(got, r.wantOrdered) {
+							t.Errorf("round %d: %q with %d workers mid-fold: ordered rows diverged", round, r.shape.src, workers)
+						}
+					}
+					SortRowsForComparison(res.Rows)
+					if got := rowStrings(res); !reflect.DeepEqual(got, r.want) {
+						t.Errorf("round %d: %q with %d workers mid-fold: rows diverged from quiesced serial", round, r.shape.src, workers)
+					}
+					if pst != r.st {
+						t.Errorf("round %d: %q with %d workers mid-fold: stats = %+v, want exactly serial %+v", round, r.shape.src, workers, pst, r.st)
+					}
+				}(r, workers)
+			}
+		}
+		wg.Wait()
+		if err := <-foldDone; err != nil {
+			t.Fatalf("round %d: background fold: %v", round, err)
+		}
+	}
+	if ls := s.LiveStats(); ls.Generation != startGen+rounds {
+		t.Errorf("generation = %d after %d folds, want %d (every round must really swap epochs)",
+			ls.Generation, rounds, startGen+rounds)
+	}
+	if ls := s.LiveStats(); ls.PinnedSnapshots != 0 {
+		t.Errorf("%d snapshots still pinned after all queries returned", ls.PinnedSnapshots)
+	}
 }
 
 // TestIntraQueryPlannerStaysSerial pins the planner's serial choices: a

@@ -84,7 +84,9 @@ func (p *Prepared) ExecuteParallelWithStats(workers int, st *Stats) (*Result, er
 // cancellation stops every worker within a bounded number of iterations,
 // and work counters accumulate into st.
 func (p *Prepared) ExecuteParallelContextWithStats(ctx context.Context, workers int, st *Stats) (*Result, error) {
-	scans := p.planMorsels(workers)
+	g, unpin := p.pinView()
+	defer unpin()
+	scans := p.planMorsels(g, workers)
 	if scans == nil {
 		return p.ExecuteContextWithStats(ctx, st)
 	}
@@ -92,7 +94,7 @@ func (p *Prepared) ExecuteParallelContextWithStats(ctx context.Context, workers 
 		return nil, err
 	}
 	var rows [][]graph.Value
-	err := p.runParallel(ctx, scans, min(workers, len(scans)), st, func(batch [][]graph.Value) error {
+	err := p.runParallel(ctx, g, scans, min(workers, len(scans)), st, func(batch [][]graph.Value) error {
 		rows = append(rows, batch...)
 		return nil
 	})
@@ -123,11 +125,13 @@ func (p *Prepared) StreamParallelContextWithStats(ctx context.Context, workers i
 		}
 		return nil
 	}
-	if scans := p.planMorsels(workers); scans != nil {
+	g, unpin := p.pinView()
+	defer unpin()
+	if scans := p.planMorsels(g, workers); scans != nil {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		return p.runParallel(ctx, scans, min(workers, len(scans)), st, deliver)
+		return p.runParallel(ctx, g, scans, min(workers, len(scans)), st, deliver)
 	}
 	// Serial fallback. Plain projections stream row by row through the
 	// machine's emit hook; shapes that buffer anyway (grouping, DISTINCT,
@@ -157,17 +161,33 @@ func (p *Prepared) StreamParallelContextWithStats(ctx context.Context, workers i
 	return err
 }
 
+// pinView pins the graph state a multi-morsel execution reads. A backend
+// that both accepts concurrent mutations and supports snapshots gets a
+// pinned point-in-time view, so a background Compact swapping base
+// generations mid-query cannot shift the view between morsels; every
+// other backend reads live with a no-op unpin. Callers must invoke the
+// returned unpin when the execution is done.
+func (p *Prepared) pinView() (storage.FastGraph, func()) {
+	if _, mutable := p.g.(storage.MutableGraph); mutable {
+		if sn, ok := p.g.(storage.Snapshotter); ok {
+			s := sn.AcquireSnapshot()
+			return s, s.Release
+		}
+	}
+	return p.g, func() {}
+}
+
 // planMorsels makes the runtime half of the parallelism decision and, when
-// parallel execution pays off, partitions the root scan. A nil return
-// means: run serially.
-func (p *Prepared) planMorsels(workers int) []storage.VertexScan {
+// parallel execution pays off, partitions the root scan over g (the
+// pinned view from pinView). A nil return means: run serially.
+func (p *Prepared) planMorsels(g storage.FastGraph, workers int) []storage.VertexScan {
 	if workers <= 1 || !p.parallelOK {
 		return nil
 	}
-	if p.g.CountLabelID(p.rootLabel) < MinParallelRootCount {
+	if g.CountLabelID(p.rootLabel) < MinParallelRootCount {
 		return nil
 	}
-	scans := p.g.PlanVertexScan(p.rootLabel, workers*morselsPerWorker)
+	scans := g.PlanVertexScan(p.rootLabel, workers*morselsPerWorker)
 	if len(scans) < 2 {
 		return nil
 	}
@@ -178,7 +198,7 @@ func (p *Prepared) planMorsels(workers int) []storage.VertexScan {
 // goroutines, merges their results per the plan's shape, and hands
 // finished row batches to deliver on the calling goroutine. st receives
 // the exact merged work counters.
-func (p *Prepared) runParallel(ctx context.Context, scans []storage.VertexScan, workers int, st *Stats, deliver func([][]graph.Value) error) error {
+func (p *Prepared) runParallel(ctx context.Context, g storage.FastGraph, scans []storage.VertexScan, workers int, st *Stats, deliver func([][]graph.Value) error) error {
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -236,6 +256,7 @@ func (p *Prepared) runParallel(ctx context.Context, scans []storage.VertexScan, 
 			defer wg.Done()
 			m := p.pool.Get().(*machine)
 			m.reset(p, &workerStats[w])
+			m.g = g // the pinned view, not necessarily p.g
 			m.done = wctx.Done()
 			m.ctx = wctx
 			m.trackDistinct = p.grouped && hasDistinctAgg

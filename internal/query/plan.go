@@ -334,6 +334,7 @@ func (p *Prepared) run(m *machine, st *Stats) (*Result, error) {
 // reset prepares a pooled machine for a fresh execution; cancellation
 // state (done/ctx) is layered on top by the caller when needed.
 func (m *machine) reset(p *Prepared, st *Stats) {
+	m.g = p.g
 	m.stats = st
 	m.err = nil
 	for i := range m.slots {
@@ -351,6 +352,7 @@ func (m *machine) reset(p *Prepared, st *Stats) {
 // aliasing a caller's data, and drop the context and emit hook so a
 // pooled machine cannot keep a request's context or sink alive.
 func (p *Prepared) release(m *machine) {
+	m.g = p.g // drop any pinned snapshot reference
 	m.rows = nil
 	m.stats = nil
 	m.done = nil

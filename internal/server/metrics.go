@@ -172,6 +172,7 @@ type metrics struct {
 
 	query   Histogram
 	mutate  Histogram
+	compact Histogram
 	healthz Histogram
 	stats   Histogram
 }

@@ -155,6 +155,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if resp.Edges == nil {
 		resp.Edges = []storage.EID{}
 	}
+	s.maybeAutoCompact(mg)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -84,6 +84,12 @@ type Config struct {
 	// the top-queries report; shapes beyond it are counted as dropped
 	// instead of tracked (default DefaultMaxQueryShapes).
 	MaxQueryShapes int
+	// AutoCompactDeltaItems, when > 0, starts a background compaction
+	// after an acknowledged /mutate batch leaves the store's delta
+	// segment holding at least this many vertices + edges. Folds are
+	// single-flight; 0 disables auto-compaction (POST /admin/compact
+	// still works).
+	AutoCompactDeltaItems int64
 	// QueryWorkers caps morsel-driven intra-query parallelism: each
 	// admitted query may fan its root scan out over up to this many
 	// worker goroutines (plans and labels below the planner's thresholds
@@ -161,6 +167,7 @@ type Server struct {
 	started  time.Time
 	m        metrics
 	shapes   *shapeTracker
+	compact  compactState
 
 	httpSrv *http.Server
 }
@@ -183,6 +190,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /mutate", s.handleMutate)
+	s.mux.HandleFunc("POST /admin/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s, nil
@@ -235,6 +243,9 @@ func (s *Server) Start(addr string) (string, error) {
 // Shutdown returns. ctx bounds the total wait.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// A background fold started via /admin/compact (or auto-compaction)
+	// must finish before the caller closes the store underneath it.
+	s.compact.wg.Wait()
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -502,6 +513,21 @@ type StorageStats struct {
 	// WALSyncMeanUS is the mean fsync latency in microseconds — the
 	// floor under every acknowledged mutation's latency.
 	WALSyncMeanUS int64 `json:"wal_sync_mean_us"`
+	// Generation numbers the base file set serving reads; each committed
+	// background compaction bumps it.
+	Generation int64 `json:"generation"`
+	// FoldRunning / FoldProgressPermille report a background compaction
+	// in flight and its rough progress (0-1000).
+	FoldRunning          bool  `json:"fold_running"`
+	FoldProgressPermille int64 `json:"fold_progress_permille"`
+	// PinnedSnapshots counts acquired-but-unreleased store snapshots
+	// (each pins the base generation it was taken against).
+	PinnedSnapshots int64 `json:"pinned_snapshots"`
+	// Compactions counts folds committed since the store opened.
+	Compactions int64 `json:"compactions"`
+	// LastCompactError is the most recent background fold failure, empty
+	// while folds succeed.
+	LastCompactError string `json:"last_compact_error,omitempty"`
 }
 
 // Stats assembles the current StatsResponse; the /stats handler and the
@@ -528,10 +554,11 @@ func (s *Server) Stats() StatsResponse {
 			Size: cs.Size, Capacity: cs.Capacity,
 		},
 		Endpoints: map[string]HistogramSnapshot{
-			"/query":   s.m.query.Snapshot(),
-			"/mutate":  s.m.mutate.Snapshot(),
-			"/healthz": s.m.healthz.Snapshot(),
-			"/stats":   s.m.stats.Snapshot(),
+			"/query":         s.m.query.Snapshot(),
+			"/mutate":        s.m.mutate.Snapshot(),
+			"/admin/compact": s.m.compact.Snapshot(),
+			"/healthz":       s.m.healthz.Snapshot(),
+			"/stats":         s.m.stats.Snapshot(),
 		},
 		TopQueries:         s.shapes.top(s.cfg.TopQueries),
 		QueryShapesDropped: s.shapes.dropped.Load(),
@@ -550,6 +577,11 @@ func (s *Server) Stats() StatsResponse {
 			Live: ls.Live, Segmented: ls.Segmented,
 			DeltaVertices: ls.DeltaVertices, DeltaEdges: ls.DeltaEdges,
 			WALAppends: ls.WALAppends, WALSyncs: ls.WALSyncs, WALBytes: ls.WALBytes,
+			Generation:  ls.Generation,
+			FoldRunning: ls.FoldRunning, FoldProgressPermille: ls.FoldProgress,
+			PinnedSnapshots:  ls.PinnedSnapshots,
+			Compactions:      ls.Compactions,
+			LastCompactError: s.lastCompactError(),
 		}
 		if ls.WALSyncs > 0 {
 			ss.WALSyncMeanUS = ls.WALSyncNanos / ls.WALSyncs / 1000

@@ -67,6 +67,18 @@ func mutationAt(n, curV int) []storage.Mutation {
 	w := storage.VID(rng.Intn(curV))
 	switch rng.Intn(6) {
 	case 0:
+		// Half the vertex-adding batches immediately reference the new
+		// vertex (the normal /mutate client shape). This is the pattern
+		// that lands in the WAL with absolute self-references, so replay
+		// after a crash must accept a record pointing at vertices the
+		// record itself creates.
+		if rng.Intn(2) == 0 {
+			return []storage.Mutation{
+				{Op: storage.MutAddVertex, Labels: []string{crashLabels[rng.Intn(len(crashLabels))]}},
+				{Op: storage.MutSetProp, V: -1, Key: crashKeys[rng.Intn(len(crashKeys))], Value: graph.I(int64(n))},
+				{Op: storage.MutAddEdge, Src: -1, Dst: w, Type: crashTypes[rng.Intn(len(crashTypes))]},
+			}
+		}
 		return []storage.Mutation{{Op: storage.MutAddVertex, Labels: []string{crashLabels[rng.Intn(len(crashLabels))]}}}
 	case 1, 2, 3:
 		return []storage.Mutation{{Op: storage.MutAddEdge, Src: v, Dst: w, Type: crashTypes[rng.Intn(len(crashTypes))]}}
@@ -116,17 +128,45 @@ func (o *oracle) fingerprintAt(m int) (string, error) {
 }
 
 func applyToOracle(ms *memstore.Store, muts []storage.Mutation) error {
+	// Batch-relative references (-1 = first vertex this batch created)
+	// resolve against the vertices AddVertex returned, mirroring the
+	// MutableGraph contract the store under test implements.
+	var created []storage.VID
+	ref := func(v storage.VID) (storage.VID, error) {
+		if v >= 0 {
+			return v, nil
+		}
+		k := int(-v)
+		if k > len(created) {
+			return 0, fmt.Errorf("batch reference %d points at a vertex not yet created", v)
+		}
+		return created[k-1], nil
+	}
 	for _, m := range muts {
 		var err error
 		switch m.Op {
 		case storage.MutAddVertex:
-			_, err = ms.AddVertex(m.Labels...)
+			var v storage.VID
+			if v, err = ms.AddVertex(m.Labels...); err == nil {
+				created = append(created, v)
+			}
 		case storage.MutAddEdge:
-			_, err = ms.AddEdge(m.Src, m.Dst, m.Type)
+			var src, dst storage.VID
+			if src, err = ref(m.Src); err == nil {
+				if dst, err = ref(m.Dst); err == nil {
+					_, err = ms.AddEdge(src, dst, m.Type)
+				}
+			}
 		case storage.MutSetProp:
-			err = ms.SetProp(m.V, m.Key, m.Value)
+			var v storage.VID
+			if v, err = ref(m.V); err == nil {
+				err = ms.SetProp(v, m.Key, m.Value)
+			}
 		case storage.MutAddLabel:
-			err = ms.AddLabel(m.V, m.Label)
+			var v storage.VID
+			if v, err = ref(m.V); err == nil {
+				err = ms.AddLabel(v, m.Label)
+			}
 		default:
 			err = fmt.Errorf("unknown op %d", m.Op)
 		}

@@ -58,3 +58,74 @@ func TestKillRecovery(t *testing.T) {
 		t.Error("no child was killed; the loop never exercised a crash")
 	}
 }
+
+// TestKillRecoveryBackgroundFold is the background-compaction half of
+// the crash bar: the child keeps acknowledging mutations while folds
+// run in a goroutine, and the SIGKILL lands mid-fold — mid-build,
+// between manifest commit and WAL rotation, mid-swap. Every reopen must
+// be the exact acknowledged prefix; a refused reopen
+// (ErrFinalizeInterrupted) fails the loop outright, because background
+// folds never place the finalize marker.
+func TestKillRecoveryBackgroundFold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real processes; skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := KillLoop(KillConfig{
+		Scratch:             t.TempDir(),
+		Rounds:              14,
+		Child:               []string{exe, "-test.run=^TestCrashChild$"},
+		ChildEnv:            []string{"CRASH_CHILD=1"},
+		CompactEvery:        11, // trigger folds often so kills land inside them
+		CompactInBackground: true,
+		MaxKillDelay:        30 * time.Millisecond,
+		Seed:                time.Now().UnixNano(),
+		Log:                 t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report: %+v", rep)
+	if rep.Kills == 0 {
+		t.Error("no child was killed; the loop never exercised a crash")
+	}
+	if rep.Detected != 0 {
+		t.Errorf("%d reopens were refused; background folds must never leave the store unopenable", rep.Detected)
+	}
+}
+
+// TestOracleHarness is the randomized no-crash acceptance bar: one
+// writer, concurrent snapshot-stability readers, and a background
+// compactor hammering folds, with writer-pinned snapshots checked
+// bit-for-bit against the memstore oracle before and after the folds
+// that retire their epochs. Run it under -race; the schedule is the
+// test.
+func TestOracleHarness(t *testing.T) {
+	ops := 300
+	if testing.Short() {
+		ops = 120
+	}
+	rep, err := OracleRun(OracleConfig{
+		Scratch: t.TempDir(),
+		Ops:     ops,
+		Readers: 3,
+		Seed:    time.Now().UnixNano(),
+		Log:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report: %+v", rep)
+	if rep.Folds == 0 {
+		t.Error("no fold committed during the run; the harness never exercised a concurrent compaction")
+	}
+	if rep.OracleSnapshots == 0 {
+		t.Error("no writer-pinned snapshot was verified against the oracle")
+	}
+	if rep.StabilityChecks == 0 {
+		t.Error("no reader stability check completed")
+	}
+}

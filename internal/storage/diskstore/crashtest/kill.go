@@ -27,9 +27,11 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/storage"
 	"repro/internal/storage/diskstore"
 	"repro/internal/storage/storetest"
 )
@@ -43,6 +45,7 @@ const (
 	envStart        = "CRASH_START"
 	envMaxOps       = "CRASH_MAXOPS"
 	envCompactEvery = "CRASH_COMPACT_EVERY"
+	envCompactBg    = "CRASH_COMPACT_BG"
 )
 
 // KillConfig parameterizes KillLoop.
@@ -54,8 +57,18 @@ type KillConfig struct {
 	MaxOpsPerRound int           // child exits cleanly after this many ops (default 200)
 	CompactEvery   int           // child runs Compact every k ops (default 23; 0 disables)
 	MaxKillDelay   time.Duration // upper bound on the random kill delay (default 40ms)
-	Seed           int64
-	Log            func(format string, args ...any) // optional progress logging
+
+	// CompactInBackground makes the child run Compact in a goroutine
+	// and keep mutating while the fold is in flight, so the SIGKILL can
+	// land anywhere inside a background fold — mid-build, between the
+	// manifest commit and the WAL rotation, mid-swap. A background fold
+	// never places the finalize marker (the old base stays live until
+	// the atomic manifest commit), so reopen refusals
+	// (KillReport.Detected) are a violation in this mode, not a
+	// documented outcome.
+	CompactInBackground bool
+	Seed                int64
+	Log                 func(format string, args ...any) // optional progress logging
 }
 
 // KillReport summarizes a KillLoop run.
@@ -121,6 +134,9 @@ func KillLoop(cfg KillConfig) (KillReport, error) {
 			fmt.Sprintf("%s=%d", envMaxOps, cfg.MaxOpsPerRound),
 			fmt.Sprintf("%s=%d", envCompactEvery, cfg.CompactEvery),
 		)
+		if cfg.CompactInBackground {
+			cmd.Env = append(cmd.Env, envCompactBg+"=1")
+		}
 		if err := cmd.Start(); err != nil {
 			return rep, err
 		}
@@ -154,8 +170,12 @@ func KillLoop(cfg KillConfig) (KillReport, error) {
 		s, err := diskstore.Open(dir, diskstore.Options{})
 		if errors.Is(err, diskstore.ErrFinalizeInterrupted) {
 			// The kill landed inside Compact's base rewrite. Detection —
-			// not silent corruption — is the contract; roll back to the
-			// pre-round snapshot and keep going.
+			// not silent corruption — is the contract for the exclusive
+			// (foreground) fold; a background fold never leaves the
+			// marker behind, so in that mode a refusal is a bug.
+			if cfg.CompactInBackground {
+				return rep, fmt.Errorf("crashtest: round %d: reopen refused (%v) after a kill during a BACKGROUND fold — the old base should have stayed live", round, err)
+			}
 			rep.Detected++
 			logf("round %d: kill landed mid-compact, corruption detected and snapshot restored", round)
 			if err := copyDir(snap, dir); err != nil {
@@ -232,6 +252,7 @@ func ChildMain() {
 	start, _ := strconv.Atoi(os.Getenv(envStart))
 	maxOps, _ := strconv.Atoi(os.Getenv(envMaxOps))
 	compactEvery, _ := strconv.Atoi(os.Getenv(envCompactEvery))
+	compactBg := os.Getenv(envCompactBg) != ""
 	if dir == "" || ackPath == "" || maxOps <= 0 {
 		die(fmt.Errorf("missing %s/%s/%s", envDir, envAck, envMaxOps))
 	}
@@ -244,6 +265,7 @@ func ChildMain() {
 		die(err)
 	}
 	curV := s.NumVertices()
+	var folds sync.WaitGroup
 	for i := 0; i < maxOps; i++ {
 		nOp := start + i
 		muts := mutationAt(nOp, curV)
@@ -263,11 +285,27 @@ func ChildMain() {
 			die(err)
 		}
 		if compactEvery > 0 && (nOp+1)%compactEvery == 0 {
-			if err := s.Compact(); err != nil {
+			if compactBg {
+				// Fold in the background and keep mutating: the parent's
+				// SIGKILL can now land while acknowledged writes race a
+				// fold. An overlapping trigger finds the previous fold
+				// still running — that is the single-flight contract, not
+				// a failure.
+				folds.Add(1)
+				go func(at int) {
+					defer folds.Done()
+					if err := s.Compact(); err != nil && !errors.Is(err, storage.ErrCompactInProgress) {
+						die(fmt.Errorf("background compact at %d: %w", at, err))
+					}
+				}(nOp)
+			} else if err := s.Compact(); err != nil {
 				die(fmt.Errorf("compact at %d: %w", nOp, err))
 			}
 		}
 	}
+	// A clean exit must not close the store under an in-flight fold —
+	// Close mid-Compact is a caller bug, not a crash we are simulating.
+	folds.Wait()
 	if err := s.Close(); err != nil {
 		die(err)
 	}

@@ -1,0 +1,300 @@
+package crashtest
+
+// The randomized oracle harness: the single-process, no-crash half of
+// the background-compaction contract. One writer applies the package's
+// deterministic mutation stream while, concurrently,
+//
+//   - a compactor calls Compact in a loop, so base generations fold and
+//     swap under the writer's feet;
+//   - reader goroutines acquire snapshots at arbitrary instants and
+//     fingerprint each one twice — once immediately and once after a
+//     random delay long enough to straddle fold commits — demanding
+//     bit-identical results (snapshot stability);
+//   - the writer itself pins a snapshot every few acknowledged
+//     mutations, at which point the applied prefix is exactly known, and
+//     the harness demands that snapshot equals the memstore oracle's
+//     fingerprint of that prefix — immediately, and again after later
+//     folds have retired the epoch the snapshot pinned.
+//
+// After the workload drains, every held snapshot is re-verified and
+// released, a final fold runs, and the live store plus a full
+// close/reopen must both equal the oracle's final prefix. Run it under
+// -race: the interesting failures here are ordering bugs, and the
+// fingerprint checks catch the ones the race detector cannot.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/storage/diskstore"
+	"repro/internal/storage/storetest"
+)
+
+// OracleConfig parameterizes OracleRun.
+type OracleConfig struct {
+	Scratch       string // working directory (created if needed)
+	Ops           int    // acknowledged mutations to apply (default 300)
+	Readers       int    // snapshot-stability reader goroutines (default 3)
+	SnapshotEvery int    // writer pins an oracle-checked snapshot every k ops (default 17)
+	MaxHeld       int    // oracle snapshots held concurrently before the oldest is re-verified and released (default 6)
+	Seed          int64
+	Log           func(format string, args ...any) // optional progress logging
+}
+
+// OracleReport summarizes one OracleRun.
+type OracleReport struct {
+	Ops             int   // acknowledged mutations applied
+	Folds           int64 // compactions committed during the run
+	OracleSnapshots int   // writer-pinned snapshots verified against the oracle
+	StabilityChecks int64 // reader snapshot double-fingerprint checks
+	FinalGeneration int64 // base generation after the final fold
+}
+
+// heldSnap is one writer-pinned snapshot awaiting re-verification: the
+// fingerprint it must still produce after any number of folds.
+type heldSnap struct {
+	snap storage.Snapshot
+	ops  int    // acknowledged-mutation prefix it pins
+	want string // oracle fingerprint of that prefix
+}
+
+// OracleRun executes the harness and returns an error on the first
+// divergence from the oracle. The error message carries the seed and the
+// mutation index, so failures reproduce deterministically.
+func OracleRun(cfg OracleConfig) (OracleReport, error) {
+	var rep OracleReport
+	if cfg.Ops <= 0 {
+		cfg.Ops = 300
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = 3
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 17
+	}
+	if cfg.MaxHeld <= 0 {
+		cfg.MaxHeld = 6
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	dir := filepath.Join(cfg.Scratch, "store")
+	if err := buildBase(dir); err != nil {
+		return rep, err
+	}
+	o, err := newOracle()
+	if err != nil {
+		return rep, err
+	}
+	s, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		return rep, err
+	}
+
+	var (
+		done            = make(chan struct{})
+		wg              sync.WaitGroup
+		errOnce         sync.Once
+		firstErr        error
+		stabilityChecks int64
+		stabMu          sync.Mutex
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+	}
+	failed := func() bool {
+		stabMu.Lock()
+		defer stabMu.Unlock()
+		return firstErr != nil
+	}
+	// firstErr is written under errOnce and read only after wg.Wait or
+	// via failed(); guard reads racing the Do with the same mutex.
+	failLocked := func(err error) {
+		stabMu.Lock()
+		defer stabMu.Unlock()
+		fail(err)
+	}
+
+	// Compactor: fold as often as the store lets us. ErrCompactInProgress
+	// cannot happen (we are the only caller), but tolerate it so the
+	// harness stays valid if a future store self-compacts.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := s.Compact(); err != nil && !errors.Is(err, storage.ErrCompactInProgress) {
+				failLocked(fmt.Errorf("background compact: %w", err))
+				return
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+
+	// Readers: each acquires a snapshot at a random instant, fingerprints
+	// it, sleeps across whatever the writer and compactor are doing, and
+	// demands the same fingerprint again. The pinned epoch may be retired
+	// mid-hold; the snapshot must not notice.
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(id)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := s.AcquireSnapshot()
+				f1 := storetest.Fingerprint(snap)
+				time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+				f2 := storetest.Fingerprint(snap)
+				snap.Release()
+				if f1 != f2 {
+					failLocked(fmt.Errorf("reader %d (seed %d): snapshot changed under a hold\nfirst  %s\nsecond %s", id, cfg.Seed, f1, f2))
+					return
+				}
+				stabMu.Lock()
+				stabilityChecks++
+				stabMu.Unlock()
+			}
+		}(r)
+	}
+
+	// Writer (this goroutine): the deterministic stream, acknowledged
+	// serially, so after mutation n the store's visible state must be the
+	// oracle's prefix n+1 — verified through pinned snapshots, which stay
+	// valid while later folds retire the epochs they pinned.
+	var held []heldSnap
+	release := func(h heldSnap) error {
+		defer h.snap.Release()
+		if got := storetest.Fingerprint(h.snap); got != h.want {
+			return fmt.Errorf("snapshot pinned at %d mutations drifted after folds (seed %d)\n got %s\nwant %s", h.ops, cfg.Seed, got, h.want)
+		}
+		return nil
+	}
+	drainHeld := func() error {
+		for _, h := range held {
+			if err := release(h); err != nil {
+				return err
+			}
+		}
+		held = nil
+		return nil
+	}
+
+	curV := s.NumVertices()
+	n := 0
+	for ; n < cfg.Ops && !failed(); n++ {
+		muts := mutationAt(n, curV)
+		if _, err := s.ApplyMutations(muts); err != nil {
+			failLocked(fmt.Errorf("mutation %d: %w", n, err))
+			break
+		}
+		if countsVertex(muts) {
+			curV++
+		}
+		if (n+1)%cfg.SnapshotEvery != 0 {
+			continue
+		}
+		// No other writer exists, so the store's watermark is exactly
+		// n+1 acknowledged mutations right now; the snapshot must match
+		// that oracle prefix today and after every future fold.
+		want, err := o.fingerprintAt(n + 1)
+		if err != nil {
+			failLocked(err)
+			break
+		}
+		snap := s.AcquireSnapshot()
+		if got := storetest.Fingerprint(snap); got != want {
+			snap.Release()
+			failLocked(fmt.Errorf("snapshot at %d mutations diverges from the oracle (seed %d)\n got %s\nwant %s", n+1, cfg.Seed, got, want))
+			break
+		}
+		held = append(held, heldSnap{snap: snap, ops: n + 1, want: want})
+		rep.OracleSnapshots++
+		if len(held) > cfg.MaxHeld {
+			h := held[0]
+			held = held[1:]
+			if err := release(h); err != nil {
+				failLocked(err)
+				break
+			}
+		}
+	}
+
+	close(done)
+	wg.Wait()
+	stabMu.Lock()
+	rep.StabilityChecks = stabilityChecks
+	err = firstErr
+	stabMu.Unlock()
+	if err == nil {
+		// Oldest snapshots have now outlived every fold of the run.
+		err = drainHeld()
+	}
+	for _, h := range held {
+		h.snap.Release()
+	}
+	if err != nil {
+		s.Close()
+		return rep, err
+	}
+
+	// Final fold, then the live store and a cold reopen must both equal
+	// the oracle's full prefix.
+	if err := s.Compact(); err != nil {
+		s.Close()
+		return rep, fmt.Errorf("final compact: %w", err)
+	}
+	want, err := o.fingerprintAt(n)
+	if err != nil {
+		s.Close()
+		return rep, err
+	}
+	if got := storetest.Fingerprint(s); got != want {
+		s.Close()
+		return rep, fmt.Errorf("live store after final fold diverges from the %d-mutation oracle (seed %d)\n got %s\nwant %s", n, cfg.Seed, got, want)
+	}
+	ls := s.LiveStats()
+	rep.Folds = ls.Compactions
+	rep.FinalGeneration = ls.Generation
+	if ls.PinnedSnapshots != 0 {
+		s.Close()
+		return rep, fmt.Errorf("%d snapshots still pinned after every hold was released", ls.PinnedSnapshots)
+	}
+	if err := s.Close(); err != nil {
+		return rep, err
+	}
+	re, err := diskstore.Open(dir, diskstore.Options{})
+	if err != nil {
+		return rep, fmt.Errorf("reopen after run: %w", err)
+	}
+	if got := storetest.Fingerprint(re); got != want {
+		re.Close()
+		return rep, fmt.Errorf("reopened store diverges from the %d-mutation oracle (seed %d)\n got %s\nwant %s", n, cfg.Seed, got, want)
+	}
+	if err := re.Close(); err != nil {
+		return rep, err
+	}
+	rep.Ops = n
+	logf("oracle run: %d ops, %d folds (final generation %d), %d oracle snapshots, %d stability checks",
+		rep.Ops, rep.Folds, rep.FinalGeneration, rep.OracleSnapshots, rep.StabilityChecks)
+	return rep, nil
+}

@@ -10,6 +10,25 @@
 // proportionally less I/O. The cache size is configurable to reproduce the
 // paper's observation that disk-based systems benefit most from schema
 // optimization.
+//
+// # Base generations and epochs
+//
+// A store's base files belong to a numbered generation: generation 0 uses
+// the plain file names (vertices.db, ...), generation N > 0 suffixes them
+// (vertices.db.gN). The manifest records which generation is current, and
+// swapping that single field — via the usual atomic manifest rename — is
+// the commit point for background compaction (see compact.go): a fold
+// builds a complete new generation in a temp directory, renames its files
+// into place, commits the manifest, and then swaps the in-memory epoch.
+// Files from any other generation are orphans and are swept at Open.
+//
+// In memory, each open generation is an epoch: the pager, record counts,
+// label index, and the WAL fence (baseSeq) that tells readers which delta
+// entries the generation's files already absorbed. Readers pin the epoch
+// they read through (see view.go); a superseded epoch's files are closed
+// and deleted only when its pin count drains to zero, so long-running
+// traversals and snapshots keep a consistent view across a concurrent
+// fold.
 package diskstore
 
 import (
@@ -20,7 +39,8 @@ import (
 	"math/bits"
 	"os"
 	"path/filepath"
-	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -90,7 +110,12 @@ func (o Options) withDefaults() Options {
 const formatVersion = 4
 
 type manifest struct {
-	Version     int      `json:"version"`
+	Version int `json:"version"`
+	// Generation numbers the current base file set. Generation 0 uses the
+	// plain file names; generation N uses name.gN. Background compaction
+	// bumps it — the manifest rename that records the new generation is
+	// the fold's commit point. Orthogonal to Version (the record layout).
+	Generation  int64    `json:"generation,omitempty"`
 	Labels      []string `json:"labels"`
 	Types       []string `json:"types"`
 	Keys        []string `json:"keys"`
@@ -110,54 +135,43 @@ type manifest struct {
 	WalSeq uint64 `json:"wal_seq,omitempty"`
 }
 
-// Store is a disk-backed property graph. Building (AddVertex, AddEdge,
-// SetProp, Flush) is single-writer, but once the store is fully built its
-// entire read surface — traversals, property and label lookups, degree
-// queries, stats — is safe for any number of concurrent reader
-// goroutines: the symbol tables and label index are immutable after
-// build, and record access goes through the pager's sharded page cache,
-// where readers contend only when they touch the same cache shard at the
-// same instant (see pager).
-type Store struct {
-	dir   string
-	pager *pager
-	opts  Options
+// baseFileNames are the record files backing one base generation, in
+// pager file-slot order.
+var baseFileNames = [numFiles]string{"vertices.db", "edges.db", "props.db", "blobs.db", "degrees.db"}
 
-	// version is the manifest version this store was opened with; Flush
-	// preserves it so a v2/v3 store stays a valid same-version store on
-	// disk. Only Finalize/Compact (and the bulk ingest path, which implies
-	// Finalize) upgrade a store to the current format.
-	version int
+// indexFileName is the persisted derived-structure file (v4), also
+// generation-suffixed.
+const indexFileName = "index.db"
 
-	// segmented is the type-segmented adjacency invariant: every vertex's
-	// out/in chains are grouped by edge type and the per-type degree
-	// records carry segment heads, so typed iteration seeks instead of
-	// filtering. Established by Finalize, broken by incremental AddEdge.
+// genFileName maps a base file name to its generation-qualified on-disk
+// name: generation 0 keeps the plain name so pre-generation stores open
+// unchanged.
+func genFileName(name string, gen int64) string {
+	if gen == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s.g%d", name, gen)
+}
+
+// epoch is one open base generation: the five record files behind a
+// pager, their counts, the label-scan index, and the WAL fence (baseSeq)
+// identifying which logged batches the files already absorbed. Once a
+// store is live its current epoch's files are never mutated in place —
+// background compaction writes a whole new generation — so every field
+// here is immutable for the epoch's lifetime and readers touch it without
+// locks. (During single-writer building, before live mode, the one
+// existing epoch is mutated freely.)
+//
+// pins counts references: 1 for the store itself while the epoch is
+// current, plus one per in-flight read and per held snapshot. When a fold
+// supersedes the epoch the store's reference is dropped; the last unpin
+// reclaims it (closes and deletes the generation's files, then lets the
+// delta prune entries the new generation absorbed).
+type epoch struct {
+	gen       int64
+	version   int
 	segmented bool
-	// needFinalize is set by AddEdgeBatch: edges were appended without
-	// adjacency linkage and Finalize must run before the store is read.
-	// Flush finalizes automatically as a safety net.
-	needFinalize bool
-	// indexLoaded reports that Open restored the label index from
-	// index.db instead of scanning every vertex record.
-	indexLoaded bool
-	// indexCurrent reports that the index.db on disk describes the
-	// current in-memory state: set by a successful load at Open and by
-	// every index write, cleared by the first mutation. A clean Flush
-	// with a current index skips the rewrite.
-	indexCurrent bool
-	// dirty is set by the first mutation since open/flush (markDirty),
-	// which also removes index.db at that moment — so no crash window
-	// exists in which on-disk data coexists with a stale-but-validating
-	// index.
-	dirty bool
-
-	labels   []string
-	labelIDs map[string]int
-	types    []string
-	typeIDs  map[string]int
-	keys     []string
-	keyIDs   map[string]int
+	pager     *pager
 
 	numVertices int64
 	numEdges    int64
@@ -167,49 +181,144 @@ type Store struct {
 
 	byLabel map[int][]storage.VID
 
+	// baseSeq is the highest WAL sequence folded into this generation's
+	// files; delta entries at or below it are already in the base and
+	// invisible through this epoch.
+	baseSeq uint64
+
+	pins atomic.Int64
+	// retire lists the generation's file paths, set when the epoch is
+	// superseded; reclaim deletes them.
+	retire []string
+}
+
+// legacyDegrees reports whether this generation predates per-type degree
+// records (format v2): typed degree queries then fall back to walking the
+// adjacency chain, and AddEdge does not maintain degree records.
+func (ep *epoch) legacyDegrees() bool { return ep.version < 3 }
+
+// degSize is the on-disk degree record size for this generation's format.
+func (ep *epoch) degSize() int64 {
+	if ep.version >= 4 {
+		return degRecSizeV4
+	}
+	return degRecSize
+}
+
+// closeFiles closes the generation's backing files.
+func (ep *epoch) closeFiles() error {
+	var first error
+	for _, f := range ep.pager.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Store is a disk-backed property graph. Building (AddVertex, AddEdge,
+// SetProp, Flush) is single-writer, but once the store is fully built its
+// entire read surface — traversals, property and label lookups, degree
+// queries, stats — is safe for any number of concurrent reader
+// goroutines: the symbol tables and label index are immutable after
+// build, and record access goes through the pager's sharded page cache,
+// where readers contend only when they touch the same cache shard at the
+// same instant (see pager).
+//
+// On a live store, Compact runs in the background: readers and writers
+// keep going against the current epoch while the fold builds the next
+// generation (see compact.go), and AcquireSnapshot pins a consistent
+// {epoch, delta watermark} view across the swap (see view.go).
+type Store struct {
+	dir  string
+	opts Options
+
+	// epMu guards cur — the pointer only, not the epoch's contents.
+	// Readers take it shared just long enough to pin the current epoch;
+	// the fold's swap takes it exclusively for a pointer assignment.
+	epMu sync.RWMutex
+	cur  *epoch
+
+	// needFinalize is set by AddEdgeBatch: edges were appended without
+	// adjacency linkage and Finalize must run before the store is read.
+	// Flush finalizes automatically as a safety net.
+	needFinalize bool
+	// indexLoaded reports that Open restored the label index from
+	// index.db instead of scanning every vertex record.
+	indexLoaded bool
+	// indexCurrent reports that the index file on disk describes the
+	// current in-memory state: set by a successful load at Open and by
+	// every index write, cleared by the first mutation. A clean Flush
+	// with a current index skips the rewrite.
+	indexCurrent bool
+	// dirty is set by the first mutation since open/flush (markDirty),
+	// which also removes the index file at that moment — so no crash
+	// window exists in which on-disk data coexists with a
+	// stale-but-validating index.
+	dirty bool
+
+	labels   []string
+	labelIDs map[string]int
+	types    []string
+	typeIDs  map[string]int
+	keys     []string
+	keyIDs   map[string]int
+
 	// ---- live-write state (see live.go, wal.go, delta.go) ----
 
 	// liveMode gates the durable post-finalize write path: Builder calls
 	// reroute through ApplyMutations, reads merge the delta segment, and
 	// symbol-table access takes symMu. Flipped only at Open and around
-	// Finalize/Compact, which require exclusive access.
+	// the exclusive Finalize path.
 	liveMode atomic.Bool
 	// liveMu serializes ApplyMutations batches (WAL append order = delta
-	// apply order = replay order).
+	// apply order = replay order) and the fold's freeze/swap steps.
 	liveMu sync.Mutex
 	// symMu guards the symbol tables once liveMode is set; never taken
 	// outside live mode.
 	symMu sync.RWMutex
-	// delta is the in-memory segment of live mutations; always non-nil,
-	// replaced by foldDelta.
+	// delta is the in-memory segment of live mutations; always non-nil.
+	// It is shared across epochs: entries carry WAL sequence numbers and
+	// each epoch sees only the window its baseSeq has not absorbed.
 	delta *delta
 	// wal is the open write-ahead log, created lazily on the first live
 	// mutation (atomic so LiveStats can read it without liveMu).
 	wal atomic.Pointer[wal]
-	// walFoldedSeq mirrors manifest.WalSeq; advanced by foldDelta.
+	// walFoldedSeq mirrors manifest.WalSeq; advanced by folds.
 	walFoldedSeq uint64
-	// pendingCheckpoint is set by foldDelta: the next committed Flush
-	// truncates the WAL.
+	// pendingCheckpoint is set by the exclusive foldDelta: the next
+	// committed Flush truncates the WAL. (Background folds rotate the
+	// log themselves instead.)
 	pendingCheckpoint bool
-}
 
-// legacyDegrees reports whether this store predates per-type degree
-// records (format v2): typed degree queries then fall back to walking the
-// adjacency chain, and AddEdge does not maintain degree records.
-func (s *Store) legacyDegrees() bool { return s.version < 3 }
+	// ---- background compaction state (see compact.go) ----
 
-// degSize is the on-disk degree record size for this store's format.
-func (s *Store) degSize() int64 {
-	if s.version >= 4 {
-		return degRecSizeV4
-	}
-	return degRecSize
+	// folding is the single-flight guard: a second Compact while one is
+	// in progress returns storage.ErrCompactInProgress.
+	folding atomic.Bool
+	// foldProgress is the running fold's progress in permille.
+	foldProgress atomic.Int64
+	// generation mirrors cur.gen for lock-free stats reads.
+	generation atomic.Int64
+	// retired counts superseded epochs not yet reclaimed; when it drains
+	// to zero the delta's folded prefix is pruned.
+	retired atomic.Int64
+	// pinnedSnaps counts snapshots acquired and not yet released.
+	pinnedSnaps atomic.Int64
+	// compactions counts completed folds (background or exclusive).
+	compactions atomic.Int64
+	// flushMu serializes manifest commits: a Flush racing a background
+	// fold must not write a stale generation over the fold's commit.
+	// Lock order: flushMu before liveMu.
+	flushMu sync.Mutex
 }
 
 // FormatInfo describes how a store was opened; see (*Store).Format.
 type FormatInfo struct {
 	// Version is the on-disk format version (2-4).
 	Version int
+	// Generation is the base file generation currently serving reads.
+	Generation int64
 	// Segmented reports the type-segmented adjacency invariant.
 	Segmented bool
 	// IndexLoaded reports that Open restored the label index from
@@ -221,12 +330,23 @@ type FormatInfo struct {
 // opened. Serving and benchmark tools log it so "did this store open the
 // fast way" is observable.
 func (s *Store) Format() FormatInfo {
-	return FormatInfo{Version: s.version, Segmented: s.segmented, IndexLoaded: s.indexLoaded}
+	ep := s.curEp()
+	return FormatInfo{Version: ep.version, Generation: ep.gen, Segmented: ep.segmented, IndexLoaded: s.indexLoaded}
 }
 
 // SegmentedAdjacency reports whether adjacency is currently grouped by
 // edge type (see storage.TypeSegmentedGraph).
-func (s *Store) SegmentedAdjacency() bool { return s.segmented }
+func (s *Store) SegmentedAdjacency() bool { return s.curEp().segmented }
+
+// curEp returns the current epoch without pinning it — for uses that
+// only read immutable fields and never touch the pager after a
+// potential swap.
+func (s *Store) curEp() *epoch {
+	s.epMu.RLock()
+	ep := s.cur
+	s.epMu.RUnlock()
+	return ep
+}
 
 var (
 	_ storage.Builder            = (*Store)(nil)
@@ -234,6 +354,7 @@ var (
 	_ storage.StatsReporter      = (*Store)(nil)
 	_ storage.BatchBuilder       = (*Store)(nil)
 	_ storage.TypeSegmentedGraph = (*Store)(nil)
+	_ storage.Snapshotter        = (*Store)(nil)
 )
 
 // Open creates (or reopens) a store in dir.
@@ -246,16 +367,27 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	if _, err := os.Stat(filepath.Join(dir, finalizeMarker)); err == nil {
-		// Finalize rewrites edges.db in place with renumbered IDs; the
+		// The exclusive Finalize path rewrites edges.db in place; the
 		// marker survives only when that rewrite never committed, so the
 		// edge file may hold a mix of old- and new-order records that the
 		// manifest cannot detect. Refusing is the only safe answer.
+		// (Background Compact never places this marker — it builds a new
+		// generation in a temp directory and a crashed fold leaves only
+		// orphan files, swept below.)
 		return nil, fmt.Errorf("diskstore: %s: %w; rebuild the store from its source data (or restore a backup), then remove %s",
 			dir, ErrFinalizeInterrupted, finalizeMarker)
 	}
+	m, haveManifest, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	gen := int64(0)
+	if haveManifest {
+		gen = m.Generation
+	}
 	var files [numFiles]*os.File
-	for i, name := range []string{"vertices.db", "edges.db", "props.db", "blobs.db", "degrees.db"} {
-		f, err := os.OpenFile(filepath.Join(dir, name), os.O_RDWR|os.O_CREATE, 0o644)
+	for i, name := range baseFileNames {
+		f, err := os.OpenFile(filepath.Join(dir, genFileName(name, gen)), os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -269,21 +401,68 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.formatVersion != 0 {
 		version = opts.formatVersion
 	}
-	s := &Store{
-		dir:       dir,
-		pager:     pg,
-		opts:      opts,
+	ep := &epoch{
+		gen:       gen,
 		version:   version,
-		segmented: true, // trivially: no edges yet (loadManifest overrides)
-		labelIDs:  map[string]int{},
-		typeIDs:   map[string]int{},
-		keyIDs:    map[string]int{},
+		segmented: true, // trivially: no edges yet (manifest overrides)
+		pager:     pg,
 		byLabel:   map[int][]storage.VID{},
-		delta:     newDelta(),
 	}
-	if err := s.loadManifest(); err != nil {
-		return nil, err
+	ep.pins.Store(1)
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		cur:      ep,
+		labelIDs: map[string]int{},
+		typeIDs:  map[string]int{},
+		keyIDs:   map[string]int{},
 	}
+	s.generation.Store(gen)
+	if haveManifest {
+		ep.version = m.Version
+		// Only v4 degree records carry the segment heads the seek path
+		// needs; never trust a segmented claim on a legacy manifest.
+		ep.segmented = m.Segmented && m.Version >= 4
+		ep.numVertices, ep.numEdges, ep.numProps, ep.blobSize = m.NumVertices, m.NumEdges, m.NumProps, m.BlobSize
+		ep.numDegs = m.NumDegs
+		ep.baseSeq = m.WalSeq
+		s.labels, s.types, s.keys = m.Labels, m.Types, m.Keys
+		s.walFoldedSeq = m.WalSeq
+		for i, l := range s.labels {
+			s.labelIDs[l] = i
+		}
+		for i, t := range s.types {
+			s.typeIDs[t] = i
+		}
+		for i, k := range s.keys {
+			s.keyIDs[k] = i
+		}
+	}
+	// A crashed background fold leaves files from generations the
+	// manifest never committed (and possibly a fold.tmp build directory);
+	// none of them are reachable, so sweep them before touching anything.
+	sweepOrphans(dir, gen)
+	// Restore the label-scan index: v4 stores persist it alongside the
+	// generation, so opening costs O(index size). Legacy stores — and v4
+	// stores whose index file is missing, torn, or out of step with the
+	// manifest — fall back to rebuilding it from a full vertex scan.
+	if haveManifest {
+		if ep.version >= 4 && s.loadIndex(ep) {
+			s.indexLoaded = true
+			s.indexCurrent = true
+		} else {
+			for v := int64(0); v < ep.numVertices; v++ {
+				rec, err := ep.readVertex(storage.VID(v))
+				if err != nil {
+					return nil, err
+				}
+				for _, id := range labelBitsToIDs(rec.labels) {
+					ep.byLabel[id] = append(ep.byLabel[id], storage.VID(v))
+				}
+			}
+		}
+	}
+	s.delta = newDelta(ep.numVertices, ep.numEdges)
 	// Recovery pass: enter live mode for finalized stores and replay any
 	// write-ahead log a crashed live session left behind (see live.go).
 	if err := s.recoverLive(); err != nil {
@@ -293,71 +472,97 @@ func Open(dir string, opts Options) (*Store, error) {
 }
 
 // ErrFinalizeInterrupted is returned (wrapped, with a recovery hint) by
-// Open when the finalize.inprogress marker is present: a Finalize or
-// Compact crashed after it may have started rewriting edge records and
+// Open when the finalize.inprogress marker is present: an exclusive
+// Finalize (or the exclusive Compact path a non-live store takes)
+// crashed after it may have started rewriting edge records in place and
 // before the rewrite was committed by a Flush, so edges.db may hold a
 // mix of old- and new-order records that the manifest cannot detect.
-// Test with errors.Is.
+// Background Compact on a live store never hits this: it builds the new
+// generation in a temp directory and commits it with one manifest
+// rename, so a crash at any instant leaves either the old or the new
+// generation fully intact. Test with errors.Is.
 var ErrFinalizeInterrupted = errors.New("store was interrupted mid-finalize/compact and its edge records may be partially rewritten")
 
-func (s *Store) loadManifest() error {
-	data, err := os.ReadFile(filepath.Join(s.dir, "manifest.json"))
+// readManifest loads and validates manifest.json, reporting whether one
+// exists (a fresh directory has none).
+func readManifest(dir string) (manifest, bool, error) {
+	var m manifest
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if os.IsNotExist(err) {
-		return nil
+		return m, false, nil
 	}
 	if err != nil {
-		return err
+		return m, false, err
 	}
-	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return err
+		return m, false, err
 	}
 	if m.Version < 2 || m.Version > formatVersion {
-		return fmt.Errorf("diskstore: store format v%d is not supported (want v2..v%d); rebuild the store", m.Version, formatVersion)
+		return m, false, fmt.Errorf("diskstore: store format v%d is not supported (want v2..v%d); rebuild the store", m.Version, formatVersion)
 	}
-	s.version = m.Version
-	// Only v4 degree records carry the segment heads the seek path needs;
-	// never trust a segmented claim on a legacy manifest.
-	s.segmented = m.Segmented && m.Version >= 4
-	s.labels, s.types, s.keys = m.Labels, m.Types, m.Keys
-	s.numVertices, s.numEdges, s.numProps, s.blobSize = m.NumVertices, m.NumEdges, m.NumProps, m.BlobSize
-	s.numDegs = m.NumDegs
-	s.walFoldedSeq = m.WalSeq
-	for i, l := range s.labels {
-		s.labelIDs[l] = i
+	if m.Generation < 0 {
+		return m, false, fmt.Errorf("diskstore: negative base generation %d in manifest", m.Generation)
 	}
-	for i, t := range s.types {
-		s.typeIDs[t] = i
+	return m, true, nil
+}
+
+// sweepOrphans removes base-generation files that do not belong to the
+// committed generation, leftover temp files, and any fold.tmp build
+// directory — the residue of a background fold that crashed before or
+// after its manifest commit. Best-effort: sweep failures leave garbage,
+// never break an open.
+func sweepOrphans(dir string, gen int64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
 	}
-	for i, k := range s.keys {
-		s.keyIDs[k] = i
+	keep := map[string]bool{
+		"manifest.json": true,
+		walFileName:     true,
+		finalizeMarker:  true,
 	}
-	// Restore the label-scan index: v4 stores persist it in index.db, so
-	// opening costs O(index size). Legacy stores — and v4 stores whose
-	// index file is missing, torn, or out of step with the manifest — fall
-	// back to rebuilding it from a full vertex scan.
-	if s.version >= 4 && s.loadIndex() {
-		s.indexLoaded = true
-		s.indexCurrent = true
-		return nil
+	for _, name := range baseFileNames {
+		keep[genFileName(name, gen)] = true
 	}
-	for v := int64(0); v < s.numVertices; v++ {
-		rec, err := s.readVertex(storage.VID(v))
-		if err != nil {
-			return err
+	keep[genFileName(indexFileName, gen)] = true
+	for _, e := range entries {
+		name := e.Name()
+		if keep[name] {
+			continue
 		}
-		for _, id := range labelBitsToIDs(rec.labels) {
-			s.byLabel[id] = append(s.byLabel[id], storage.VID(v))
+		if e.IsDir() {
+			if name == foldTmpDir {
+				os.RemoveAll(filepath.Join(dir, name))
+			}
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") || isGenFile(name) {
+			os.Remove(filepath.Join(dir, name))
 		}
 	}
-	return nil
+}
+
+// isGenFile reports whether name is a base-generation file of some
+// generation (plain or .gN-suffixed).
+func isGenFile(name string) bool {
+	for _, base := range append(baseFileNames[:], indexFileName) {
+		if name == base {
+			return true
+		}
+		if rest, ok := strings.CutPrefix(name, base+".g"); ok {
+			if _, err := strconv.ParseInt(rest, 10, 64); err == nil {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // markDirty records the first mutation since open/flush. For v4 stores
-// it removes index.db at that moment — before the mutation's page write,
-// and crucially before cache eviction can push any dirty page to disk —
-// because no index may ever sit on disk alongside data newer than it:
-// record counts and symbol tables cannot catch every mutation (e.g.
+// it removes the index file at that moment — before the mutation's page
+// write, and crucially before cache eviction can push any dirty page to
+// disk — because no index may ever sit on disk alongside data newer than
+// it: record counts and symbol tables cannot catch every mutation (e.g.
 // AddLabel of an existing label to an existing vertex changes neither),
 // so a surviving stale index could still validate. From the first
 // mutation until the next successful Flush, a crash leaves a store with
@@ -366,8 +571,8 @@ func (s *Store) markDirty() error {
 	if s.dirty {
 		return nil
 	}
-	if s.version >= 4 {
-		if err := os.Remove(s.indexPath()); err != nil && !os.IsNotExist(err) {
+	if s.cur.version >= 4 {
+		if err := os.Remove(s.indexPath(s.cur.gen)); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
@@ -380,27 +585,33 @@ func (s *Store) markDirty() error {
 // to disk. The index and manifest are each written to a temp file and
 // renamed into place, so a crash mid-flush leaves either the old or the
 // new file — never a torn one — and the manifest rename is the commit
-// point (index.db itself was already removed by the first mutation; see
-// markDirty). A store with nothing mutated since open skips the rewrites
-// entirely — read-only workloads stay read-only on close — unless it is
-// a v4 store whose index had to be rebuilt by scanning, which writes once
-// to repair the missing index file. Pending bulk edges (AddEdgeBatch
-// without Finalize) are finalized first so a flushed store is always
-// fully linked.
+// point (the index file itself was already removed by the first
+// mutation; see markDirty). A store with nothing mutated since open
+// skips the rewrites entirely — read-only workloads stay read-only on
+// close — unless it is a v4 store whose index had to be rebuilt by
+// scanning, which writes once to repair the missing index file. Pending
+// bulk edges (AddEdgeBatch without Finalize) are finalized first so a
+// flushed store is always fully linked.
 func (s *Store) Flush() error {
 	if s.needFinalize {
 		if err := s.Finalize(); err != nil {
 			return err
 		}
 	}
-	if !s.dirty && (s.version < 4 || s.indexCurrent) {
-		return s.pager.flush()
+	// flushMu serializes the commit with a background fold's: the fold
+	// holds it across its manifest write and epoch swap, so the epoch
+	// read below cannot see a generation the manifest no longer names.
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	ep := s.curEp()
+	if !s.dirty && (ep.version < 4 || s.indexCurrent) {
+		return ep.pager.flush()
 	}
-	if err := s.pager.flush(); err != nil {
+	if err := ep.pager.flush(); err != nil {
 		return err
 	}
-	if s.version >= 4 {
-		if err := s.writeIndex(); err != nil {
+	if ep.version >= 4 {
+		if err := s.writeIndex(ep); err != nil {
 			return err
 		}
 		s.indexCurrent = true
@@ -409,11 +620,11 @@ func (s *Store) Flush() error {
 	// delta segment is not flushed here — it is durable through the WAL
 	// and folded into the base by the next Compact.
 	m := manifest{
-		Version: s.version,
-		Labels:  s.labels, Types: s.types, Keys: s.keys,
-		NumVertices: s.numVertices, NumEdges: s.numEdges, NumProps: s.numProps,
-		NumDegs: s.numDegs, BlobSize: s.blobSize,
-		Segmented: s.segmented && s.version >= 4,
+		Version: ep.version, Generation: ep.gen,
+		Labels: s.labels, Types: s.types, Keys: s.keys,
+		NumVertices: ep.numVertices, NumEdges: ep.numEdges, NumProps: ep.numProps,
+		NumDegs: ep.numDegs, BlobSize: ep.blobSize,
+		Segmented: ep.segmented && ep.version >= 4,
 		WalSeq:    s.walFoldedSeq,
 	}
 	data, err := json.Marshal(m)
@@ -446,9 +657,9 @@ func (s *Store) Flush() error {
 	return nil
 }
 
-// finalizeMarker is the sentinel file present while a Finalize/Compact
-// edge rewrite is in flight but not yet committed by a Flush; see
-// Finalize and Open.
+// finalizeMarker is the sentinel file present while an exclusive
+// Finalize edge rewrite is in flight but not yet committed by a Flush;
+// see Finalize and Open. Background folds never place it.
 const finalizeMarker = "finalize.inprogress"
 
 // placeFinalizeMarker creates (and syncs) the in-flight finalize
@@ -505,6 +716,8 @@ func syncDir(dir string) error {
 // Close flushes and closes the underlying files. A live store's delta
 // segment is not folded — it stays durable through the WAL and is
 // replayed on the next Open; call Compact first to fold it instead.
+// Closing with unreleased snapshots is a caller bug; their epochs' files
+// may already be closed under them.
 func (s *Store) Close() error {
 	if err := s.Flush(); err != nil {
 		return err
@@ -514,24 +727,19 @@ func (s *Store) Close() error {
 			return err
 		}
 	}
-	for _, f := range s.pager.files {
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.curEp().closeFiles()
 }
 
 // DropCache empties the page cache, simulating a cold start.
-func (s *Store) DropCache() error { return s.pager.dropCache() }
+func (s *Store) DropCache() error { return s.curEp().pager.dropCache() }
 
-// Stats returns page cache counters.
-func (s *Store) Stats() storage.Stats { return s.pager.readStats() }
+// Stats returns page cache counters (of the current epoch's pager).
+func (s *Store) Stats() storage.Stats { return s.curEp().pager.readStats() }
 
 // ResetStats zeroes the page cache counters.
-func (s *Store) ResetStats() { s.pager.resetStats() }
+func (s *Store) ResetStats() { s.curEp().pager.resetStats() }
 
-// ---- record codecs ----
+// ---- record codecs (per epoch: each generation has its own files) ----
 
 type vertexRec struct {
 	inUse     bool
@@ -587,9 +795,9 @@ type propRec struct {
 	next  int64 // prop id + 1
 }
 
-func (s *Store) readVertex(v storage.VID) (vertexRec, error) {
+func (ep *epoch) readVertex(v storage.VID) (vertexRec, error) {
 	var buf [vertexRecSize]byte
-	if err := s.pager.read(fileVertices, int64(v)*vertexRecSize, buf[:]); err != nil {
+	if err := ep.pager.read(fileVertices, int64(v)*vertexRecSize, buf[:]); err != nil {
 		return vertexRec{}, err
 	}
 	return vertexRec{
@@ -604,7 +812,7 @@ func (s *Store) readVertex(v storage.VID) (vertexRec, error) {
 	}, nil
 }
 
-func (s *Store) writeVertex(v storage.VID, r vertexRec) error {
+func (ep *epoch) writeVertex(v storage.VID, r vertexRec) error {
 	var buf [vertexRecSize]byte
 	if r.inUse {
 		buf[0] = 1
@@ -617,12 +825,12 @@ func (s *Store) writeVertex(v storage.VID, r vertexRec) error {
 	binary.LittleEndian.PutUint32(buf[41:], r.outDeg)
 	binary.LittleEndian.PutUint32(buf[45:], r.inDeg)
 	binary.LittleEndian.PutUint64(buf[49:], uint64(r.firstDeg))
-	return s.pager.write(fileVertices, int64(v)*vertexRecSize, buf[:])
+	return ep.pager.write(fileVertices, int64(v)*vertexRecSize, buf[:])
 }
 
-func (s *Store) readEdge(e storage.EID) (edgeRec, error) {
+func (ep *epoch) readEdge(e storage.EID) (edgeRec, error) {
 	var buf [edgeRecSize]byte
-	if err := s.pager.read(fileEdges, int64(e)*edgeRecSize, buf[:]); err != nil {
+	if err := ep.pager.read(fileEdges, int64(e)*edgeRecSize, buf[:]); err != nil {
 		return edgeRec{}, err
 	}
 	return edgeRec{
@@ -635,7 +843,7 @@ func (s *Store) readEdge(e storage.EID) (edgeRec, error) {
 	}, nil
 }
 
-func (s *Store) writeEdge(e storage.EID, r edgeRec) error {
+func (ep *epoch) writeEdge(e storage.EID, r edgeRec) error {
 	var buf [edgeRecSize]byte
 	if r.inUse {
 		buf[0] = 1
@@ -645,12 +853,12 @@ func (s *Store) writeEdge(e storage.EID, r edgeRec) error {
 	binary.LittleEndian.PutUint64(buf[13:], uint64(r.dst))
 	binary.LittleEndian.PutUint64(buf[21:], uint64(r.nextOut))
 	binary.LittleEndian.PutUint64(buf[29:], uint64(r.nextIn))
-	return s.pager.write(fileEdges, int64(e)*edgeRecSize, buf[:])
+	return ep.pager.write(fileEdges, int64(e)*edgeRecSize, buf[:])
 }
 
-func (s *Store) readProp(p int64) (propRec, error) {
+func (ep *epoch) readProp(p int64) (propRec, error) {
 	var buf [propRecSize]byte
-	if err := s.pager.read(fileProps, p*propRecSize, buf[:]); err != nil {
+	if err := ep.pager.read(fileProps, p*propRecSize, buf[:]); err != nil {
 		return propRec{}, err
 	}
 	return propRec{
@@ -663,7 +871,7 @@ func (s *Store) readProp(p int64) (propRec, error) {
 	}, nil
 }
 
-func (s *Store) writeProp(p int64, r propRec) error {
+func (ep *epoch) writeProp(p int64, r propRec) error {
 	var buf [propRecSize]byte
 	if r.inUse {
 		buf[0] = 1
@@ -673,13 +881,13 @@ func (s *Store) writeProp(p int64, r propRec) error {
 	binary.LittleEndian.PutUint64(buf[6:], r.a)
 	binary.LittleEndian.PutUint64(buf[14:], r.b)
 	binary.LittleEndian.PutUint64(buf[22:], uint64(r.next))
-	return s.pager.write(fileProps, p*propRecSize, buf[:])
+	return ep.pager.write(fileProps, p*propRecSize, buf[:])
 }
 
-func (s *Store) readDeg(d int64) (degRec, error) {
-	size := s.degSize()
+func (ep *epoch) readDeg(d int64) (degRec, error) {
+	size := ep.degSize()
 	var buf [degRecSizeV4]byte
-	if err := s.pager.read(fileDegrees, d*size, buf[:size]); err != nil {
+	if err := ep.pager.read(fileDegrees, d*size, buf[:size]); err != nil {
 		return degRec{}, err
 	}
 	r := degRec{
@@ -696,8 +904,8 @@ func (s *Store) readDeg(d int64) (degRec, error) {
 	return r, nil
 }
 
-func (s *Store) writeDeg(d int64, r degRec) error {
-	size := s.degSize()
+func (ep *epoch) writeDeg(d int64, r degRec) error {
+	size := ep.degSize()
 	var buf [degRecSizeV4]byte
 	if r.inUse {
 		buf[0] = 1
@@ -710,15 +918,15 @@ func (s *Store) writeDeg(d int64, r degRec) error {
 		binary.LittleEndian.PutUint64(buf[21:], uint64(r.firstOut))
 		binary.LittleEndian.PutUint64(buf[29:], uint64(r.firstIn))
 	}
-	return s.pager.write(fileDegrees, d*size, buf[:size])
+	return ep.pager.write(fileDegrees, d*size, buf[:size])
 }
 
 // bumpDeg increments the per-type degree counter reachable from rec,
 // creating (and chaining) the type's record on first sight. May update
 // rec.firstDeg; the caller writes the vertex record afterwards.
-func (s *Store) bumpDeg(rec *vertexRec, typeID uint32, out bool) error {
+func (ep *epoch) bumpDeg(rec *vertexRec, typeID uint32, out bool) error {
 	for d := rec.firstDeg; d != 0; {
-		dr, err := s.readDeg(d - 1)
+		dr, err := ep.readDeg(d - 1)
 		if err != nil {
 			return err
 		}
@@ -728,37 +936,37 @@ func (s *Store) bumpDeg(rec *vertexRec, typeID uint32, out bool) error {
 			} else {
 				dr.inDeg++
 			}
-			return s.writeDeg(d-1, dr)
+			return ep.writeDeg(d-1, dr)
 		}
 		d = dr.next
 	}
-	id := s.numDegs
-	s.numDegs++
+	id := ep.numDegs
+	ep.numDegs++
 	dr := degRec{inUse: true, typeID: typeID, next: rec.firstDeg}
 	if out {
 		dr.outDeg = 1
 	} else {
 		dr.inDeg = 1
 	}
-	if err := s.writeDeg(id, dr); err != nil {
+	if err := ep.writeDeg(id, dr); err != nil {
 		return err
 	}
 	rec.firstDeg = id + 1
 	return nil
 }
 
-func (s *Store) appendBlob(data []byte) (off int64, err error) {
-	off = s.blobSize
-	if err := s.pager.write(fileBlobs, off, data); err != nil {
+func (ep *epoch) appendBlob(data []byte) (off int64, err error) {
+	off = ep.blobSize
+	if err := ep.pager.write(fileBlobs, off, data); err != nil {
 		return 0, err
 	}
-	s.blobSize += int64(len(data))
+	ep.blobSize += int64(len(data))
 	return off, nil
 }
 
-func (s *Store) readBlob(off, n int64) ([]byte, error) {
+func (ep *epoch) readBlob(off, n int64) ([]byte, error) {
 	buf := make([]byte, n)
-	if err := s.pager.read(fileBlobs, off, buf); err != nil {
+	if err := ep.pager.read(fileBlobs, off, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -779,7 +987,7 @@ func labelBitsToIDs(bitsets [2]uint64) []int {
 // ---- value <-> prop record encoding ----
 
 // encodeValue fills kind/a/b for a value, appending blob data as needed.
-func (s *Store) encodeValue(v graph.Value) (kind graph.Kind, a, b uint64, err error) {
+func (ep *epoch) encodeValue(v graph.Value) (kind graph.Kind, a, b uint64, err error) {
 	switch v.Kind() {
 	case graph.KindNull:
 		return graph.KindNull, 0, 0, nil
@@ -793,7 +1001,7 @@ func (s *Store) encodeValue(v graph.Value) (kind graph.Kind, a, b uint64, err er
 		}
 		return graph.KindBool, 0, 0, nil
 	case graph.KindString:
-		off, err := s.appendBlob([]byte(v.Str()))
+		off, err := ep.appendBlob([]byte(v.Str()))
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -803,7 +1011,7 @@ func (s *Store) encodeValue(v graph.Value) (kind graph.Kind, a, b uint64, err er
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		off, err := s.appendBlob(data)
+		off, err := ep.appendBlob(data)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -813,7 +1021,7 @@ func (s *Store) encodeValue(v graph.Value) (kind graph.Kind, a, b uint64, err er
 	}
 }
 
-func (s *Store) decodeValue(r propRec) (graph.Value, error) {
+func (ep *epoch) decodeValue(r propRec) (graph.Value, error) {
 	switch r.kind {
 	case graph.KindNull:
 		return graph.Null, nil
@@ -824,13 +1032,13 @@ func (s *Store) decodeValue(r propRec) (graph.Value, error) {
 	case graph.KindBool:
 		return graph.B(r.a == 1), nil
 	case graph.KindString:
-		data, err := s.readBlob(int64(r.a), int64(r.b))
+		data, err := ep.readBlob(int64(r.a), int64(r.b))
 		if err != nil {
 			return graph.Null, err
 		}
 		return graph.S(string(data)), nil
 	case graph.KindList:
-		data, err := s.readBlob(int64(r.a), int64(r.b))
+		data, err := ep.readBlob(int64(r.a), int64(r.b))
 		if err != nil {
 			return graph.Null, err
 		}
@@ -911,7 +1119,7 @@ func decodeList(data []byte) (graph.Value, error) {
 	return graph.L(vs...), nil
 }
 
-// ---- Builder ----
+// ---- Builder (single-writer build mode; operates on the one epoch) ----
 
 // AddVertex creates a vertex with the given labels. On a live
 // (finalized) store the write is rerouted through the durable
@@ -927,9 +1135,10 @@ func (s *Store) AddVertex(labels ...string) (storage.VID, error) {
 	if err := s.markDirty(); err != nil {
 		return 0, err
 	}
-	v := storage.VID(s.numVertices)
-	s.numVertices++
-	if err := s.writeVertex(v, vertexRec{inUse: true}); err != nil {
+	ep := s.cur
+	v := storage.VID(ep.numVertices)
+	ep.numVertices++
+	if err := ep.writeVertex(v, vertexRec{inUse: true}); err != nil {
 		return 0, err
 	}
 	for _, l := range labels {
@@ -970,7 +1179,8 @@ func (s *Store) AddLabel(v storage.VID, label string) error {
 	if err != nil {
 		return err
 	}
-	rec, err := s.readVertex(v)
+	ep := s.cur
+	rec, err := ep.readVertex(v)
 	if err != nil {
 		return err
 	}
@@ -982,10 +1192,10 @@ func (s *Store) AddLabel(v storage.VID, label string) error {
 	if err := s.markDirty(); err != nil {
 		return err
 	}
-	if err := s.writeVertex(v, rec); err != nil {
+	if err := ep.writeVertex(v, rec); err != nil {
 		return err
 	}
-	s.byLabel[id] = append(s.byLabel[id], v)
+	ep.byLabel[id] = append(ep.byLabel[id], v)
 	return nil
 }
 
@@ -1003,35 +1213,36 @@ func (s *Store) SetProp(v storage.VID, key string, val graph.Value) error {
 	if err := s.markDirty(); err != nil {
 		return err
 	}
-	kind, a, b, err := s.encodeValue(val)
+	ep := s.cur
+	kind, a, b, err := ep.encodeValue(val)
 	if err != nil {
 		return err
 	}
-	rec, err := s.readVertex(v)
+	rec, err := ep.readVertex(v)
 	if err != nil {
 		return err
 	}
 	// Overwrite in place if the key exists in the chain.
 	for p := rec.firstProp; p != 0; {
-		pr, err := s.readProp(p - 1)
+		pr, err := ep.readProp(p - 1)
 		if err != nil {
 			return err
 		}
 		if pr.keyID == uint32(keyID) {
 			pr.kind, pr.a, pr.b = kind, a, b
-			return s.writeProp(p-1, pr)
+			return ep.writeProp(p-1, pr)
 		}
 		p = pr.next
 	}
 	// Prepend a new record.
-	pid := s.numProps
-	s.numProps++
+	pid := ep.numProps
+	ep.numProps++
 	pr := propRec{inUse: true, keyID: uint32(keyID), kind: kind, a: a, b: b, next: rec.firstProp}
-	if err := s.writeProp(pid, pr); err != nil {
+	if err := ep.writeProp(pid, pr); err != nil {
 		return err
 	}
 	rec.firstProp = pid + 1
-	return s.writeVertex(v, rec)
+	return ep.writeVertex(v, rec)
 }
 
 // AddEdge creates a directed edge of the given type. During building it
@@ -1058,13 +1269,14 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 	if err := s.markDirty(); err != nil {
 		return 0, err
 	}
-	e := storage.EID(s.numEdges)
-	s.numEdges++
+	ep := s.cur
+	e := storage.EID(ep.numEdges)
+	ep.numEdges++
 	// Prepending to the chain heads interleaves types; the segmented
 	// invariant is gone until the next Finalize/Compact.
-	s.segmented = false
+	ep.segmented = false
 
-	srcRec, err := s.readVertex(src)
+	srcRec, err := ep.readVertex(src)
 	if err != nil {
 		return 0, err
 	}
@@ -1075,520 +1287,43 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 	}
 	srcRec.firstOut = int64(e) + 1
 	srcRec.outDeg++
-	if !s.legacyDegrees() {
-		if err := s.bumpDeg(&srcRec, uint32(typeID), true); err != nil {
+	if !ep.legacyDegrees() {
+		if err := ep.bumpDeg(&srcRec, uint32(typeID), true); err != nil {
 			return 0, err
 		}
 	}
-	if err := s.writeVertex(src, srcRec); err != nil {
+	if err := ep.writeVertex(src, srcRec); err != nil {
 		return 0, err
 	}
-	dstRec, err := s.readVertex(dst)
+	dstRec, err := ep.readVertex(dst)
 	if err != nil {
 		return 0, err
 	}
 	er.nextIn = dstRec.firstIn
 	dstRec.firstIn = int64(e) + 1
 	dstRec.inDeg++
-	if !s.legacyDegrees() {
-		if err := s.bumpDeg(&dstRec, uint32(typeID), false); err != nil {
+	if !ep.legacyDegrees() {
+		if err := ep.bumpDeg(&dstRec, uint32(typeID), false); err != nil {
 			return 0, err
 		}
 	}
-	if err := s.writeVertex(dst, dstRec); err != nil {
+	if err := ep.writeVertex(dst, dstRec); err != nil {
 		return 0, err
 	}
-	return e, s.writeEdge(e, er)
+	return e, ep.writeEdge(e, er)
 }
 
+// check validates a vertex reference on the write path. In live mode the
+// bound is the delta's global high-water mark (every vertex ever
+// created, folded or not — IDs are stable across folds); in build mode
+// it is the single epoch's count.
 func (s *Store) check(v storage.VID) error {
-	if v < 0 || int64(v) >= s.numVertices+s.delta.vertCount.Load() {
+	bound := s.cur.numVertices
+	if s.liveMode.Load() {
+		bound = s.delta.nextV.Load()
+	}
+	if v < 0 || int64(v) >= bound {
 		return fmt.Errorf("diskstore: vertex %d out of range", v)
 	}
 	return nil
-}
-
-// ---- Graph ----
-
-// NumVertices returns the number of vertices (base plus delta segment).
-func (s *Store) NumVertices() int { return int(s.numVertices + s.delta.vertCount.Load()) }
-
-// NumEdges returns the number of edges (base plus delta segment).
-func (s *Store) NumEdges() int { return int(s.numEdges + s.delta.edgeCount.Load()) }
-
-// CountLabel returns the number of vertices carrying the label.
-func (s *Store) CountLabel(label string) int {
-	if label == "" {
-		return 0
-	}
-	return s.CountLabelID(s.LabelID(label))
-}
-
-// ForEachVertex calls fn for every vertex carrying the label ("" = all).
-func (s *Store) ForEachVertex(label string, fn func(storage.VID) bool) {
-	s.ForEachVertexID(s.LabelID(label), fn)
-}
-
-// HasLabel reports whether the vertex carries the label.
-func (s *Store) HasLabel(v storage.VID, label string) bool {
-	return s.HasLabelID(v, s.LabelID(label))
-}
-
-// Labels returns the labels of the vertex, sorted. Delta vertices carry
-// their labels in memory; base vertices merge delta-side additions.
-func (s *Store) Labels(v storage.VID) []string {
-	if s.check(v) != nil {
-		return nil
-	}
-	var ids []int
-	if s.liveMode.Load() && int64(v) >= s.numVertices {
-		ids = s.delta.vertexLabelIDs(int64(v) - s.numVertices)
-	} else {
-		rec, err := s.readVertex(v)
-		if err != nil {
-			return nil
-		}
-		ids = labelBitsToIDs(rec.labels)
-		if s.liveMode.Load() {
-			ids = append(ids, s.delta.labelAddIDs(v)...)
-		}
-	}
-	s.symRLock()
-	out := make([]string, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, s.labels[id])
-	}
-	s.symRUnlock()
-	sort.Strings(out)
-	return out
-}
-
-// Prop returns the value of a vertex property.
-func (s *Store) Prop(v storage.VID, key string) (graph.Value, bool) {
-	keyID := s.KeyID(key)
-	if keyID < 0 { // unknown key, or "" (AnySymbol has no value meaning)
-		return graph.Null, false
-	}
-	return s.PropID(v, keyID)
-}
-
-// PropKeys returns the property keys present on the vertex, sorted,
-// merging base-chain keys with delta-side values (an override of an
-// existing key appears once).
-func (s *Store) PropKeys(v storage.VID) []string {
-	if s.check(v) != nil {
-		return nil
-	}
-	live := s.liveMode.Load()
-	var ids []int
-	if !live || int64(v) < s.numVertices {
-		rec, err := s.readVertex(v)
-		if err != nil {
-			return nil
-		}
-		for p := rec.firstProp; p != 0; {
-			pr, err := s.readProp(p - 1)
-			if err != nil {
-				return nil
-			}
-			ids = append(ids, int(pr.keyID))
-			p = pr.next
-		}
-	}
-	if live {
-		for _, id := range s.delta.propKeyIDs(v, s.numVertices) {
-			dup := false
-			for _, have := range ids {
-				if have == id {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				ids = append(ids, id)
-			}
-		}
-	}
-	s.symRLock()
-	out := make([]string, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, s.keys[id])
-	}
-	s.symRUnlock()
-	sort.Strings(out)
-	return out
-}
-
-// ForEachOut iterates out-edges of v with the given type ("" = any).
-func (s *Store) ForEachOut(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
-	s.forEach(v, etype, true, fn)
-}
-
-// ForEachIn iterates in-edges of v with the given type ("" = any).
-func (s *Store) ForEachIn(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
-	s.forEach(v, etype, false, fn)
-}
-
-func (s *Store) forEach(v storage.VID, etype string, out bool, fn func(storage.EID, storage.VID) bool) {
-	s.forEachID(v, s.TypeID(etype), out, fn)
-}
-
-func (s *Store) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn func(storage.EID, storage.VID) bool) {
-	if s.check(v) != nil || etype == storage.NoSymbol {
-		return
-	}
-	if !s.liveMode.Load() {
-		s.forEachBase(v, etype, out, fn)
-		return
-	}
-	// Live merge: base edges first — on the segment fast path, untouched
-	// by live writes — then the vertex's delta adjacency. Delta vertices
-	// have no base records at all.
-	if int64(v) < s.numVertices {
-		if !s.forEachBase(v, etype, out, fn) {
-			return
-		}
-	}
-	if s.delta.edgeCount.Load() == 0 {
-		return
-	}
-	for _, de := range s.delta.adj(v, out) {
-		if etype == storage.AnySymbol || de.typeID == uint32(etype) {
-			if !fn(de.e, de.other) {
-				return
-			}
-		}
-	}
-}
-
-// forEachBase iterates v's base-file adjacency only, reporting whether
-// iteration ran to completion (false = fn stopped it or a read failed),
-// so a live caller knows whether to continue into the delta.
-func (s *Store) forEachBase(v storage.VID, etype storage.SymbolID, out bool, fn func(storage.EID, storage.VID) bool) bool {
-	rec, err := s.readVertex(v)
-	if err != nil {
-		return false
-	}
-	if etype != storage.AnySymbol && s.segmented {
-		return s.forEachSegment(rec, uint32(etype), out, fn)
-	}
-	p := rec.firstOut
-	if !out {
-		p = rec.firstIn
-	}
-	for p != 0 {
-		er, err := s.readEdge(storage.EID(p - 1))
-		if err != nil {
-			return false
-		}
-		other := storage.VID(er.dst)
-		next := er.nextOut
-		if !out {
-			other = storage.VID(er.src)
-			next = er.nextIn
-		}
-		if etype == storage.AnySymbol || er.typeID == uint32(etype) {
-			if !fn(storage.EID(p-1), other) {
-				return false
-			}
-		}
-		p = next
-	}
-	return true
-}
-
-// forEachSegment is the typed iteration fast path on a segmented store:
-// it finds the type's degree record (one short chain walk), seeks to its
-// adjacency segment head, and consumes edges until the segment ends —
-// other types' edge records are never read, the storage-level analogue of
-// the paper's schema-driven traversal pruning. Reports whether iteration
-// ran to completion (see forEachBase).
-func (s *Store) forEachSegment(rec vertexRec, typeID uint32, out bool, fn func(storage.EID, storage.VID) bool) bool {
-	for d := rec.firstDeg; d != 0; {
-		dr, err := s.readDeg(d - 1)
-		if err != nil {
-			return false
-		}
-		if dr.typeID != typeID {
-			d = dr.next
-			continue
-		}
-		p := dr.firstOut
-		if !out {
-			p = dr.firstIn
-		}
-		for p != 0 {
-			er, err := s.readEdge(storage.EID(p - 1))
-			if err != nil {
-				return false
-			}
-			if er.typeID != typeID {
-				return true // left the segment
-			}
-			other := storage.VID(er.dst)
-			next := er.nextOut
-			if !out {
-				other = storage.VID(er.src)
-				next = er.nextIn
-			}
-			if !fn(storage.EID(p-1), other) {
-				return false
-			}
-			p = next
-		}
-		return true
-	}
-	return true
-}
-
-// Degree returns the number of out- or in-edges of the given type. Both
-// the untyped degree (vertex-record counters) and typed degrees (per-type
-// degree records) are answered without touching the edge file.
-func (s *Store) Degree(v storage.VID, etype string, out bool) int {
-	return s.DegreeID(v, s.TypeID(etype), out)
-}
-
-// ---- storage.FastGraph ----
-
-// LabelID resolves a vertex label to its interned ID.
-func (s *Store) LabelID(label string) storage.SymbolID { return s.resolveSym(label, s.labelIDs) }
-
-// TypeID resolves an edge type to its interned ID.
-func (s *Store) TypeID(etype string) storage.SymbolID { return s.resolveSym(etype, s.typeIDs) }
-
-// KeyID resolves a property key to its interned ID.
-func (s *Store) KeyID(key string) storage.SymbolID { return s.resolveSym(key, s.keyIDs) }
-
-func (s *Store) resolveSym(name string, ids map[string]int) storage.SymbolID {
-	if name == "" {
-		return storage.AnySymbol
-	}
-	s.symRLock()
-	id, ok := ids[name]
-	s.symRUnlock()
-	if ok {
-		return storage.SymbolID(id)
-	}
-	return storage.NoSymbol
-}
-
-// CountLabelID is CountLabel with a resolved label: the base index size
-// plus the delta segment's members.
-func (s *Store) CountLabelID(label storage.SymbolID) int {
-	if label == storage.AnySymbol {
-		return s.NumVertices()
-	}
-	if label < 0 {
-		return 0
-	}
-	n := len(s.byLabel[int(label)])
-	if s.liveMode.Load() {
-		n += s.delta.labelCount(int(label))
-	}
-	return n
-}
-
-// ForEachVertexID is ForEachVertex with a resolved label: the base index
-// first, then the delta segment's members.
-func (s *Store) ForEachVertexID(label storage.SymbolID, fn func(storage.VID) bool) {
-	if label == storage.AnySymbol {
-		total := int64(s.NumVertices())
-		for v := int64(0); v < total; v++ {
-			if !fn(storage.VID(v)) {
-				return
-			}
-		}
-		return
-	}
-	if label < 0 {
-		return
-	}
-	for _, v := range s.byLabel[int(label)] {
-		if !fn(v) {
-			return
-		}
-	}
-	if s.liveMode.Load() {
-		for _, v := range s.delta.labelVIDs(int(label)) {
-			if !fn(v) {
-				return
-			}
-		}
-	}
-}
-
-// PlanVertexScan splits the label's base postings plus its delta-segment
-// members into near-even partitions for morsel-style parallel execution.
-// The v4 persisted label index (index.db) is an in-memory posting slice,
-// so base partitions are plain subslices; the delta's members are copied
-// once here, which makes the whole plan one consistent snapshot — every
-// returned scan sees the same vertex set even while concurrent
-// ApplyMutations batches keep growing the delta.
-func (s *Store) PlanVertexScan(label storage.SymbolID, parts int) []storage.VertexScan {
-	if label == storage.AnySymbol {
-		// Snapshot the dense VID range once; vertices appended to the
-		// delta after this point belong to no partition, matching a
-		// serial scan that snapshots NumVertices up front.
-		ranges := storage.SplitRange(s.NumVertices(), parts)
-		scans := make([]storage.VertexScan, len(ranges))
-		for i, r := range ranges {
-			lo, hi := int64(r[0]), int64(r[1])
-			scans[i] = func(fn func(storage.VID) bool) {
-				for v := lo; v < hi; v++ {
-					if !fn(storage.VID(v)) {
-						return
-					}
-				}
-			}
-		}
-		return scans
-	}
-	if label < 0 {
-		return nil
-	}
-	base := s.byLabel[int(label)]
-	var delta []storage.VID
-	if s.liveMode.Load() {
-		delta = s.delta.labelVIDs(int(label))
-	}
-	// Split the virtual concatenation base ++ delta so partition sizes
-	// stay even regardless of how much of the label lives in the delta.
-	ranges := storage.SplitRange(len(base)+len(delta), parts)
-	scans := make([]storage.VertexScan, len(ranges))
-	for i, r := range ranges {
-		var basePart, deltaPart []storage.VID
-		if r[0] < len(base) {
-			basePart = base[r[0]:min(r[1], len(base))]
-		}
-		if r[1] > len(base) {
-			deltaPart = delta[max(r[0]-len(base), 0) : r[1]-len(base)]
-		}
-		scans[i] = func(fn func(storage.VID) bool) {
-			for _, v := range basePart {
-				if !fn(v) {
-					return
-				}
-			}
-			for _, v := range deltaPart {
-				if !fn(v) {
-					return
-				}
-			}
-		}
-	}
-	return scans
-}
-
-// HasLabelID is HasLabel with a resolved label; base record bits are
-// merged with delta-side label additions.
-func (s *Store) HasLabelID(v storage.VID, label storage.SymbolID) bool {
-	if label < 0 || s.check(v) != nil {
-		return false
-	}
-	live := s.liveMode.Load()
-	if live && int64(v) >= s.numVertices {
-		return s.delta.hasLabel(v, s.numVertices, int(label))
-	}
-	rec, err := s.readVertex(v)
-	if err != nil {
-		return false
-	}
-	if rec.labels[label/64]&(1<<uint(label%64)) != 0 {
-		return true
-	}
-	return live && s.delta.hasLabel(v, s.numVertices, int(label))
-}
-
-// PropID is Prop with a resolved key. Delta-side values win: a live
-// SetProp overrides the base chain without touching it.
-func (s *Store) PropID(v storage.VID, key storage.SymbolID) (graph.Value, bool) {
-	if key < 0 || s.check(v) != nil {
-		return graph.Null, false
-	}
-	if s.liveMode.Load() {
-		if int64(v) >= s.numVertices {
-			return s.delta.prop(v, s.numVertices, int(key))
-		}
-		if val, ok := s.delta.prop(v, s.numVertices, int(key)); ok {
-			return val, true
-		}
-	}
-	rec, err := s.readVertex(v)
-	if err != nil {
-		return graph.Null, false
-	}
-	for p := rec.firstProp; p != 0; {
-		pr, err := s.readProp(p - 1)
-		if err != nil {
-			return graph.Null, false
-		}
-		if pr.keyID == uint32(key) {
-			val, err := s.decodeValue(pr)
-			if err != nil {
-				return graph.Null, false
-			}
-			return val, true
-		}
-		p = pr.next
-	}
-	return graph.Null, false
-}
-
-// ForEachOutID is ForEachOut with a resolved edge type.
-func (s *Store) ForEachOutID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
-	s.forEachID(v, etype, true, fn)
-}
-
-// ForEachInID is ForEachIn with a resolved edge type.
-func (s *Store) ForEachInID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
-	s.forEachID(v, etype, false, fn)
-}
-
-// DegreeID is Degree with a resolved edge type. The untyped degree comes
-// from the vertex record's counters; typed degrees walk the vertex's
-// per-type degree chain (one record per distinct edge type), except on
-// legacy v2 stores, which fall back to counting the adjacency chain.
-func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
-	if s.check(v) != nil || etype == storage.NoSymbol {
-		return 0
-	}
-	deltaN := 0
-	if s.liveMode.Load() {
-		if int64(v) >= s.numVertices {
-			return s.delta.degree(v, etype, out) // delta vertex: no base records
-		}
-		deltaN = s.delta.degree(v, etype, out)
-	}
-	if s.legacyDegrees() && etype != storage.AnySymbol {
-		n := 0
-		s.forEachBase(v, etype, out, func(storage.EID, storage.VID) bool {
-			n++
-			return true
-		})
-		return n + deltaN
-	}
-	rec, err := s.readVertex(v)
-	if err != nil {
-		return 0
-	}
-	if etype == storage.AnySymbol {
-		if out {
-			return int(rec.outDeg) + deltaN
-		}
-		return int(rec.inDeg) + deltaN
-	}
-	for d := rec.firstDeg; d != 0; {
-		dr, err := s.readDeg(d - 1)
-		if err != nil {
-			return 0
-		}
-		if dr.typeID == uint32(etype) {
-			if out {
-				return int(dr.outDeg) + deltaN
-			}
-			return int(dr.inDeg) + deltaN
-		}
-		d = dr.next
-	}
-	return deltaN
 }

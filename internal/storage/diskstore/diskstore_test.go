@@ -269,7 +269,7 @@ func TestV2StoreRemainsReadable(t *testing.T) {
 	if err != nil {
 		t.Fatalf("v2 store rejected: %v", err)
 	}
-	if !v2.legacyDegrees() {
+	if !v2.curEp().legacyDegrees() {
 		t.Error("v2 store not flagged as legacy")
 	}
 	if got := storetest.Fingerprint(v2); got != want {

@@ -40,10 +40,11 @@ func (s *Store) AddVertexBatch(batch []storage.BulkVertex) (storage.VID, error) 
 	if err := s.markDirty(); err != nil {
 		return 0, err
 	}
-	first := storage.VID(s.numVertices)
+	ep := s.cur
+	first := storage.VID(ep.numVertices)
 	for _, bv := range batch {
-		v := storage.VID(s.numVertices)
-		s.numVertices++
+		v := storage.VID(ep.numVertices)
+		ep.numVertices++
 		rec := vertexRec{inUse: true}
 		for _, l := range bv.Labels {
 			id, _, err := s.labelID(l, true)
@@ -53,10 +54,10 @@ func (s *Store) AddVertexBatch(batch []storage.BulkVertex) (storage.VID, error) 
 			w, b := id/64, uint(id%64)
 			if rec.labels[w]&(1<<b) == 0 {
 				rec.labels[w] |= 1 << b
-				s.byLabel[id] = append(s.byLabel[id], v)
+				ep.byLabel[id] = append(ep.byLabel[id], v)
 			}
 		}
-		if err := s.writeVertex(v, rec); err != nil {
+		if err := ep.writeVertex(v, rec); err != nil {
 			return 0, err
 		}
 	}
@@ -81,7 +82,8 @@ func (s *Store) AddEdgeBatch(batch []storage.BulkEdge) error {
 	if err := s.markDirty(); err != nil {
 		return err
 	}
-	s.segmented = false
+	ep := s.cur
+	ep.segmented = false
 	s.needFinalize = true
 	for _, be := range batch {
 		if err := s.check(be.Src); err != nil {
@@ -96,9 +98,9 @@ func (s *Store) AddEdgeBatch(batch []storage.BulkEdge) error {
 			s.types = append(s.types, be.Type)
 			s.typeIDs[be.Type] = typeID
 		}
-		e := storage.EID(s.numEdges)
-		s.numEdges++
-		if err := s.writeEdge(e, edgeRec{
+		e := storage.EID(ep.numEdges)
+		ep.numEdges++
+		if err := ep.writeEdge(e, edgeRec{
 			inUse: true, typeID: uint32(typeID),
 			src: int64(be.Src), dst: int64(be.Dst),
 		}); err != nil {
@@ -137,14 +139,15 @@ func (s *Store) Finalize() error {
 	// writers) — it rewrites edges.db in place.
 	wasLive := s.liveMode.Load()
 	s.liveMode.Store(false)
+	ep := s.cur
 	if err := s.markDirty(); err != nil {
 		return err
 	}
-	if s.version < 4 {
+	if ep.version < 4 {
 		// The rebuild writes current-format degree records and flushes a
 		// current-format manifest + index; this is the explicit upgrade
 		// path, never taken by plain Open/Flush.
-		s.version = 4
+		ep.version = 4
 	}
 	// The fold and the rewrite below mutate base records in place, and
 	// cache eviction may push any subset of the new pages to disk at any
@@ -162,10 +165,10 @@ func (s *Store) Finalize() error {
 			return err
 		}
 	}
-	nE := int(s.numEdges)
+	nE := int(ep.numEdges)
 	recs := make([]edgeLite, nE)
 	for e := 0; e < nE; e++ {
-		er, err := s.readEdge(storage.EID(e))
+		er, err := ep.readEdge(storage.EID(e))
 		if err != nil {
 			return fmt.Errorf("diskstore: finalize: read edge %d: %w", e, err)
 		}
@@ -229,7 +232,7 @@ func (s *Store) Finalize() error {
 		if k+1 < nE && recs[perm[k+1]].src == r.src {
 			nextOut = int64(k) + 2
 		}
-		if err := s.writeEdge(storage.EID(k), edgeRec{
+		if err := ep.writeEdge(storage.EID(k), edgeRec{
 			inUse: true, typeID: r.typeID, src: r.src, dst: r.dst,
 			nextOut: nextOut, nextIn: nextIn[k],
 		}); err != nil {
@@ -240,11 +243,11 @@ func (s *Store) Finalize() error {
 	// Per-vertex: adjacency heads, untyped degree counters, and the
 	// ascending-type degree chain with segment heads. degrees.db is
 	// rewritten from scratch.
-	s.numDegs = 0
+	ep.numDegs = 0
 	oi, ii := 0, 0
 	var degs []degRec
-	for v := int64(0); v < s.numVertices; v++ {
-		rec, err := s.readVertex(storage.VID(v))
+	for v := int64(0); v < ep.numVertices; v++ {
+		rec, err := ep.readVertex(storage.VID(v))
 		if err != nil {
 			return err
 		}
@@ -296,60 +299,67 @@ func (s *Store) Finalize() error {
 			degs = append(degs, dr)
 		}
 		if len(degs) > 0 {
-			base := s.numDegs
+			base := ep.numDegs
 			rec.firstDeg = base + 1
 			for j := range degs {
 				if j+1 < len(degs) {
 					degs[j].next = base + int64(j) + 2
 				}
-				if err := s.writeDeg(base+int64(j), degs[j]); err != nil {
+				if err := ep.writeDeg(base+int64(j), degs[j]); err != nil {
 					return err
 				}
 			}
-			s.numDegs += int64(len(degs))
+			ep.numDegs += int64(len(degs))
 		}
-		if err := s.writeVertex(storage.VID(v), rec); err != nil {
+		if err := ep.writeVertex(storage.VID(v), rec); err != nil {
 			return err
 		}
 	}
-	s.segmented = true
+	ep.segmented = true
 	s.needFinalize = false
 	// A finalized store with at least one vertex and one edge accepts
 	// durable live mutations (see live.go). Empty or vertex-only stores
 	// stay in build mode: they are still being constructed and their
-	// cheap base mutations need no WAL.
-	if s.numVertices > 0 && s.numEdges > 0 {
+	// cheap base mutations need no WAL. The delta restarts at the new
+	// base boundaries either way.
+	if ep.numVertices > 0 && ep.numEdges > 0 {
+		s.delta = newDelta(ep.numVertices, ep.numEdges)
+		s.delta.appliedSeq.Store(s.walFoldedSeq)
 		s.liveMode.Store(true)
 	}
 	return nil
 }
 
-// foldDelta appends the delta segment's state to the base files so the
-// rebuild that follows links it. Delta vertices keep their VIDs (the
-// delta numbered them past the base, so appending in slice order
-// reproduces the live IDs) and delta edges keep their ingest order
-// (bare records only — Finalize's rewrite links and renumbers them).
-// Once the fold is in the base, the WAL records it absorbed are dead
-// weight: walFoldedSeq advances to fence them out of replay, and the
-// next Flush — the manifest commit that makes the fold durable —
-// truncates the log (pendingCheckpoint). The caller has switched live
-// routing off and placed the finalize marker, so every write here uses
-// the base build path and a crash mid-fold is detected at next Open.
+// foldDelta appends the delta segment's visible state to the base files
+// so the rebuild that follows links it. It consumes a frozen copy of the
+// delta (freeze with an unbounded watermark — the caller has exclusive
+// access, so everything is visible): delta vertices keep their VIDs (the
+// delta numbered them past the base, so appending in VID order
+// reproduces the live IDs) and delta edges keep their ingest order (bare
+// records only — Finalize's rewrite links and renumbers them). Once the
+// fold is in the base, the WAL records it absorbed are dead weight:
+// walFoldedSeq advances to fence them out of replay, and the next Flush
+// — the manifest commit that makes the fold durable — truncates the log
+// (pendingCheckpoint). The caller has switched live routing off and
+// placed the finalize marker, so every write here uses the base build
+// path and a crash mid-fold is detected at next Open.
 func (s *Store) foldDelta() error {
-	d := s.delta
-	base := s.numVertices
-	for i := range d.verts {
-		v := storage.VID(s.numVertices)
-		s.numVertices++
+	ep := s.cur
+	w := vis{baseVerts: ep.numVertices, baseEdges: ep.numEdges, baseSeq: ep.baseSeq, maxSeq: ^uint64(0)}
+	fd := s.delta.freeze(w)
+	for i := range fd.verts {
+		fv := &fd.verts[i]
+		v := storage.VID(ep.numVertices)
+		ep.numVertices++
 		rec := vertexRec{inUse: true}
-		for _, id := range d.verts[i].labelIDs {
+		for _, id := range fv.labelIDs {
 			w, b := id/64, uint(id%64)
 			if rec.labels[w]&(1<<b) == 0 {
 				rec.labels[w] |= 1 << b
-				s.byLabel[id] = append(s.byLabel[id], v)
+				ep.byLabel[id] = append(ep.byLabel[id], v)
 			}
 		}
-		if err := s.writeVertex(v, rec); err != nil {
+		if err := ep.writeVertex(v, rec); err != nil {
 			return err
 		}
 	}
@@ -357,8 +367,8 @@ func (s *Store) foldDelta() error {
 	// into their fresh records above). The delta deduplicated against
 	// base bits at apply time, but re-checking here keeps byLabel clean
 	// even if the same label was added twice across batches.
-	for v, ids := range d.labelAdds {
-		rec, err := s.readVertex(v)
+	for v, ids := range fd.labelAdds {
+		rec, err := ep.readVertex(v)
 		if err != nil {
 			return err
 		}
@@ -367,12 +377,12 @@ func (s *Store) foldDelta() error {
 			w, b := id/64, uint(id%64)
 			if rec.labels[w]&(1<<b) == 0 {
 				rec.labels[w] |= 1 << b
-				s.byLabel[id] = append(s.byLabel[id], v)
+				ep.byLabel[id] = append(ep.byLabel[id], v)
 				changed = true
 			}
 		}
 		if changed {
-			if err := s.writeVertex(v, rec); err != nil {
+			if err := ep.writeVertex(v, rec); err != nil {
 				return err
 			}
 		}
@@ -380,23 +390,12 @@ func (s *Store) foldDelta() error {
 	// Delta edges in EID order: sequential appends reproduce the live
 	// EIDs (not that they survive — the rebuild renumbers; what matters
 	// is that ingest order is preserved for the stable sort).
-	type foldEdge struct {
-		src storage.VID
-		de  deltaEdge
-	}
-	var edges []foldEdge
-	for src, es := range d.out {
-		for _, de := range es {
-			edges = append(edges, foldEdge{src: src, de: de})
-		}
-	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].de.e < edges[j].de.e })
-	for _, fe := range edges {
-		e := storage.EID(s.numEdges)
-		s.numEdges++
-		if err := s.writeEdge(e, edgeRec{
-			inUse: true, typeID: fe.de.typeID,
-			src: int64(fe.src), dst: int64(fe.de.other),
+	for _, fe := range fd.edges {
+		e := storage.EID(ep.numEdges)
+		ep.numEdges++
+		if err := ep.writeEdge(e, edgeRec{
+			inUse: true, typeID: fe.typeID,
+			src: int64(fe.src), dst: int64(fe.dst),
 		}); err != nil {
 			return err
 		}
@@ -404,15 +403,15 @@ func (s *Store) foldDelta() error {
 	// Properties last, once every vertex they touch has a base record:
 	// delta-vertex values and base-vertex overrides both go through the
 	// base prop chain.
-	for i := range d.verts {
-		v := storage.VID(base + int64(i))
-		for keyID, val := range d.verts[i].props {
-			if err := s.SetProp(v, s.keys[keyID], val); err != nil {
+	for i := range fd.verts {
+		fv := &fd.verts[i]
+		for keyID, val := range fv.props {
+			if err := s.SetProp(fv.v, s.keys[keyID], val); err != nil {
 				return err
 			}
 		}
 	}
-	for v, m := range d.propOver {
+	for v, m := range fd.propOver {
 		for keyID, val := range m {
 			if err := s.SetProp(v, s.keys[keyID], val); err != nil {
 				return err
@@ -423,18 +422,9 @@ func (s *Store) foldDelta() error {
 		s.walFoldedSeq = w.lastAppended()
 		s.pendingCheckpoint = true
 	}
-	s.delta = newDelta()
+	// The base now holds everything up to the fence.
+	ep.baseSeq = s.walFoldedSeq
+	s.delta = newDelta(ep.numVertices, ep.numEdges)
+	s.delta.appliedSeq.Store(s.walFoldedSeq)
 	return nil
-}
-
-// Compact rewrites the store as a fully finalized current-format (v4)
-// store and flushes it: legacy v2/v3 stores are upgraded in place (the
-// next Open restores the label index from index.db instead of scanning),
-// and stores whose segmentation was broken by incremental AddEdge calls
-// get the invariant back. Edge IDs are renumbered; see Finalize.
-func (s *Store) Compact() error {
-	if err := s.Finalize(); err != nil {
-		return err
-	}
-	return s.Flush()
 }

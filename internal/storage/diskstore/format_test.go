@@ -488,12 +488,12 @@ func TestDirtyFlushInvalidatesIndexFirst(t *testing.T) {
 	}
 	// The mutation itself must have removed the index — eviction could
 	// write the dirty vertex page to disk at any moment from here on.
-	if _, err := os.Stat(re.indexPath()); !os.IsNotExist(err) {
+	if _, err := os.Stat(re.indexPath(0)); !os.IsNotExist(err) {
 		t.Fatalf("index.db still present after a mutation (stat err: %v)", err)
 	}
 	// Simulate a crash after the dirty page reaches disk and before any
 	// Flush completes.
-	if err := re.pager.flush(); err != nil {
+	if err := re.curEp().pager.flush(); err != nil {
 		t.Fatal(err)
 	}
 	// (crash: no writeIndex, no manifest rewrite, no Close)
@@ -518,7 +518,7 @@ func TestDirtyFlushInvalidatesIndexFirst(t *testing.T) {
 	if err := crashed.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(crashed.indexPath()); err != nil {
+	if _, err := os.Stat(crashed.indexPath(0)); err != nil {
 		t.Errorf("Flush did not restore index.db: %v", err)
 	}
 }

@@ -28,11 +28,16 @@ import (
 
 const indexMagic = "PGSIDX04"
 
-func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.db") }
+// indexPath is the index file of one base generation (index.db, or
+// index.db.gN for generation N — the index describes one generation's
+// postings, so it lives and dies with that generation's files).
+func (s *Store) indexPath(gen int64) string {
+	return filepath.Join(s.dir, genFileName(indexFileName, gen))
+}
 
-// writeIndex serializes the label index and symbol tables and atomically
-// replaces index.db.
-func (s *Store) writeIndex() error {
+// writeIndex serializes the epoch's label index and the store's symbol
+// tables and atomically replaces the generation's index file.
+func (s *Store) writeIndex(ep *epoch) error {
 	var buf []byte
 	var scratch [8]byte
 	u32 := func(v uint32) {
@@ -47,9 +52,9 @@ func (s *Store) writeIndex() error {
 		u32(uint32(len(x)))
 		buf = append(buf, x...)
 	}
-	u64(uint64(s.numVertices))
-	u64(uint64(s.numEdges))
-	u64(uint64(s.numDegs))
+	u64(uint64(ep.numVertices))
+	u64(uint64(ep.numEdges))
+	u64(uint64(ep.numDegs))
 	for _, table := range [][]string{s.labels, s.types, s.keys} {
 		u32(uint32(len(table)))
 		for _, entry := range table {
@@ -58,7 +63,7 @@ func (s *Store) writeIndex() error {
 	}
 	u32(uint32(len(s.labels)))
 	for id := range s.labels {
-		vids := s.byLabel[id]
+		vids := ep.byLabel[id]
 		u64(uint64(len(vids)))
 		for _, v := range vids {
 			u64(uint64(v))
@@ -69,7 +74,7 @@ func (s *Store) writeIndex() error {
 	binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(buf))
 	out = append(out, scratch[:4]...)
 	out = append(out, buf...)
-	return writeFileAtomic(s.indexPath(), out)
+	return writeFileAtomic(s.indexPath(ep.gen), out)
 }
 
 // loadIndex restores the label index from index.db, reporting success.
@@ -77,8 +82,8 @@ func (s *Store) writeIndex() error {
 // tables disagreeing with the already-loaded manifest — makes it report
 // false without touching store state, and the caller rebuilds by
 // scanning.
-func (s *Store) loadIndex() bool {
-	data, err := os.ReadFile(s.indexPath())
+func (s *Store) loadIndex(ep *epoch) bool {
+	data, err := os.ReadFile(s.indexPath(ep.gen))
 	if err != nil || len(data) < len(indexMagic)+4 || string(data[:len(indexMagic)]) != indexMagic {
 		return false
 	}
@@ -87,7 +92,7 @@ func (s *Store) loadIndex() bool {
 		return false
 	}
 	r := idxReader{data: payload, ok: true}
-	if int64(r.u64()) != s.numVertices || int64(r.u64()) != s.numEdges || int64(r.u64()) != s.numDegs {
+	if int64(r.u64()) != ep.numVertices || int64(r.u64()) != ep.numEdges || int64(r.u64()) != ep.numDegs {
 		return false
 	}
 	for _, table := range [][]string{s.labels, s.types, s.keys} {
@@ -106,13 +111,13 @@ func (s *Store) loadIndex() bool {
 	byLabel := make(map[int][]storage.VID, len(s.labels))
 	for id := range s.labels {
 		n := r.u64()
-		if !r.ok || n > uint64(s.numVertices) {
+		if !r.ok || n > uint64(ep.numVertices) {
 			return false
 		}
 		vids := make([]storage.VID, 0, n)
 		for i := uint64(0); i < n; i++ {
 			v := storage.VID(r.u64())
-			if v < 0 || int64(v) >= s.numVertices {
+			if v < 0 || int64(v) >= ep.numVertices {
 				return false
 			}
 			vids = append(vids, v)
@@ -124,7 +129,7 @@ func (s *Store) loadIndex() bool {
 	if !r.ok || len(r.data) != 0 {
 		return false
 	}
-	s.byLabel = byLabel
+	ep.byLabel = byLabel
 	return true
 }
 

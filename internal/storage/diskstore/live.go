@@ -40,13 +40,23 @@ var (
 // Live reports whether the store accepts ApplyMutations.
 func (s *Store) Live() bool { return s.liveMode.Load() }
 
-// LiveStats reports delta segment sizes and WAL activity.
+// LiveStats reports delta segment sizes, WAL activity, and background
+// compaction state. Delta sizes are the entries visible beyond the
+// current base generation — what the next Compact would fold.
 func (s *Store) LiveStats() storage.LiveStats {
+	ep := s.curEp()
 	ls := storage.LiveStats{
-		Live:          s.liveMode.Load(),
-		Segmented:     s.segmented,
-		DeltaVertices: s.delta.vertCount.Load(),
-		DeltaEdges:    s.delta.edgeCount.Load(),
+		Live:            s.liveMode.Load(),
+		Segmented:       ep.segmented,
+		Generation:      s.generation.Load(),
+		FoldRunning:     s.folding.Load(),
+		FoldProgress:    s.foldProgress.Load(),
+		PinnedSnapshots: s.pinnedSnaps.Load(),
+		Compactions:     s.compactions.Load(),
+	}
+	if ls.Live {
+		ls.DeltaVertices = max(s.delta.nextV.Load()-ep.numVertices, 0)
+		ls.DeltaEdges = max(s.delta.nextE.Load()-ep.numEdges, 0)
 	}
 	if w := s.wal.Load(); w != nil {
 		ls.WALAppends = w.appends.Load()
@@ -86,14 +96,17 @@ func (s *Store) ApplyMutations(batch []storage.Mutation) (storage.MutationResult
 	if err != nil {
 		return res, err
 	}
-	seq, err := w.append(ops, len(resolved))
+	// Under liveMu the current epoch cannot swap (the fold's commit takes
+	// liveMu), so the generation tag and the delta routing below are
+	// consistent with each other and with the WAL order.
+	seq, err := w.append(ops, len(resolved), uint32(s.cur.gen))
 	if err != nil {
 		return res, err
 	}
 	if err := w.sync(seq); err != nil {
 		return res, err
 	}
-	return s.applyToDelta(resolved), nil
+	return s.applyToDelta(seq, resolved), nil
 }
 
 // walHandle returns the open WAL, creating wal.db on the first live
@@ -119,11 +132,26 @@ func (s *Store) walHandle() (*wal, error) {
 // logged — on an unknown vertex, a forward batch reference, an empty
 // symbol name, or an unstorable value.
 func (s *Store) resolveBatch(batch []storage.Mutation) ([]storage.Mutation, error) {
-	existing := s.numVertices + s.delta.vertCount.Load()
+	return s.resolveBatchAt(batch, false)
+}
+
+func (s *Store) resolveBatchAt(batch []storage.Mutation, replay bool) ([]storage.Mutation, error) {
+	// The bound is every vertex ever created — folded into a base or
+	// still delta-resident — which is exactly the delta's global
+	// next-VID. It is fold-invariant, so a concurrent background fold
+	// cannot change the meaning of a batch-relative reference.
+	existing := s.delta.nextV.Load()
 	newSoFar := int64(0)
 	resolveRef := func(v storage.VID) (storage.VID, error) {
 		if v >= 0 {
-			if int64(v) >= existing {
+			limit := existing
+			if replay {
+				// WAL records are logged with references already resolved to
+				// absolute VIDs, so a replayed record legitimately points at
+				// vertices created earlier in its own batch.
+				limit += newSoFar
+			}
+			if int64(v) >= limit {
 				return 0, fmt.Errorf("diskstore: vertex %d out of range", v)
 			}
 			return v, nil
@@ -229,18 +257,22 @@ func (s *Store) internBatch(batch []storage.Mutation) error {
 }
 
 // applyToDelta applies a fully resolved, interned batch to the delta
-// segment and assigns IDs. Label additions pre-read the base record
-// outside the delta lock so byLabel stays duplicate-free against base
-// membership.
-func (s *Store) applyToDelta(batch []storage.Mutation) storage.MutationResult {
+// segment under its seq and assigns IDs. Label additions pre-read the
+// base record outside the delta lock so byLabel stays duplicate-free
+// against base membership. The caller holds liveMu, which keeps the
+// current epoch (used to route base-vertex vs delta-vertex writes)
+// stable across the batch. appliedSeq advances inside the delta lock so
+// a snapshot acquired at that watermark always sees the whole batch.
+func (s *Store) applyToDelta(seq uint64, batch []storage.Mutation) storage.MutationResult {
 	var res storage.MutationResult
 	d := s.delta
+	curBase := s.cur.numVertices
 	baseHas := make([]bool, len(batch))
 	for i := range batch {
 		m := &batch[i]
-		if m.Op == storage.MutAddLabel && int64(m.V) < s.numVertices {
+		if m.Op == storage.MutAddLabel && int64(m.V) < curBase {
 			id := s.labelIDs[m.Label]
-			if rec, err := s.readVertex(m.V); err == nil {
+			if rec, err := s.cur.readVertex(m.V); err == nil {
 				baseHas[i] = rec.labels[id/64]&(1<<uint(id%64)) != 0
 			}
 		}
@@ -265,16 +297,17 @@ func (s *Store) applyToDelta(batch []storage.Mutation) storage.MutationResult {
 					ids = append(ids, id)
 				}
 			}
-			res.Vertices = append(res.Vertices, d.addVertexLocked(s.numVertices, ids))
+			res.Vertices = append(res.Vertices, d.addVertexLocked(seq, ids))
 		case storage.MutAddEdge:
-			e := d.addEdgeLocked(s.numEdges, m.Src, m.Dst, uint32(s.typeIDs[m.Type]))
+			e := d.addEdgeLocked(seq, m.Src, m.Dst, uint32(s.typeIDs[m.Type]))
 			res.Edges = append(res.Edges, e)
 		case storage.MutSetProp:
-			d.setPropLocked(m.V, s.numVertices, s.keyIDs[m.Key], m.Value)
+			d.setPropLocked(seq, m.V, curBase, s.keyIDs[m.Key], m.Value)
 		case storage.MutAddLabel:
-			d.addLabelLocked(m.V, s.numVertices, s.labelIDs[m.Label], baseHas[i])
+			d.addLabelLocked(seq, m.V, curBase, s.labelIDs[m.Label], baseHas[i])
 		}
 	}
+	d.appliedSeq.Store(seq)
 	return res
 }
 
@@ -291,11 +324,13 @@ func (s *Store) recoverLive() error {
 	if st, err := os.Stat(walPath); err == nil {
 		size = st.Size()
 	}
-	live := s.version >= 4 && s.segmented && s.numVertices > 0 && s.numEdges > 0
+	ep := s.cur
+	live := ep.version >= 4 && ep.segmented && ep.numVertices > 0 && ep.numEdges > 0
 	if !live && size <= 0 {
 		return nil
 	}
 	s.liveMode.Store(true)
+	s.delta.appliedSeq.Store(s.walFoldedSeq)
 	if size <= 0 {
 		return nil // no log to replay; walHandle opens one lazily
 	}
@@ -308,14 +343,14 @@ func (s *Store) recoverLive() error {
 		w.close()
 		return err
 	}
-	batches, cleanOff := parseWAL(data)
+	batches, cleanOff := parseWAL(data, uint32(ep.gen))
 	lastSeq := s.walFoldedSeq
 	replayed := 0
 	for _, b := range batches {
 		if b.seq <= s.walFoldedSeq {
 			continue
 		}
-		if err := s.replayBatch(b.ops); err != nil {
+		if err := s.replayBatch(b.seq, b.ops); err != nil {
 			w.close()
 			return fmt.Errorf("diskstore: wal replay (seq %d): %w", b.seq, err)
 		}
@@ -340,19 +375,21 @@ func (s *Store) recoverLive() error {
 	return nil
 }
 
-// replayBatch re-applies one recovered WAL record. Records were
-// validated before logging, so re-validation failing means the log
-// disagrees with the base files — surfaced as an Open error rather than
-// silently dropping an acknowledged write.
-func (s *Store) replayBatch(ops []storage.Mutation) error {
-	resolved, err := s.resolveBatch(ops)
+// replayBatch re-applies one recovered WAL record under its original
+// sequence number, so visibility windows and a later fold see recovered
+// entries exactly as the crashed process did. Records were validated
+// before logging, so re-validation failing means the log disagrees with
+// the base files — surfaced as an Open error rather than silently
+// dropping an acknowledged write.
+func (s *Store) replayBatch(seq uint64, ops []storage.Mutation) error {
+	resolved, err := s.resolveBatchAt(ops, true)
 	if err != nil {
 		return err
 	}
 	if err := s.internBatch(resolved); err != nil {
 		return err
 	}
-	s.applyToDelta(resolved)
+	s.applyToDelta(seq, resolved)
 	return nil
 }
 

@@ -189,8 +189,97 @@ func TestCompactFoldsDeltaAndCheckpointsWAL(t *testing.T) {
 		t.Errorf("reopened compacted store diverged\n got %s\nwant %s", got, want)
 	}
 	// Typed traversal over the folded edges must use segment seeks again.
-	if !s2.segmented {
+	if !s2.curEp().segmented {
 		t.Error("reopened compacted store should be segmented")
+	}
+}
+
+// TestLiveSnapshotIsolationAcrossFold pins a snapshot of a live store,
+// writes a delta on top, then folds the delta into a new base
+// generation — and demands the snapshot keeps reading the pre-write
+// state throughout, even though the fold retires the very epoch it
+// pins. This is the long-traversal contract: a reader that started
+// before a compaction is never torn between generations.
+func TestLiveSnapshotIsolationAcrossFold(t *testing.T) {
+	s, ms := openLivePair(t, t.TempDir())
+	defer s.Close()
+	before := storetest.Fingerprint(s)
+	snap := s.AcquireSnapshot()
+	defer snap.Release()
+
+	applyLiveStream(t, 909, 40, s, ms)
+	after := storetest.Fingerprint(ms)
+	if got := storetest.Fingerprint(s); got != after {
+		t.Fatalf("live store diverged from reference before the fold\n got %s\nwant %s", got, after)
+	}
+	if got := storetest.Fingerprint(snap); got != before {
+		t.Fatalf("delta writes leaked into a snapshot pinned before them\n got %s\nwant %s", got, before)
+	}
+
+	gen := s.LiveStats().Generation
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if ls := s.LiveStats(); ls.Generation != gen+1 {
+		t.Fatalf("Generation = %d after fold, want %d", ls.Generation, gen+1)
+	}
+	if got := storetest.Fingerprint(snap); got != before {
+		t.Errorf("snapshot drifted when the fold retired its epoch\n got %s\nwant %s", got, before)
+	}
+	if got := storetest.Fingerprint(s); got != after {
+		t.Errorf("store state changed across the fold\n got %s\nwant %s", got, after)
+	}
+	post := s.AcquireSnapshot()
+	if got := storetest.Fingerprint(post); got != after {
+		t.Errorf("snapshot acquired after the fold reads stale state\n got %s\nwant %s", got, after)
+	}
+	post.Release()
+	snap.Release()
+	if got := s.LiveStats().PinnedSnapshots; got != 0 {
+		t.Errorf("%d snapshots still pinned after release", got)
+	}
+}
+
+// TestWALReplaySelfReferencingBatch covers the normal /mutate client
+// shape: one batch that creates a vertex and immediately references it
+// with batch-relative refs. The WAL logs the record with the references
+// already resolved to absolute VIDs, so replay at reopen must accept a
+// record that points at vertices the record itself creates — before the
+// fix, recovery refused such a log with "vertex out of range" and the
+// acknowledged batch was unrecoverable.
+func TestWALReplaySelfReferencingBatch(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openLivePair(t, dir)
+	res, err := s.ApplyMutations([]storage.Mutation{
+		{Op: storage.MutAddVertex, Labels: []string{"SelfRef"}},
+		{Op: storage.MutSetProp, V: -1, Key: "k", Value: graph.I(42)},
+		{Op: storage.MutAddEdge, Src: -1, Dst: 0, Type: "selfT"},
+		{Op: storage.MutAddVertex, Labels: []string{"SelfRef"}},
+		{Op: storage.MutAddEdge, Src: -2, Dst: -1, Type: "selfT"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vertices) != 2 {
+		t.Fatalf("expected 2 new vertices, got %v", res.Vertices)
+	}
+	want := storetest.Fingerprint(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen replays the WAL record; nothing was checkpointed, so the
+	// whole self-referencing batch comes back through replayBatch.
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after self-referencing batch: %v", err)
+	}
+	defer re.Close()
+	if got := storetest.Fingerprint(re); got != want {
+		t.Fatalf("replayed store diverged from the acknowledged state")
+	}
+	v := res.Vertices[0]
+	if val, ok := re.Prop(v, "k"); !ok || val.Int() != 42 {
+		t.Fatalf("replayed vertex %d lost its property: %v %v", v, val, ok)
 	}
 }
 
@@ -422,7 +511,7 @@ func TestVertexOnlyStoreStaysBuildMode(t *testing.T) {
 func TestAddEdgeAfterFinalizeStaysSegmented(t *testing.T) {
 	s, ms := openLivePair(t, t.TempDir())
 	defer s.Close()
-	if !s.segmented {
+	if !s.curEp().segmented {
 		t.Fatal("base store not segmented")
 	}
 	if _, err := s.AddEdge(0, 1, "r1"); err != nil {
@@ -431,7 +520,7 @@ func TestAddEdgeAfterFinalizeStaysSegmented(t *testing.T) {
 	if _, err := ms.AddEdge(0, 1, "r1"); err != nil {
 		t.Fatal(err)
 	}
-	if !s.segmented {
+	if !s.curEp().segmented {
 		t.Error("incremental AddEdge on a live store cleared the segmented invariant")
 	}
 	ls := s.LiveStats()

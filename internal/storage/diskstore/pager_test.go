@@ -22,7 +22,7 @@ func TestPagerShardCount(t *testing.T) {
 
 func TestPagerShardIndexInRange(t *testing.T) {
 	s := newTestStore(t, Options{PageSize: 256, CachePages: 64})
-	p := s.pager
+	p := s.curEp().pager
 	if len(p.shards) != 16 {
 		t.Fatalf("shards = %d, want 16", len(p.shards))
 	}
@@ -55,7 +55,7 @@ func TestPagerCapacityRespected(t *testing.T) {
 		t.Fatal(err)
 	}
 	storetest.Fingerprint(s) // touches every record file end to end
-	if got := s.pager.resident(); got > s.opts.CachePages {
+	if got := s.curEp().pager.resident(); got > s.opts.CachePages {
 		t.Errorf("%d pages resident after sweep, budget %d", got, s.opts.CachePages)
 	}
 	st := s.Stats()
@@ -119,7 +119,7 @@ func TestPagerConcurrentEvictionPressure(t *testing.T) {
 	if st.PageReads == 0 {
 		t.Error("no physical reads despite a cold start")
 	}
-	if got := s.pager.resident(); got > s.opts.CachePages {
+	if got := s.curEp().pager.resident(); got > s.opts.CachePages {
 		t.Errorf("%d pages resident, budget %d", got, s.opts.CachePages)
 	}
 }

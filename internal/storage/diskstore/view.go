@@ -1,0 +1,835 @@
+package diskstore
+
+// The read surface. Every read resolves through a view: a pinned epoch
+// plus a delta visibility window. Store methods build a transient view
+// per call (pin, read, unpin); Snap holds one fixed view for its
+// lifetime, which is what gives snapshot isolation across a background
+// fold. All merge logic — base records first, delta entries filtered by
+// the window — lives on view, so the two surfaces cannot drift apart.
+//
+// Pin protocol: the store's own reference keeps the current epoch's pin
+// count at >= 1; acquire takes epMu shared just long enough to pin, so a
+// fold's swap (which takes epMu exclusively, for a pointer assignment
+// only) serializes against in-flight acquires but never waits on a
+// long-running read. When the swap drops the store's reference, the last
+// unpin reclaims the superseded generation: close its files, delete
+// them, and — once no retired epoch remains — prune the delta entries
+// the new base absorbed.
+
+import (
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// view is one consistent read context: an epoch (pinned by the caller
+// for the duration of use unless the store is in exclusive build mode)
+// and the delta window visible on top of it. nV/nE are the view's total
+// vertex/edge counts; -1 means dynamic (a current-epoch view tracks the
+// delta as it grows), a fixed value means a frozen snapshot.
+type view struct {
+	s    *Store
+	ep   *epoch
+	w    vis
+	live bool
+	nV   int64
+	nE   int64
+}
+
+// acquire pins the current epoch and returns a dynamic view of it. Pair
+// with release.
+func (s *Store) acquire() view {
+	if !s.liveMode.Load() {
+		// Exclusive build mode: one epoch, no folds, delta invisible.
+		return view{s: s, ep: s.cur, nV: -1, nE: -1}
+	}
+	s.epMu.RLock()
+	ep := s.cur
+	ep.pins.Add(1)
+	s.epMu.RUnlock()
+	return view{
+		s: s, ep: ep, live: true,
+		w:  vis{baseVerts: ep.numVertices, baseEdges: ep.numEdges, baseSeq: ep.baseSeq, maxSeq: ^uint64(0)},
+		nV: -1, nE: -1,
+	}
+}
+
+func (s *Store) release(vw view) {
+	if vw.live && vw.ep.pins.Add(-1) == 0 {
+		s.reclaimEpoch(vw.ep)
+	}
+}
+
+// reclaimEpoch disposes of a superseded generation whose last pin just
+// drained: close and delete its files, and once no retired epoch is
+// left, prune the delta prefix the current base absorbed. The prune runs
+// under liveMu so mutation routing in applyToDelta never observes a
+// half-pruned delta.
+func (s *Store) reclaimEpoch(ep *epoch) {
+	ep.closeFiles()
+	for _, p := range ep.retire {
+		os.Remove(p)
+	}
+	if s.retired.Add(-1) == 0 {
+		s.liveMu.Lock()
+		if s.retired.Load() == 0 {
+			cur := s.curEp()
+			s.delta.prune(cur.baseSeq, cur.numVertices, cur.numEdges)
+		}
+		s.liveMu.Unlock()
+	}
+}
+
+// ---- view read logic ----
+
+// numVertices is the view's total vertex count (also its VID bound —
+// delta VIDs continue the base range with no holes inside a consistent
+// view).
+func (vw view) numVertices() int64 {
+	if !vw.live {
+		return vw.ep.numVertices
+	}
+	if vw.nV >= 0 {
+		return vw.nV
+	}
+	// Dynamic current-epoch view: the delta's global next-VID *is* the
+	// visible total (base absorbed a prefix of the same numbering).
+	return vw.s.delta.nextV.Load()
+}
+
+func (vw view) numEdges() int64 {
+	if !vw.live {
+		return vw.ep.numEdges
+	}
+	if vw.nE >= 0 {
+		return vw.nE
+	}
+	return vw.s.delta.nextE.Load()
+}
+
+// deltaEdges is the number of delta edges visible in the view — a cheap
+// "can I skip the delta merge" hint for traversals.
+func (vw view) deltaEdges() int64 {
+	if !vw.live {
+		return 0
+	}
+	return vw.numEdges() - vw.ep.numEdges
+}
+
+func (vw view) checkV(v storage.VID) bool {
+	return v >= 0 && int64(v) < vw.numVertices()
+}
+
+func (vw view) countLabelID(label storage.SymbolID) int {
+	if label == storage.AnySymbol {
+		return int(vw.numVertices())
+	}
+	if label < 0 {
+		return 0
+	}
+	n := len(vw.ep.byLabel[int(label)])
+	if vw.live {
+		n += vw.s.delta.labelCount(int(label), vw.w)
+	}
+	return n
+}
+
+func (vw view) forEachVertexID(label storage.SymbolID, fn func(storage.VID) bool) {
+	if label == storage.AnySymbol {
+		total := vw.numVertices()
+		for v := int64(0); v < total; v++ {
+			if !fn(storage.VID(v)) {
+				return
+			}
+		}
+		return
+	}
+	if label < 0 {
+		return
+	}
+	for _, v := range vw.ep.byLabel[int(label)] {
+		if !fn(v) {
+			return
+		}
+	}
+	if vw.live {
+		for _, v := range vw.s.delta.labelVIDs(int(label), vw.w) {
+			if !fn(v) {
+				return
+			}
+		}
+	}
+}
+
+// planVertexScan splits the label's base postings plus its
+// delta-visible members into near-even partitions for morsel-style
+// parallel execution. Base partitions are subslices of the (immutable
+// per epoch) posting index; delta members are copied once here, so the
+// whole plan is one consistent snapshot — and since the returned scans
+// touch only those in-memory slices, never the pager, they stay valid
+// even if the caller's pin is released before they run. (Cross-fold
+// consistency for the rest of the query still needs a held Snapshot;
+// the query layer acquires one.)
+func (vw view) planVertexScan(label storage.SymbolID, parts int) []storage.VertexScan {
+	if label == storage.AnySymbol {
+		// Snapshot the dense VID range once; vertices appended to the
+		// delta after this point belong to no partition, matching a
+		// serial scan that snapshots NumVertices up front.
+		ranges := storage.SplitRange(int(vw.numVertices()), parts)
+		scans := make([]storage.VertexScan, len(ranges))
+		for i, r := range ranges {
+			lo, hi := int64(r[0]), int64(r[1])
+			scans[i] = func(fn func(storage.VID) bool) {
+				for v := lo; v < hi; v++ {
+					if !fn(storage.VID(v)) {
+						return
+					}
+				}
+			}
+		}
+		return scans
+	}
+	if label < 0 {
+		return nil
+	}
+	base := vw.ep.byLabel[int(label)]
+	var delta []storage.VID
+	if vw.live {
+		delta = vw.s.delta.labelVIDs(int(label), vw.w)
+	}
+	// Split the virtual concatenation base ++ delta so partition sizes
+	// stay even regardless of how much of the label lives in the delta.
+	ranges := storage.SplitRange(len(base)+len(delta), parts)
+	scans := make([]storage.VertexScan, len(ranges))
+	for i, r := range ranges {
+		var basePart, deltaPart []storage.VID
+		if r[0] < len(base) {
+			basePart = base[r[0]:min(r[1], len(base))]
+		}
+		if r[1] > len(base) {
+			deltaPart = delta[max(r[0]-len(base), 0) : r[1]-len(base)]
+		}
+		scans[i] = func(fn func(storage.VID) bool) {
+			for _, v := range basePart {
+				if !fn(v) {
+					return
+				}
+			}
+			for _, v := range deltaPart {
+				if !fn(v) {
+					return
+				}
+			}
+		}
+	}
+	return scans
+}
+
+func (vw view) hasLabelID(v storage.VID, label storage.SymbolID) bool {
+	if label < 0 || !vw.checkV(v) {
+		return false
+	}
+	if vw.live && int64(v) >= vw.ep.numVertices {
+		return vw.s.delta.hasLabel(v, int(label), vw.w)
+	}
+	rec, err := vw.ep.readVertex(v)
+	if err != nil {
+		return false
+	}
+	if rec.labels[label/64]&(1<<uint(label%64)) != 0 {
+		return true
+	}
+	return vw.live && vw.s.delta.hasLabel(v, int(label), vw.w)
+}
+
+// labelIDsOf returns the vertex's label IDs (unsorted): record bits plus
+// delta additions for base vertices, delta state for delta vertices.
+func (vw view) labelIDsOf(v storage.VID) []int {
+	if !vw.checkV(v) {
+		return nil
+	}
+	if vw.live && int64(v) >= vw.ep.numVertices {
+		return vw.s.delta.vertexLabelIDs(v, vw.w)
+	}
+	rec, err := vw.ep.readVertex(v)
+	if err != nil {
+		return nil
+	}
+	ids := labelBitsToIDs(rec.labels)
+	if vw.live {
+		ids = append(ids, vw.s.delta.labelAddIDs(v, vw.w)...)
+	}
+	return ids
+}
+
+// propID returns the property value visible in the view. Delta-side
+// values win: a live SetProp overrides the base chain without touching
+// it (the delta hides overrides the base already absorbed, so the two
+// sides never double-report).
+func (vw view) propID(v storage.VID, key storage.SymbolID) (graph.Value, bool) {
+	if key < 0 || !vw.checkV(v) {
+		return graph.Null, false
+	}
+	if vw.live {
+		if int64(v) >= vw.ep.numVertices {
+			return vw.s.delta.prop(v, int(key), vw.w)
+		}
+		if val, ok := vw.s.delta.prop(v, int(key), vw.w); ok {
+			return val, true
+		}
+	}
+	rec, err := vw.ep.readVertex(v)
+	if err != nil {
+		return graph.Null, false
+	}
+	for p := rec.firstProp; p != 0; {
+		pr, err := vw.ep.readProp(p - 1)
+		if err != nil {
+			return graph.Null, false
+		}
+		if pr.keyID == uint32(key) {
+			val, err := vw.ep.decodeValue(pr)
+			if err != nil {
+				return graph.Null, false
+			}
+			return val, true
+		}
+		p = pr.next
+	}
+	return graph.Null, false
+}
+
+// propKeyIDsOf returns the key IDs with values on v in the view,
+// deduplicated (an override of an existing key appears once).
+func (vw view) propKeyIDsOf(v storage.VID) []int {
+	if !vw.checkV(v) {
+		return nil
+	}
+	var ids []int
+	if !vw.live || int64(v) < vw.ep.numVertices {
+		rec, err := vw.ep.readVertex(v)
+		if err != nil {
+			return nil
+		}
+		for p := rec.firstProp; p != 0; {
+			pr, err := vw.ep.readProp(p - 1)
+			if err != nil {
+				return nil
+			}
+			ids = append(ids, int(pr.keyID))
+			p = pr.next
+		}
+	}
+	if vw.live {
+		for _, id := range vw.s.delta.propKeyIDs(v, vw.w) {
+			dup := false
+			for _, have := range ids {
+				if have == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids
+}
+
+func (vw view) forEachID(v storage.VID, etype storage.SymbolID, out bool, fn func(storage.EID, storage.VID) bool) {
+	if !vw.checkV(v) || etype == storage.NoSymbol {
+		return
+	}
+	if !vw.live {
+		vw.ep.forEachBase(v, etype, out, fn)
+		return
+	}
+	// Live merge: base edges first — on the segment fast path, untouched
+	// by live writes — then the vertex's visible delta adjacency. Delta
+	// vertices have no base records at all.
+	if int64(v) < vw.ep.numVertices {
+		if !vw.ep.forEachBase(v, etype, out, fn) {
+			return
+		}
+	}
+	if vw.deltaEdges() == 0 {
+		return
+	}
+	for _, de := range vw.s.delta.adj(v, out, vw.w) {
+		if etype == storage.AnySymbol || de.typeID == uint32(etype) {
+			if !fn(de.e, de.other) {
+				return
+			}
+		}
+	}
+}
+
+// degreeID answers degree queries without touching the edge file where
+// the format allows: untyped degrees come from the vertex record's
+// counters, typed degrees from the per-type degree chain (one record per
+// distinct edge type), plus the visible delta count. Legacy v2 stores
+// fall back to counting the adjacency chain for typed queries.
+func (vw view) degreeID(v storage.VID, etype storage.SymbolID, out bool) int {
+	if !vw.checkV(v) || etype == storage.NoSymbol {
+		return 0
+	}
+	deltaN := 0
+	if vw.live {
+		if int64(v) >= vw.ep.numVertices {
+			return vw.s.delta.degree(v, etype, out, vw.w) // delta vertex: no base records
+		}
+		deltaN = vw.s.delta.degree(v, etype, out, vw.w)
+	}
+	ep := vw.ep
+	if ep.legacyDegrees() && etype != storage.AnySymbol {
+		n := 0
+		ep.forEachBase(v, etype, out, func(storage.EID, storage.VID) bool {
+			n++
+			return true
+		})
+		return n + deltaN
+	}
+	rec, err := ep.readVertex(v)
+	if err != nil {
+		return 0
+	}
+	if etype == storage.AnySymbol {
+		if out {
+			return int(rec.outDeg) + deltaN
+		}
+		return int(rec.inDeg) + deltaN
+	}
+	for d := rec.firstDeg; d != 0; {
+		dr, err := ep.readDeg(d - 1)
+		if err != nil {
+			return 0
+		}
+		if dr.typeID == uint32(etype) {
+			if out {
+				return int(dr.outDeg) + deltaN
+			}
+			return int(dr.inDeg) + deltaN
+		}
+		d = dr.next
+	}
+	return deltaN
+}
+
+// ---- base-only iteration (per epoch) ----
+
+// forEachBase iterates v's base-file adjacency only, reporting whether
+// iteration ran to completion (false = fn stopped it or a read failed),
+// so a live caller knows whether to continue into the delta.
+func (ep *epoch) forEachBase(v storage.VID, etype storage.SymbolID, out bool, fn func(storage.EID, storage.VID) bool) bool {
+	rec, err := ep.readVertex(v)
+	if err != nil {
+		return false
+	}
+	if etype != storage.AnySymbol && ep.segmented {
+		return ep.forEachSegment(rec, uint32(etype), out, fn)
+	}
+	p := rec.firstOut
+	if !out {
+		p = rec.firstIn
+	}
+	for p != 0 {
+		er, err := ep.readEdge(storage.EID(p - 1))
+		if err != nil {
+			return false
+		}
+		other := storage.VID(er.dst)
+		next := er.nextOut
+		if !out {
+			other = storage.VID(er.src)
+			next = er.nextIn
+		}
+		if etype == storage.AnySymbol || er.typeID == uint32(etype) {
+			if !fn(storage.EID(p-1), other) {
+				return false
+			}
+		}
+		p = next
+	}
+	return true
+}
+
+// forEachSegment is the typed iteration fast path on a segmented store:
+// it finds the type's degree record (one short chain walk), seeks to its
+// adjacency segment head, and consumes edges until the segment ends —
+// other types' edge records are never read, the storage-level analogue of
+// the paper's schema-driven traversal pruning. Reports whether iteration
+// ran to completion (see forEachBase).
+func (ep *epoch) forEachSegment(rec vertexRec, typeID uint32, out bool, fn func(storage.EID, storage.VID) bool) bool {
+	for d := rec.firstDeg; d != 0; {
+		dr, err := ep.readDeg(d - 1)
+		if err != nil {
+			return false
+		}
+		if dr.typeID != typeID {
+			d = dr.next
+			continue
+		}
+		p := dr.firstOut
+		if !out {
+			p = dr.firstIn
+		}
+		for p != 0 {
+			er, err := ep.readEdge(storage.EID(p - 1))
+			if err != nil {
+				return false
+			}
+			if er.typeID != typeID {
+				return true // left the segment
+			}
+			other := storage.VID(er.dst)
+			next := er.nextOut
+			if !out {
+				other = storage.VID(er.src)
+				next = er.nextIn
+			}
+			if !fn(storage.EID(p-1), other) {
+				return false
+			}
+			p = next
+		}
+		return true
+	}
+	return true
+}
+
+// ---- symbol resolution (store-wide: symbols are append-only, so IDs
+// resolved through any epoch or snapshot stay consistent) ----
+
+// LabelID resolves a vertex label to its interned ID.
+func (s *Store) LabelID(label string) storage.SymbolID { return s.resolveSym(label, s.labelIDs) }
+
+// TypeID resolves an edge type to its interned ID.
+func (s *Store) TypeID(etype string) storage.SymbolID { return s.resolveSym(etype, s.typeIDs) }
+
+// KeyID resolves a property key to its interned ID.
+func (s *Store) KeyID(key string) storage.SymbolID { return s.resolveSym(key, s.keyIDs) }
+
+func (s *Store) resolveSym(name string, ids map[string]int) storage.SymbolID {
+	if name == "" {
+		return storage.AnySymbol
+	}
+	s.symRLock()
+	id, ok := ids[name]
+	s.symRUnlock()
+	if ok {
+		return storage.SymbolID(id)
+	}
+	return storage.NoSymbol
+}
+
+// labelNames/keyNames map IDs back to sorted strings.
+func (s *Store) labelNames(ids []int) []string {
+	s.symRLock()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.labels[id])
+	}
+	s.symRUnlock()
+	sort.Strings(out)
+	return out
+}
+
+func (s *Store) keyNames(ids []int) []string {
+	s.symRLock()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.keys[id])
+	}
+	s.symRUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// ---- Store read surface (transient per-call views) ----
+
+// NumVertices returns the number of vertices (base plus visible delta).
+func (s *Store) NumVertices() int {
+	vw := s.acquire()
+	defer s.release(vw)
+	return int(vw.numVertices())
+}
+
+// NumEdges returns the number of edges (base plus visible delta).
+func (s *Store) NumEdges() int {
+	vw := s.acquire()
+	defer s.release(vw)
+	return int(vw.numEdges())
+}
+
+// CountLabel returns the number of vertices carrying the label.
+func (s *Store) CountLabel(label string) int {
+	if label == "" {
+		return 0
+	}
+	return s.CountLabelID(s.LabelID(label))
+}
+
+// ForEachVertex calls fn for every vertex carrying the label ("" = all).
+func (s *Store) ForEachVertex(label string, fn func(storage.VID) bool) {
+	s.ForEachVertexID(s.LabelID(label), fn)
+}
+
+// HasLabel reports whether the vertex carries the label.
+func (s *Store) HasLabel(v storage.VID, label string) bool {
+	return s.HasLabelID(v, s.LabelID(label))
+}
+
+// Labels returns the labels of the vertex, sorted. Delta vertices carry
+// their labels in memory; base vertices merge delta-side additions.
+func (s *Store) Labels(v storage.VID) []string {
+	vw := s.acquire()
+	defer s.release(vw)
+	return s.labelNames(vw.labelIDsOf(v))
+}
+
+// Prop returns the value of a vertex property.
+func (s *Store) Prop(v storage.VID, key string) (graph.Value, bool) {
+	keyID := s.KeyID(key)
+	if keyID < 0 { // unknown key, or "" (AnySymbol has no value meaning)
+		return graph.Null, false
+	}
+	return s.PropID(v, keyID)
+}
+
+// PropKeys returns the property keys present on the vertex, sorted,
+// merging base-chain keys with delta-side values.
+func (s *Store) PropKeys(v storage.VID) []string {
+	vw := s.acquire()
+	defer s.release(vw)
+	return s.keyNames(vw.propKeyIDsOf(v))
+}
+
+// ForEachOut iterates out-edges of v with the given type ("" = any).
+func (s *Store) ForEachOut(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
+	s.ForEachOutID(v, s.TypeID(etype), fn)
+}
+
+// ForEachIn iterates in-edges of v with the given type ("" = any).
+func (s *Store) ForEachIn(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
+	s.ForEachInID(v, s.TypeID(etype), fn)
+}
+
+// Degree returns the number of out- or in-edges of the given type.
+func (s *Store) Degree(v storage.VID, etype string, out bool) int {
+	return s.DegreeID(v, s.TypeID(etype), out)
+}
+
+// CountLabelID is CountLabel with a resolved label: the base index size
+// plus the visible delta members.
+func (s *Store) CountLabelID(label storage.SymbolID) int {
+	vw := s.acquire()
+	defer s.release(vw)
+	return vw.countLabelID(label)
+}
+
+// ForEachVertexID is ForEachVertex with a resolved label: the base index
+// first, then the visible delta members.
+func (s *Store) ForEachVertexID(label storage.SymbolID, fn func(storage.VID) bool) {
+	vw := s.acquire()
+	defer s.release(vw)
+	vw.forEachVertexID(label, fn)
+}
+
+// PlanVertexScan splits the label's base postings plus its delta members
+// into near-even partitions for morsel-style parallel execution; see
+// view.planVertexScan. The returned scans capture only in-memory slices
+// and stay valid for the store's lifetime, but for one consistent view
+// across a whole parallel query during a concurrent fold, plan and run
+// against an AcquireSnapshot handle.
+func (s *Store) PlanVertexScan(label storage.SymbolID, parts int) []storage.VertexScan {
+	vw := s.acquire()
+	defer s.release(vw)
+	return vw.planVertexScan(label, parts)
+}
+
+// HasLabelID is HasLabel with a resolved label; base record bits are
+// merged with delta-side label additions.
+func (s *Store) HasLabelID(v storage.VID, label storage.SymbolID) bool {
+	vw := s.acquire()
+	defer s.release(vw)
+	return vw.hasLabelID(v, label)
+}
+
+// PropID is Prop with a resolved key. Delta-side values win: a live
+// SetProp overrides the base chain without touching it.
+func (s *Store) PropID(v storage.VID, key storage.SymbolID) (graph.Value, bool) {
+	vw := s.acquire()
+	defer s.release(vw)
+	return vw.propID(v, key)
+}
+
+// ForEachOutID is ForEachOut with a resolved edge type.
+func (s *Store) ForEachOutID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
+	vw := s.acquire()
+	defer s.release(vw)
+	vw.forEachID(v, etype, true, fn)
+}
+
+// ForEachInID is ForEachIn with a resolved edge type.
+func (s *Store) ForEachInID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
+	vw := s.acquire()
+	defer s.release(vw)
+	vw.forEachID(v, etype, false, fn)
+}
+
+// DegreeID is Degree with a resolved edge type.
+func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
+	vw := s.acquire()
+	defer s.release(vw)
+	return vw.degreeID(v, etype, out)
+}
+
+// ---- snapshots ----
+
+// Snap is a pinned, immutable view of the store: the epoch current at
+// acquire time plus the delta watermark of the last fully applied batch.
+// Reads through it see exactly that state — mutations and background
+// folds after the acquire are invisible — until Release, which unpins
+// the epoch (reclaiming its files if a fold has superseded it and no
+// other pin remains). Safe for concurrent readers; Release is
+// idempotent.
+type Snap struct {
+	vw       view
+	released atomic.Bool
+}
+
+var _ storage.Snapshot = (*Snap)(nil)
+
+// AcquireSnapshot pins the current epoch and delta watermark. The store
+// must outlive the snapshot; releasing after store close is harmless but
+// reads are not.
+func (s *Store) AcquireSnapshot() storage.Snapshot {
+	s.pinnedSnaps.Add(1)
+	if !s.liveMode.Load() {
+		// Exclusive build mode: no concurrent mutation by contract, so
+		// the store itself is the snapshot.
+		return &Snap{vw: view{s: s, ep: s.cur, nV: -1, nE: -1}}
+	}
+	s.epMu.RLock()
+	ep := s.cur
+	ep.pins.Add(1)
+	s.epMu.RUnlock()
+	// The watermark is the last fully applied batch: batches apply under
+	// liveMu after their WAL append, so appliedSeq never exposes half a
+	// batch. If a fold swapped cur between our pin and this load, the
+	// watermark may include batches newer than the swap — they are still
+	// in the delta, visible through our (old-epoch) window, and pinned
+	// entries are never pruned while we hold the epoch.
+	w := vis{
+		baseVerts: ep.numVertices,
+		baseEdges: ep.numEdges,
+		baseSeq:   ep.baseSeq,
+		maxSeq:    s.delta.appliedSeq.Load(),
+	}
+	nv, ne := s.delta.counts(w)
+	return &Snap{vw: view{
+		s: s, ep: ep, w: w, live: true,
+		nV: ep.numVertices + nv,
+		nE: ep.numEdges + ne,
+	}}
+}
+
+// Release unpins the snapshot. Idempotent.
+func (sn *Snap) Release() {
+	if sn.released.Swap(true) {
+		return
+	}
+	s := sn.vw.s
+	s.pinnedSnaps.Add(-1)
+	if sn.vw.live && sn.vw.ep.pins.Add(-1) == 0 {
+		s.reclaimEpoch(sn.vw.ep)
+	}
+}
+
+// Symbol table: store-wide (append-only, IDs stable), so a snapshot
+// resolves through the live tables; symbols interned after the acquire
+// resolve to IDs with no visible members.
+
+func (sn *Snap) LabelID(label string) storage.SymbolID { return sn.vw.s.LabelID(label) }
+func (sn *Snap) TypeID(etype string) storage.SymbolID  { return sn.vw.s.TypeID(etype) }
+func (sn *Snap) KeyID(key string) storage.SymbolID     { return sn.vw.s.KeyID(key) }
+
+func (sn *Snap) NumVertices() int { return int(sn.vw.numVertices()) }
+func (sn *Snap) NumEdges() int    { return int(sn.vw.numEdges()) }
+
+func (sn *Snap) CountLabel(label string) int {
+	if label == "" {
+		return 0
+	}
+	return sn.vw.countLabelID(sn.vw.s.LabelID(label))
+}
+
+func (sn *Snap) ForEachVertex(label string, fn func(storage.VID) bool) {
+	sn.vw.forEachVertexID(sn.vw.s.LabelID(label), fn)
+}
+
+func (sn *Snap) HasLabel(v storage.VID, label string) bool {
+	return sn.vw.hasLabelID(v, sn.vw.s.LabelID(label))
+}
+
+func (sn *Snap) Labels(v storage.VID) []string {
+	return sn.vw.s.labelNames(sn.vw.labelIDsOf(v))
+}
+
+func (sn *Snap) Prop(v storage.VID, key string) (graph.Value, bool) {
+	keyID := sn.vw.s.KeyID(key)
+	if keyID < 0 {
+		return graph.Null, false
+	}
+	return sn.vw.propID(v, keyID)
+}
+
+func (sn *Snap) PropKeys(v storage.VID) []string {
+	return sn.vw.s.keyNames(sn.vw.propKeyIDsOf(v))
+}
+
+func (sn *Snap) ForEachOut(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
+	sn.vw.forEachID(v, sn.vw.s.TypeID(etype), true, fn)
+}
+
+func (sn *Snap) ForEachIn(v storage.VID, etype string, fn func(storage.EID, storage.VID) bool) {
+	sn.vw.forEachID(v, sn.vw.s.TypeID(etype), false, fn)
+}
+
+func (sn *Snap) Degree(v storage.VID, etype string, out bool) int {
+	return sn.vw.degreeID(v, sn.vw.s.TypeID(etype), out)
+}
+
+func (sn *Snap) CountLabelID(label storage.SymbolID) int { return sn.vw.countLabelID(label) }
+
+func (sn *Snap) ForEachVertexID(label storage.SymbolID, fn func(storage.VID) bool) {
+	sn.vw.forEachVertexID(label, fn)
+}
+
+func (sn *Snap) HasLabelID(v storage.VID, label storage.SymbolID) bool {
+	return sn.vw.hasLabelID(v, label)
+}
+
+func (sn *Snap) PropID(v storage.VID, key storage.SymbolID) (graph.Value, bool) {
+	return sn.vw.propID(v, key)
+}
+
+func (sn *Snap) ForEachOutID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
+	sn.vw.forEachID(v, etype, true, fn)
+}
+
+func (sn *Snap) ForEachInID(v storage.VID, etype storage.SymbolID, fn func(storage.EID, storage.VID) bool) {
+	sn.vw.forEachID(v, etype, false, fn)
+}
+
+func (sn *Snap) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
+	return sn.vw.degreeID(v, etype, out)
+}
+
+func (sn *Snap) PlanVertexScan(label storage.SymbolID, parts int) []storage.VertexScan {
+	return sn.vw.planVertexScan(label, parts)
+}

@@ -14,6 +14,7 @@ package diskstore
 //	crc32       u32   IEEE CRC of payload
 //	payload:
 //	    seq     u64   batch sequence number, strictly increasing
+//	    epoch   u32   base generation the batch was appended under
 //	    nops    u16   number of operations in the batch
 //	    ops     nops × op
 //
@@ -24,17 +25,25 @@ package diskstore
 // values are a u8 graph.Kind followed by a kind-specific encoding.
 //
 // The sequence number fences replay against the checkpoint protocol:
-// Compact folds the delta into the base, commits a manifest whose
-// wal_seq records the last folded batch, and only then truncates the
-// log. A crash between commit and truncation leaves a stale log whose
-// records all carry seq <= wal_seq; replay skips them and recovery
-// truncates the stale file.
+// a fold (background Compact or exclusive Finalize) absorbs the delta
+// prefix up to some batch W into the base, commits a manifest whose
+// wal_seq records W, and only then rotates/truncates the log. A crash
+// between commit and rotation leaves records with seq <= wal_seq in the
+// log; replay skips them. Records also carry the base generation
+// (epoch) they were appended under: epochs are non-decreasing along the
+// log, and because the manifest commits before in-memory epoch swap, a
+// record claiming a generation newer than the manifest's is impossible
+// in a well-formed log — recovery treats it as corruption and truncates
+// there. Batches appended mid-fold carry the old epoch with
+// seq > wal_seq; replay routes them into the young delta on top of the
+// new base, which is exactly where the swap left them in memory.
 
 import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +55,8 @@ import (
 const (
 	walFileName  = "wal.db"
 	walHeaderLen = 8 // payloadLen + crc32
+	// walPayloadHeader is the fixed payload prefix: seq + epoch + nops.
+	walPayloadHeader = 8 + 4 + 2
 	// maxWALRecord bounds a single record; anything larger during replay
 	// is treated as a torn/corrupt tail.
 	maxWALRecord = 16 << 20
@@ -136,16 +147,18 @@ func (w *wal) fail(err error) {
 }
 
 // append writes one batch record (not yet durable) and returns its
-// sequence number. Call sync(seq) before acknowledging the batch.
-func (w *wal) append(ops []byte, nops int) (uint64, error) {
+// sequence number. epoch is the base generation the batch is appended
+// under. Call sync(seq) before acknowledging the batch.
+func (w *wal) append(ops []byte, nops int, epoch uint32) (uint64, error) {
 	if err := w.stickyErr(); err != nil {
 		return 0, err
 	}
 	w.appendMu.Lock()
 	defer w.appendMu.Unlock()
 	seq := w.nextSeq
-	payload := make([]byte, 0, 10+len(ops))
+	payload := make([]byte, 0, walPayloadHeader+len(ops))
 	payload = binary.LittleEndian.AppendUint64(payload, seq)
+	payload = binary.LittleEndian.AppendUint32(payload, epoch)
 	payload = binary.LittleEndian.AppendUint16(payload, uint16(nops))
 	payload = append(payload, ops...)
 	rec := make([]byte, 0, walHeaderLen+len(payload))
@@ -253,7 +266,77 @@ func (w *wal) lastAppended() uint64 {
 	return w.appendedSeq
 }
 
+// sizeNow returns the log's current byte size. Captured at a fold's
+// freeze point (under the store's liveMu, so no append is racing) it is
+// the rotate offset: every record below it carries seq <= the freeze
+// fence.
+func (w *wal) sizeNow() int64 {
+	w.appendMu.Lock()
+	defer w.appendMu.Unlock()
+	return w.size
+}
+
 func (w *wal) close() error { return w.f.Close() }
+
+// rotate drops the folded prefix after a committed background fold: the
+// records before keepFrom all carry seq <= the manifest's new wal_seq
+// fence, so only the tail (batches that arrived mid-fold) needs to
+// survive. The tail is copied into a fresh file that atomically replaces
+// the log; sequence numbers keep counting. The caller must hold the
+// store's liveMu so no append or sync is in flight — rotate swaps the
+// underlying file descriptor.
+//
+// Crash safety: before the rename the old log is intact (replay skips
+// the folded prefix via the wal_seq fence); after the rename the log
+// holds exactly the unfolded tail. Either way no acknowledged batch is
+// lost and no folded batch is replayed.
+func (w *wal) rotate(keepFrom int64) error {
+	if err := w.stickyErr(); err != nil {
+		return err
+	}
+	w.appendMu.Lock()
+	defer w.appendMu.Unlock()
+	if keepFrom < 0 || keepFrom > w.size {
+		return fmt.Errorf("diskstore: wal rotate offset %d out of range [0,%d]", keepFrom, w.size)
+	}
+	tail := make([]byte, w.size-keepFrom)
+	if len(tail) > 0 {
+		if _, err := w.f.ReadAt(tail, keepFrom); err != nil {
+			return err
+		}
+	}
+	tmp := w.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if len(tail) > 0 {
+		if _, err := nf.WriteAt(tail, 0); err != nil {
+			nf.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if dir, derr := os.Open(filepath.Dir(w.path)); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	old := w.f
+	w.f = nf
+	w.size = int64(len(tail))
+	old.Close()
+	return nil
+}
 
 // ---- record encoding ----
 
@@ -332,15 +415,20 @@ func encodeWALValue(v graph.Value) ([]byte, error) {
 
 // walBatch is one decoded log record.
 type walBatch struct {
-	seq uint64
-	ops []storage.Mutation
+	seq   uint64
+	epoch uint32
+	ops   []storage.Mutation
 }
 
 // parseWAL decodes records until the data ends or turns invalid —
 // anything past the last whole, CRC-clean record is a torn tail from a
 // crash mid-append. It returns the decoded batches and the clean length;
-// the caller truncates the file to cleanOff.
-func parseWAL(data []byte) (batches []walBatch, cleanOff int64) {
+// the caller truncates the file to cleanOff. maxEpoch is the manifest's
+// committed generation: the manifest commits before any batch can be
+// appended under a new generation, so a record claiming a newer epoch
+// cannot be a real acknowledged batch — replay treats it as corruption
+// and stops there.
+func parseWAL(data []byte, maxEpoch uint32) (batches []walBatch, cleanOff int64) {
 	off := int64(0)
 	for {
 		rest := data[off:]
@@ -348,7 +436,7 @@ func parseWAL(data []byte) (batches []walBatch, cleanOff int64) {
 			return batches, off
 		}
 		plen := binary.LittleEndian.Uint32(rest)
-		if plen < 10 || plen > maxWALRecord || int64(len(rest)) < walHeaderLen+int64(plen) {
+		if plen < walPayloadHeader || plen > maxWALRecord || int64(len(rest)) < walHeaderLen+int64(plen) {
 			return batches, off
 		}
 		payload := rest[walHeaderLen : walHeaderLen+int(plen)]
@@ -356,8 +444,9 @@ func parseWAL(data []byte) (batches []walBatch, cleanOff int64) {
 			return batches, off
 		}
 		seq := binary.LittleEndian.Uint64(payload)
-		nops := int(binary.LittleEndian.Uint16(payload[8:]))
-		ops, ok := decodeWALOps(payload[10:], nops)
+		epoch := binary.LittleEndian.Uint32(payload[8:])
+		nops := int(binary.LittleEndian.Uint16(payload[12:]))
+		ops, ok := decodeWALOps(payload[walPayloadHeader:], nops)
 		if !ok {
 			// A CRC-clean but undecodable payload is corruption, not a torn
 			// tail, but the safe response is the same: stop replay here.
@@ -366,7 +455,13 @@ func parseWAL(data []byte) (batches []walBatch, cleanOff int64) {
 		if len(batches) > 0 && seq <= batches[len(batches)-1].seq {
 			return batches, off // sequence must be strictly increasing
 		}
-		batches = append(batches, walBatch{seq: seq, ops: ops})
+		if len(batches) > 0 && epoch < batches[len(batches)-1].epoch {
+			return batches, off // epochs never decrease along the log
+		}
+		if epoch > maxEpoch {
+			return batches, off // claims a generation newer than committed
+		}
+		batches = append(batches, walBatch{seq: seq, epoch: epoch, ops: ops})
 		off += walHeaderLen + int64(plen)
 	}
 }

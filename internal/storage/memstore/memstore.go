@@ -65,6 +65,7 @@ var (
 	_ storage.FastGraph          = (*Store)(nil)
 	_ storage.BatchBuilder       = (*Store)(nil)
 	_ storage.TypeSegmentedGraph = (*Store)(nil)
+	_ storage.Snapshotter        = (*Store)(nil)
 )
 
 // New returns an empty in-memory store.
@@ -217,6 +218,53 @@ func sortSegmented(list []halfEdge) {
 		return list[i].id < list[j].id
 	})
 }
+
+// AcquireSnapshot returns an independent deep copy of the store, so the
+// snapshot keeps answering from the state at the acquire point even if
+// the original is (single-writer) built further afterwards. O(V+E) copy:
+// memstore is the reference backend, and the copy also makes it usable
+// as the oracle in concurrency harnesses. Release is a no-op — the copy
+// is garbage-collected like any value.
+func (s *Store) AcquireSnapshot() storage.Snapshot {
+	c := &Store{
+		vertices:  make([]vertex, len(s.vertices)),
+		numEdges:  s.numEdges,
+		labelIDs:  make(map[string]int32, len(s.labelIDs)),
+		labels:    append([]string(nil), s.labels...),
+		typeIDs:   make(map[string]int32, len(s.typeIDs)),
+		types:     append([]string(nil), s.types...),
+		keyIDs:    make(map[string]int32, len(s.keyIDs)),
+		keys:      append([]string(nil), s.keys...),
+		byLabel:   make(map[int32][]storage.VID, len(s.byLabel)),
+		segmented: s.segmented,
+	}
+	for i := range s.vertices {
+		vx := &s.vertices[i]
+		c.vertices[i] = vertex{
+			labels: append([]int32(nil), vx.labels...),
+			props:  append([]prop(nil), vx.props...),
+			out:    append([]halfEdge(nil), vx.out...),
+			in:     append([]halfEdge(nil), vx.in...),
+		}
+	}
+	for k, v := range s.labelIDs {
+		c.labelIDs[k] = v
+	}
+	for k, v := range s.typeIDs {
+		c.typeIDs[k] = v
+	}
+	for k, v := range s.keyIDs {
+		c.keyIDs[k] = v
+	}
+	for id, vids := range s.byLabel {
+		c.byLabel[id] = append([]storage.VID(nil), vids...)
+	}
+	return memSnap{c}
+}
+
+type memSnap struct{ *Store }
+
+func (memSnap) Release() {}
 
 // SegmentedAdjacency reports whether adjacency is currently grouped by
 // edge type (see storage.TypeSegmentedGraph).

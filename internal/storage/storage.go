@@ -226,6 +226,12 @@ type MutationResult struct {
 // been finalized yet, or a legacy-format store).
 var ErrNotLive = errors.New("storage: store is not in live-write mode")
 
+// ErrCompactInProgress is returned by Compact when another compaction is
+// already running on the same store. Compactions are single-flight: the
+// caller can retry after the running fold completes (LiveStats
+// FoldRunning reports when one is in flight).
+var ErrCompactInProgress = errors.New("storage: compaction already in progress")
+
 // MutableGraph is the durable post-build write surface. ApplyMutations
 // applies the batch atomically with respect to crashes — after a crash,
 // either every mutation in the batch is present or none is — and durably:
@@ -238,7 +244,47 @@ type MutableGraph interface {
 	// Validation errors (unknown vertex, bad batch reference) reject the
 	// whole batch before anything is logged.
 	ApplyMutations(batch []Mutation) (MutationResult, error)
+	// Compact folds accumulated live writes into the store's optimal base
+	// layout. Implementations with a background fold path must keep
+	// serving reads and ApplyMutations while it runs; a second concurrent
+	// call returns ErrCompactInProgress. The call blocks until the fold
+	// commits — run it from its own goroutine to get background behavior.
+	Compact() error
 }
+
+// Snapshot is a pinned, immutable view of a graph: every read through it
+// observes the single consistent state that existed when it was acquired,
+// no matter how many mutation batches or compactions commit afterwards.
+// Release returns the pinned resources (file handles of superseded base
+// generations, delta memory); it is idempotent, and reads after Release
+// are a caller bug.
+type Snapshot interface {
+	FastGraph
+	Release()
+}
+
+// Snapshotter is implemented by backends that can pin consistent
+// point-in-time views. Long-running traversals (parallel scans,
+// multi-query reports) should acquire one so a background Compact
+// swapping the base files mid-read cannot shift their view.
+type Snapshotter interface {
+	AcquireSnapshot() Snapshot
+}
+
+// SnapshotOf pins a point-in-time view of g when the backend supports it
+// and otherwise degrades to reading g live through Fast with a no-op
+// Release — exact for stores that are immutable once built, best-effort
+// for mutable backends without snapshot support.
+func SnapshotOf(g Graph) Snapshot {
+	if sn, ok := g.(Snapshotter); ok {
+		return sn.AcquireSnapshot()
+	}
+	return noopSnap{Fast(g)}
+}
+
+type noopSnap struct{ FastGraph }
+
+func (noopSnap) Release() {}
 
 // LiveStats reports live-write state: delta segment sizes and write-ahead
 // log activity. All counters are cumulative since open.
@@ -259,6 +305,19 @@ type LiveStats struct {
 	WALSyncs     int64
 	WALSyncNanos int64
 	WALBytes     int64
+	// Generation numbers the base file set currently serving reads; each
+	// committed background compaction bumps it.
+	Generation int64
+	// FoldRunning reports a background compaction in flight, and
+	// FoldProgress its rough progress in permille (0-1000).
+	FoldRunning  bool
+	FoldProgress int64
+	// PinnedSnapshots counts acquired-but-unreleased snapshots; a
+	// superseded base generation's files are reclaimed only once the
+	// snapshots pinning it drain.
+	PinnedSnapshots int64
+	// Compactions counts folds committed since open.
+	Compactions int64
 }
 
 // LiveStatsReporter is implemented by backends with a live-write path.

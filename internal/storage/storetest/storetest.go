@@ -285,6 +285,78 @@ func Run(t *testing.T, newStore Factory) {
 		CheckFastEquivalence(t, bulk, storage.Fast(bulk))
 	})
 
+	t.Run("SnapshotIsolation", func(t *testing.T) {
+		s := newStore(t)
+		if _, err := BuildRandom(s, 4242, 25, 60); err != nil {
+			t.Fatal(err)
+		}
+		before := Fingerprint(s)
+
+		// Every Graph yields a usable view through SnapshotOf: native
+		// Snapshotters pin a real snapshot, everything else gets the
+		// no-op fallback over storage.Fast. Both must read the current
+		// state, and Release must always be safe — twice, even.
+		for name, g := range map[string]storage.Graph{"native": s, "fallback": stringOnly{s}} {
+			snap := storage.SnapshotOf(g)
+			if got := Fingerprint(snap); got != before {
+				t.Errorf("SnapshotOf(%s) does not read the store's state:\n got %.200s\nwant %.200s", name, got, before)
+			}
+			snap.Release()
+			snap.Release()
+		}
+
+		sn, ok := storage.Builder(s).(storage.Snapshotter)
+		if !ok {
+			t.Skip("store is not a Snapshotter; SnapshotOf fallback is the whole contract")
+		}
+		snap1 := sn.AcquireSnapshot()
+		if got := Fingerprint(snap1); got != before {
+			t.Fatalf("freshly acquired snapshot diverges from the store:\n got %.200s\nwant %.200s", got, before)
+		}
+		CheckFastEquivalence(t, s, snap1)
+
+		// Isolation under mutation only applies when snapshots are real
+		// copies or pinned epochs. An exclusive-build store (a live-write
+		// backend before its first finalize: LiveStatsReporter with
+		// Live=false) hands out the store itself — no concurrent
+		// mutation by contract, so there is nothing to isolate.
+		isolated := true
+		if lr, ok := storage.Builder(s).(storage.LiveStatsReporter); ok && !lr.LiveStats().Live {
+			isolated = false
+		}
+		if isolated {
+			w := mustVertex(t, s, "SnapIso")
+			if err := s.SetProp(w, "iso", graph.S("after")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AddLabel(0, "SnapIso"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.AddEdge(0, w, "snapEdge"); err != nil {
+				t.Fatal(err)
+			}
+			after := Fingerprint(s)
+			if after == before {
+				t.Fatal("mutations did not change the store fingerprint; the isolation check is vacuous")
+			}
+			if got := Fingerprint(snap1); got != before {
+				t.Errorf("mutations applied after acquisition leaked into a pinned snapshot:\n got %.200s\nwant %.200s", got, before)
+			}
+			snap2 := sn.AcquireSnapshot()
+			if got := Fingerprint(snap2); got != after {
+				t.Errorf("snapshot acquired after mutations does not see them:\n got %.200s\nwant %.200s", got, after)
+			}
+			snap2.Release()
+		}
+		snap1.Release()
+		snap1.Release() // Release must be idempotent
+		if lr, ok := storage.Builder(s).(storage.LiveStatsReporter); ok {
+			if got := lr.LiveStats().PinnedSnapshots; got != 0 {
+				t.Errorf("%d snapshots still reported pinned after every Release", got)
+			}
+		}
+	})
+
 	t.Run("InvalidVertex", func(t *testing.T) {
 		s := newStore(t)
 		if err := s.SetProp(99, "k", graph.I(1)); err == nil {
