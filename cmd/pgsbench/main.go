@@ -9,9 +9,14 @@
 //	pgsbench -exp parallel
 //	pgsbench -exp serve -serve-reqs 200
 //	pgsbench -exp open,bulkload
+//	pgsbench -exp fig11 -json results.json
 //
 // Experiments: fig8, fig9, fig10, fig11, fig12, table2, motivating,
 // parallel, serve, open, bulkload, crash, compact, all.
+//
+// -json writes every table's rows as one machine-readable document
+// (invocation metadata plus a section per table) for CI trend tracking;
+// the text tables still print.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	crashRounds := flag.Int("crash-rounds", 12, "SIGKILL rounds in the crash experiment")
 	compactVerts := flag.Int("compact-verts", 20000, "base vertices in the compact experiment")
 	compactReaders := flag.Int("compact-readers", 4, "concurrent readers in the compact experiment")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file (- for stdout)")
 	flag.Parse()
 
 	if *exp == "crash-child" {
@@ -60,6 +66,15 @@ func main() {
 	opts := bench.Options{
 		MedCard: *medCard, FinCard: *finCard, Seed: *seed,
 		Reps: *reps, CachePages: *cache,
+	}
+	// -json collects every printed table's rows into one machine-readable
+	// report; a nil *Report makes every Add a no-op.
+	var report *bench.Report
+	if *jsonOut != "" {
+		report = &bench.Report{Meta: map[string]any{
+			"exp": *exp, "med_card": *medCard, "fin_card": *finCard,
+			"seed": *seed, "reps": *reps, "cache_pages": *cache,
+		}}
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -98,7 +113,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Println(bench.FormatBRTable(fmt.Sprintf("Figure 8 — varying space constraints (MED, %s workload)", dist), pts))
+			title := fmt.Sprintf("Figure 8 — varying space constraints (MED, %s workload)", dist)
+			fmt.Println(bench.FormatBRTable(title, pts))
+			report.Add("fig8", title, pts)
 		}
 	}
 	if run("fig9") {
@@ -109,7 +126,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Println(bench.FormatBRTable(fmt.Sprintf("Figure 9 — varying space constraints (FIN, %s workload)", dist), pts))
+			title := fmt.Sprintf("Figure 9 — varying space constraints (FIN, %s workload)", dist)
+			fmt.Println(bench.FormatBRTable(title, pts))
+			report.Add("fig9", title, pts)
 		}
 	}
 	if run("fig10") {
@@ -119,7 +138,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Println(bench.FormatThetaTable(fmt.Sprintf("Figure 10 — varying Jaccard thresholds (FIN, %s workload)", dist), pts))
+			title := fmt.Sprintf("Figure 10 — varying Jaccard thresholds (FIN, %s workload)", dist)
+			fmt.Println(bench.FormatThetaTable(title, pts))
+			report.Add("fig10", title, pts)
 		}
 	}
 	if run("fig11") {
@@ -133,6 +154,7 @@ func main() {
 			rows = append(rows, r...)
 		}
 		fmt.Println(bench.FormatMicroTable("Figure 11 — microbenchmark Q1-Q12 (DIR vs OPT)", rows))
+		report.Add("fig11", "Figure 11 — microbenchmark Q1-Q12 (DIR vs OPT)", rows)
 	}
 	if run("fig12") {
 		ran = true
@@ -145,6 +167,7 @@ func main() {
 			rows = append(rows, r...)
 		}
 		fmt.Println(bench.FormatWorkloadTable("Figure 12 — total query latency, 15-query Zipf workload", rows))
+		report.Add("fig12", "Figure 12 — total query latency, 15-query Zipf workload", rows)
 	}
 	if run("table2") {
 		ran = true
@@ -157,6 +180,7 @@ func main() {
 			rows = append(rows, r...)
 		}
 		fmt.Println(bench.FormatEffTable("Table 2 — optimization time of RC and CC", rows))
+		report.Add("table2", "Table 2 — optimization time of RC and CC", rows)
 	}
 	if run("motivating") {
 		ran = true
@@ -165,6 +189,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatMotivating(rows))
+		report.Add("motivating", "Motivating examples (§1)", rows)
 	}
 	if run("parallel") {
 		ran = true
@@ -173,8 +198,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Println(bench.FormatParallelTable(
-				fmt.Sprintf("Parallel readers — one shared plan, %s (MED)", b), pts))
+			title := fmt.Sprintf("Parallel readers — one shared plan, %s (MED)", b)
+			fmt.Println(bench.FormatParallelTable(title, pts))
+			report.Add("parallel", title, pts)
 		}
 		// The disk-bound regime: a page budget far below the working set,
 		// where the paper's schema optimizations (and the sharded pager)
@@ -183,8 +209,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.FormatParallelTable(
-			fmt.Sprintf("Parallel readers — one shared plan, diskstore tight cache (%d pages, MED)", *tight), tightPts))
+		tightTitle := fmt.Sprintf("Parallel readers — one shared plan, diskstore tight cache (%d pages, MED)", *tight)
+		fmt.Println(bench.FormatParallelTable(tightTitle, tightPts))
+		report.Add("parallel", tightTitle, tightPts)
 
 		// The intra-query half: one client, morsel workers inside each
 		// execution. Where the tables above add clients, these add workers
@@ -199,15 +226,17 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Println(bench.FormatIntraQueryTable(
-				fmt.Sprintf("Intra-query morsel workers — single client, %s (MED)", b), pts))
+			title := fmt.Sprintf("Intra-query morsel workers — single client, %s (MED)", b)
+			fmt.Println(bench.FormatIntraQueryTable(title, pts))
+			report.Add("parallel", title, pts)
 		}
 		tightIntra, err := bench.IntraQueryScaling(env("MED").WithCachePages(*tight), bench.Diskstore, workers, 100)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.FormatIntraQueryTable(
-			fmt.Sprintf("Intra-query morsel workers — single client, diskstore tight cache (%d pages, MED)", *tight), tightIntra))
+		tightIntraTitle := fmt.Sprintf("Intra-query morsel workers — single client, diskstore tight cache (%d pages, MED)", *tight)
+		fmt.Println(bench.FormatIntraQueryTable(tightIntraTitle, tightIntra))
+		report.Add("parallel", tightIntraTitle, tightIntra)
 	}
 	if run("serve") {
 		ran = true
@@ -237,6 +266,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Println(bench.FormatServeTable(title, pts))
+			report.Add("serve", title, pts)
 		}
 	}
 	if run("crash") {
@@ -256,6 +286,7 @@ func main() {
 		}
 		fmt.Printf("Crash recovery — truncation sweep: %d mutations, %d WAL bytes, %d kill points, all recovered exactly\n",
 			srep.Mutations, srep.WALBytes, srep.KillPoints)
+		report.Add("crash", "Crash recovery — truncation sweep", srep)
 		exe, err := os.Executable()
 		if err != nil {
 			log.Fatal(err)
@@ -272,6 +303,7 @@ func main() {
 		}
 		fmt.Printf("Crash recovery — SIGKILL loop: %d rounds, %d killed, %d clean exits, %d mid-compact detections, %d mutations survive\n\n",
 			krep.Rounds, krep.Kills, krep.CleanExits, krep.Detected, krep.FinalOps)
+		report.Add("crash", "Crash recovery — SIGKILL loop", krep)
 	}
 	if run("compact") {
 		ran = true
@@ -288,8 +320,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.FormatCompactReport(
-			fmt.Sprintf("Background compaction — read latency during fold vs quiesced (diskstore, %d readers)", *compactReaders), crep))
+		title := fmt.Sprintf("Background compaction — read latency during fold vs quiesced (diskstore, %d readers)", *compactReaders)
+		fmt.Println(bench.FormatCompactReport(title, crep))
+		report.Add("compact", title, crep)
 	}
 	if run("open") {
 		ran = true
@@ -301,6 +334,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatColdOpenTable("Cold open — persisted index (v4) vs full-vertex scan (MED, diskstore)", rows))
+		report.Add("open", "Cold open — persisted index (v4) vs full-vertex scan (MED, diskstore)", rows)
 	}
 	if run("bulkload") {
 		ran = true
@@ -309,14 +343,32 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Println(bench.FormatBulkLoadTable(
-				fmt.Sprintf("Dataset load — bulk pipeline vs incremental writes (%s, MED)", b), rows))
+			title := fmt.Sprintf("Dataset load — bulk pipeline vs incremental writes (%s, MED)", b)
+			fmt.Println(bench.FormatBulkLoadTable(title, rows))
+			report.Add("bulkload", title, rows)
 		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if report != nil {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut != "-" {
+			log.Printf("wrote JSON results to %s", *jsonOut)
+		}
 	}
 }
 

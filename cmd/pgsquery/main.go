@@ -10,6 +10,10 @@
 //	pgsquery -dataset MED -repeat 1000 -parallel 4 -stats 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name'
 //	pgsquery -dataset MED -backend diskstore -stats 'MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name'
 //
+// -profile prints the executor's per-step operator trace (visited and
+// produced counts per plan step) for each schema — the same trace the
+// server returns for PROFILE queries.
+//
 // -stats prints plan-cache effectiveness after the run (hits, misses,
 // singleflight shares, compiles) and, on the diskstore backend, each
 // store's pager I/O counters plus its format/live-write state (segmented
@@ -72,6 +76,7 @@ func main() {
 	backend := flag.String("backend", "memstore", "storage backend: memstore or diskstore")
 	cachePages := flag.Int("cache-pages", 64, "diskstore page cache size")
 	stats := flag.Bool("stats", false, "print plan-cache stats (and pager I/O on diskstore) after the run")
+	profile := flag.Bool("profile", false, "print the per-step operator trace (visited/produced per plan step) for each schema")
 	flag.Parse()
 	if *repeat < 1 {
 		*repeat = 1
@@ -186,9 +191,9 @@ func main() {
 	// One shared plan cache serves both schemas: entries are keyed by
 	// (query text, graph), so the DIR and OPT plans never collide.
 	cache := query.NewCache(0)
-	show(cache, dir, parsed, "DIR", *maxRows, *repeat, *parallel, *queryWorkers)
+	show(cache, dir, parsed, "DIR", *maxRows, *repeat, *parallel, *queryWorkers, *profile)
 	fmt.Println()
-	show(cache, opt, rewritten, "OPT", *maxRows, *repeat, *parallel, *queryWorkers)
+	show(cache, opt, rewritten, "OPT", *maxRows, *repeat, *parallel, *queryWorkers, *profile)
 	if *stats {
 		cs := cache.Stats()
 		fmt.Printf("\nplan cache: %d hits, %d misses (%d shared an in-flight compile, %d compiles), %d/%d plans resident\n",
@@ -216,7 +221,7 @@ func main() {
 	}
 }
 
-func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxRows, repeat, parallel, queryWorkers int) {
+func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxRows, repeat, parallel, queryWorkers int, profile bool) {
 	// Compile once through the shared cache, execute -repeat times from
 	// -parallel goroutines: every worker shares the same immutable plan.
 	plan, err := cache.GetParsed(g, q)
@@ -227,7 +232,13 @@ func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxR
 	// workers merge their counters exactly — so the printed stats describe
 	// one run regardless of -repeat or -query-workers.
 	var st query.Stats
-	res, err := plan.ExecuteParallelWithStats(queryWorkers, &st)
+	var res *query.Result
+	var prof *query.Profile
+	if profile {
+		res, prof, err = plan.ExecuteParallelProfiled(queryWorkers, &st)
+	} else {
+		res, err = plan.ExecuteParallelWithStats(queryWorkers, &st)
+	}
 	if err != nil {
 		fatalf("%s: %v", tag, err)
 	}
@@ -275,6 +286,21 @@ func show(cache *query.Cache, g storage.Graph, q *cypher.Query, tag string, maxR
 			float64(repeat)/elapsed.Seconds())
 	}
 	fmt.Println()
+	if prof != nil {
+		mode := "serial"
+		if prof.Parallel {
+			mode = fmt.Sprintf("parallel: %d morsels on %d workers", prof.Morsels, prof.Workers)
+		}
+		fmt.Printf("  plan (%s):\n", mode)
+		for i, s := range prof.Steps {
+			target := s.Target
+			if s.Bound {
+				target += " (bound)"
+			}
+			fmt.Printf("    %d. %-10s %-16s visited %-8d produced %d\n",
+				i+1, s.Op, target, s.Visited, s.Produced)
+		}
+	}
 	fmt.Printf("  %s\n", strings.Join(res.Columns, " | "))
 	for i, row := range res.Rows {
 		if i == maxRows {

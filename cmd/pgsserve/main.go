@@ -12,6 +12,7 @@
 //	     -d '{"vertices":[{"labels":["Drug"],"props":{"name":"Naproxen"}}],"edges":[{"src":-1,"dst":2,"type":"treat"}]}'
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics
 //
 // POST /query accepts raw Cypher (or {"query": "..."} with a JSON
 // content type) and answers with rows, work counters, and the executed —
@@ -27,6 +28,14 @@
 // sizes, WAL fsync counts and mean latency — next to the pager and
 // admission numbers.
 //
+// Observability: GET /metrics serves the same registry as /stats in
+// Prometheus text exposition format; every response carries an
+// X-Request-Id (honored from the client or generated); a query prefixed
+// with PROFILE (or sent to /query?profile=1) returns a per-phase,
+// per-operator trace. -slow-query-log streams JSON lines for requests at
+// or above -slow-query-threshold, and -pprof-addr serves
+// net/http/pprof on a separate listener.
+//
 // When -data-dir points at an already-populated diskstore (e.g. written
 // by `pgsgen -store` or a previous pgsserve run), the store is served
 // as-is: no dataset load runs, and a format-v4 store restores its label
@@ -40,7 +49,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof-addr registers /debug/pprof on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -88,7 +101,42 @@ func run() error {
 	planCache := flag.Int("plan-cache", 0, "plan cache capacity (0 = default)")
 	autoCompact := flag.Int64("auto-compact", 0, "start a background compaction once the live delta holds this many vertices+edges (0 = manual via POST /admin/compact)")
 	drainWait := flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it off public interfaces)")
+	slowThreshold := flag.Duration("slow-query-threshold", 0, "log requests at or above this latency to the slow-query log (0 with -slow-query-log = log every request)")
+	slowLog := flag.String("slow-query-log", "", "slow-query log destination: a file path (appended), or - for stderr")
 	flag.Parse()
+
+	// Slow-query log destination. The server serializes writes, so an
+	// O_APPEND file or stderr both yield intact JSON lines.
+	var slowSink io.Writer
+	if *slowLog != "" {
+		if *slowLog == "-" {
+			slowSink = os.Stderr
+		} else {
+			f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("open slow-query log: %w", err)
+			}
+			defer f.Close()
+			slowSink = f
+		}
+	}
+
+	// pprof gets its own listener so profiling endpoints never share the
+	// query port: net/http/pprof registers on DefaultServeMux, which the
+	// query server deliberately does not use.
+	if *pprofAddr != "" {
+		lis, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		log.Printf("pprof listening on %s (GET /debug/pprof/)", lis.Addr())
+		go func() {
+			if err := http.Serve(lis, http.DefaultServeMux); err != nil {
+				log.Printf("pprof server stopped: %v", err)
+			}
+		}()
+	}
 
 	o := datagen.MED()
 	switch *dataset {
@@ -198,6 +246,8 @@ func run() error {
 		PlanCacheSize:  *planCache,
 
 		AutoCompactDeltaItems: *autoCompact,
+		SlowQueryThreshold:    *slowThreshold,
+		SlowQueryLog:          slowSink,
 	})
 	if err != nil {
 		return err
@@ -206,7 +256,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("listening on %s (POST /query, POST /mutate, GET /healthz, GET /stats)", bound)
+	log.Printf("listening on %s (POST /query, POST /mutate, GET /healthz, GET /stats, GET /metrics)", bound)
 
 	// Drain on SIGINT/SIGTERM: stop accepting, let in-flight requests
 	// finish (each bounded by -timeout), then exit.

@@ -88,6 +88,13 @@ func TestDocsPresentAndLinked(t *testing.T) {
 			"Background compaction", "epoch", "AcquireSnapshot",
 			"ErrCompactInProgress", "/admin/compact", "auto-compact",
 			"fold.tmp", "OracleRun", "FuzzWALReplay", "PinnedSnapshots",
+			// Observability: the metrics registry, the Prometheus
+			// exposition and its strict checker, request-ID propagation,
+			// PROFILE traces, the slow-query log, and pprof wiring must
+			// stay documented alongside the code.
+			"Observability", "obs.Registry", "/metrics", "promcheck",
+			"X-Request-Id", "PROFILE", "plan_cache_hit", "slow-query",
+			"pgs_server_requests_total", "pprof-addr", "metrics-smoke",
 		},
 		"docs/QUERY_LANGUAGE.md": {
 			"MATCH", "RETURN", "DISTINCT", "ORDER BY", "LIMIT",

@@ -1,0 +1,51 @@
+package bench
+
+// Machine-readable experiment output. The text tables the Format*
+// functions print are for humans at a terminal; CI jobs and regression
+// dashboards instead collect the same row structs into a Report and
+// serialize it once as JSON (pgsbench -json out.json). Rows marshal with
+// their Go field names — the structs are the schema, so a field rename
+// is a deliberate, reviewable output-format change.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the top-level pgsbench -json document: invocation metadata
+// plus one Section per table printed.
+type Report struct {
+	// Meta records the invocation: flags, dataset cardinalities, seed —
+	// whatever the caller needs to reproduce the run.
+	Meta map[string]any `json:"meta,omitempty"`
+	// Sections appear in print order, one per formatted table.
+	Sections []Section `json:"sections"`
+}
+
+// Section is one experiment table: the experiment key (the -exp name),
+// the human title of the corresponding text table, and its rows.
+type Section struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	Rows       any    `json:"rows"`
+}
+
+// Add appends one section. A nil *Report is a no-op collector, so call
+// sites can add unconditionally and let the -json flag decide.
+func (r *Report) Add(experiment, title string, rows any) {
+	if r == nil {
+		return
+	}
+	r.Sections = append(r.Sections, Section{Experiment: experiment, Title: title, Rows: rows})
+}
+
+// WriteJSON serializes the report, indented for diffability. Sections is
+// never null: an empty run still yields a well-formed document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if r.Sections == nil {
+		r.Sections = []Section{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

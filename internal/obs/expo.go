@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4): one HELP and TYPE line per family,
+// then each series sorted by label key. Histograms expose cumulative
+// log2 `le` buckets, `_sum`, and `_count`, all in seconds. Families
+// appear in registration order, so diffing two scrapes is line-stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	families := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	for _, f := range families {
+		if len(f.series) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		writeEscapedHelp(bw, f.help)
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			if s.hist != nil {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			var v float64
+			switch {
+			case s.counter != nil:
+				v = float64(s.counter.Load())
+			case s.gauge != nil:
+				v = float64(s.gauge.Load())
+			case s.fn != nil:
+				v = s.fn()
+			}
+			writeSample(bw, f.name, s.labels, nil, v)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// log2 upper edges converted from microseconds to seconds, then +Inf,
+// _sum, and _count.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	var cum [HistBuckets]int64
+	count, sumUS := s.hist.cumulative(&cum)
+	for i := range cum {
+		// Bucket i holds observations <= 2^i - 1 µs.
+		le := float64((int64(1)<<uint(i))-1) / 1e6
+		writeSample(bw, name+"_bucket", s.labels,
+			&Label{Name: "le", Value: strconv.FormatFloat(le, 'g', -1, 64)}, float64(cum[i]))
+	}
+	writeSample(bw, name+"_bucket", s.labels, &Label{Name: "le", Value: "+Inf"}, float64(count))
+	writeSample(bw, name+"_sum", s.labels, nil, float64(sumUS)/1e6)
+	writeSample(bw, name+"_count", s.labels, nil, float64(count))
+}
+
+// writeSample renders one `name{labels} value` line. extra, when non-nil,
+// is appended after the series labels (the histogram `le` label).
+func writeSample(bw *bufio.Writer, name string, labels []Label, extra *Label, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extra != nil {
+		bw.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			writeLabel(bw, l)
+		}
+		if extra != nil {
+			if !first {
+				bw.WriteByte(',')
+			}
+			writeLabel(bw, *extra)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	bw.WriteByte('\n')
+}
+
+func writeLabel(bw *bufio.Writer, l Label) {
+	bw.WriteString(l.Name)
+	bw.WriteString(`="`)
+	for i := 0; i < len(l.Value); i++ {
+		switch c := l.Value[i]; c {
+		case '\\':
+			bw.WriteString(`\\`)
+		case '"':
+			bw.WriteString(`\"`)
+		case '\n':
+			bw.WriteString(`\n`)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}
+
+// writeEscapedHelp escapes backslashes and newlines, the two characters
+// the exposition format forbids raw in HELP text.
+func writeEscapedHelp(bw *bufio.Writer, help string) {
+	for i := 0; i < len(help); i++ {
+		switch c := help[i]; c {
+		case '\\':
+			bw.WriteString(`\\`)
+		case '\n':
+			bw.WriteString(`\n`)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramEmptyQuantile: an empty histogram must report 0 for every
+// quantile, not a garbage bucket midpoint.
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.MeanUS != 0 || s.P50US != 0 || s.P99US != 0 {
+		t.Errorf("empty histogram snapshot not all zero: %+v", s)
+	}
+}
+
+// TestHistogramOverflowBounded: observations past the last bucket's range
+// clamp into the overflow bucket, and Quantile must report a bounded
+// upper estimate — the observed maximum — not the ~2^39 µs bucket
+// ceiling.
+func TestHistogramOverflowBounded(t *testing.T) {
+	var h Histogram
+	huge := 3 * time.Duration(int64(1)<<41) * time.Microsecond // far past the bucket range
+	h.Observe(huge)
+	got := h.Quantile(0.99)
+	if got != huge {
+		t.Errorf("overflow Quantile(0.99) = %v, want the observed max %v", got, huge)
+	}
+	// A mixed histogram's top quantile is still bounded by the max.
+	h.Observe(1 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	if got := h.Quantile(1); got > huge {
+		t.Errorf("Quantile(1) = %v exceeds the observed maximum %v", got, huge)
+	}
+}
+
+// TestHistogramQuantileClampedToMax: within a normal bucket the reported
+// upper bound must never exceed the largest observed value.
+func TestHistogramQuantileClampedToMax(t *testing.T) {
+	var h Histogram
+	// 1025 µs lands in the [1024, 2048) bucket whose ceiling is 2047 µs;
+	// the estimate must clamp to the real max.
+	h.Observe(1025 * time.Microsecond)
+	if got, want := h.Quantile(0.99), 1025*time.Microsecond; got != want {
+		t.Errorf("Quantile(0.99) = %v, want clamped max %v", got, want)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot hammers Observe from many
+// goroutines while snapshotting concurrently; run under -race this is
+// the data-race guard for the lock-free hot path.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+				h.Quantile(0.99)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	// Wait for observers, then stop the snapshotter.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+	if got, want := h.Count(), int64(workers*perWorker); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+// TestRegistryDuplicatePanics: registering the same (name, label set)
+// twice is a programming error and must panic, as must a kind clash.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("pgs_test_total", "t", L("a", "1"))
+	r.NewCounter("pgs_test_total", "t", L("a", "2")) // distinct labels: fine
+	mustPanic(t, "duplicate series", func() { r.NewCounter("pgs_test_total", "t", L("a", "1")) })
+	mustPanic(t, "kind clash", func() { r.NewGauge("pgs_test_total", "t") })
+	mustPanic(t, "invalid name", func() { r.NewCounter("0bad", "t") })
+	mustPanic(t, "invalid label", func() { r.NewCounter("pgs_ok_total", "t", L("0bad", "x")) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestExpositionRoundTrip: the writer's output must satisfy the strict
+// parser, cover every registered series exactly once, and stay monotonic
+// across two scrapes with counter activity in between.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("pgs_reqs_total", "requests", L("endpoint", "/query"))
+	g := r.NewGauge("pgs_inflight", "in-flight")
+	h := r.NewHistogram("pgs_latency_seconds", "latency", L("endpoint", "/query"))
+	r.CounterFunc("pgs_fn_total", "func counter", func() float64 { return 42 })
+	r.GaugeFunc("pgs_fn_gauge", `odd "help" with \ and`+"\nnewline`", func() float64 { return -1.5 })
+
+	c.Add(3)
+	g.Set(2)
+	h.Observe(1500 * time.Microsecond)
+	h.Observe(20 * time.Microsecond)
+
+	var buf1 bytes.Buffer
+	if err := r.WritePrometheus(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	exp1, err := ParseExposition(buf1.Bytes())
+	if err != nil {
+		t.Fatalf("first scrape failed strict parse: %v\n%s", err, buf1.String())
+	}
+	if got, ok := exp1.Samples[`pgs_reqs_total{endpoint="/query"}`]; !ok || got != 3 {
+		t.Errorf("counter sample missing or wrong: %v (ok=%v)", got, ok)
+	}
+	if got := exp1.Samples[`pgs_latency_seconds_count{endpoint="/query"}`]; got != 2 {
+		t.Errorf("histogram count = %v, want 2", got)
+	}
+	if typ := exp1.Types["pgs_latency_seconds"]; typ != "histogram" {
+		t.Errorf("histogram TYPE = %q", typ)
+	}
+
+	c.Add(5)
+	h.Observe(time.Millisecond)
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	exp2, err := ParseExposition(buf2.Bytes())
+	if err != nil {
+		t.Fatalf("second scrape failed strict parse: %v", err)
+	}
+	if err := CheckCounterMonotonic(exp1, exp2); err != nil {
+		t.Fatalf("monotonicity: %v", err)
+	}
+	// The reverse direction must fail: counters went up.
+	if err := CheckCounterMonotonic(exp2, exp1); err == nil {
+		t.Error("reversed scrapes passed the monotonic check; counters should have regressed")
+	}
+}
+
+// TestParserRejects: the strict parser must reject the classic
+// malformations instead of shrugging them off.
+func TestParserRejects(t *testing.T) {
+	bad := map[string]string{
+		"duplicate series":  "# TYPE a counter\na 1\na 1\n",
+		"no TYPE":           "a 1\n",
+		"bad value":         "# TYPE a counter\na one\n",
+		"trailing garbage":  "# TYPE a counter\na 1 2 3\n",
+		"unquoted label":    "# TYPE a counter\na{x=1} 1\n",
+		"dup label in set":  `# TYPE a counter` + "\n" + `a{x="1",x="2"} 1` + "\n",
+		"unterminated":      `# TYPE a counter` + "\n" + `a{x="1 1` + "\n",
+		"bad type":          "# TYPE a widget\na 1\n",
+		"histogram no +Inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+	}
+	for what, in := range bad {
+		if _, err := ParseExposition([]byte(in)); err == nil {
+			t.Errorf("%s: parser accepted %q", what, in)
+		}
+	}
+	// And a well-formed document with escapes must pass.
+	good := "# HELP a with \\\\ escapes\n# TYPE a counter\n" +
+		`a{q="say \"hi\"",nl="a\nb"} 7` + "\n"
+	exp, err := ParseExposition([]byte(good))
+	if err != nil {
+		t.Fatalf("good document rejected: %v", err)
+	}
+	found := false
+	for key := range exp.Samples {
+		if strings.HasPrefix(key, "a{") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped-label sample not indexed")
+	}
+}

@@ -1,0 +1,50 @@
+// Command promcheck validates Prometheus text exposition scrapes with
+// the repo's strict parser: every line must parse, no metric/label pair
+// may repeat, histograms must be internally consistent, and — when given
+// more than one scrape file — counters must be monotonic from each
+// scrape to the next. The CI metrics-smoke job boots pgsserve, saves two
+// /metrics scrapes, and runs this over them.
+//
+// Usage:
+//
+//	promcheck scrape1.txt [scrape2.txt ...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("promcheck: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: promcheck scrape1.txt [scrape2.txt ...]")
+	}
+	var prev *obs.Exposition
+	prevName := ""
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp, err := obs.ParseExposition(data)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if prev != nil {
+			if err := obs.CheckCounterMonotonic(prev, exp); err != nil {
+				log.Fatalf("%s -> %s: %v", prevName, path, err)
+			}
+		}
+		fmt.Printf("%s: %d samples, %d families, strict parse ok\n",
+			path, len(exp.Samples), len(exp.Types))
+		prev, prevName = exp, path
+	}
+	if len(os.Args) > 2 {
+		fmt.Printf("counters monotonic across %d scrapes\n", len(os.Args)-1)
+	}
+}

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its canonical
+// (sorted, escaped) label rendering, and the value.
+type Sample struct {
+	Name     string
+	LabelKey string // canonical sorted "k=v" join; "" for unlabeled
+	Value    float64
+}
+
+// Exposition is one parsed scrape. Types maps family name to its TYPE
+// declaration; Samples maps "name{labelkey}" to the value.
+type Exposition struct {
+	Types   map[string]string
+	Samples map[string]float64
+	Order   []string // sample keys in input order
+}
+
+// ParseExposition parses Prometheus text exposition strictly: every line
+// must be a well-formed comment or sample, label values must be properly
+// quoted, no (name, label set) pair may repeat, every sample's family
+// must have a TYPE declared before it appears, and histogram families
+// must have cumulative non-decreasing buckets whose +Inf count equals
+// _count. It returns the parse or the first violation.
+func ParseExposition(data []byte) (*Exposition, error) {
+	exp := &Exposition{Types: map[string]string{}, Samples: map[string]float64{}}
+	// histBucketSeen collects per-series bucket values for the cumulative
+	// check, keyed by family + non-le label key.
+	type bucketSeq struct {
+		les  []float64
+		cums []float64
+		inf  float64
+		has  bool
+	}
+	buckets := map[string]*bucketSeq{}
+	helped := map[string]bool{}
+
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "HELP" {
+				if helped[name] {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				helped[name] = true
+				continue
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			typ := strings.TrimSpace(fields[3])
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := exp.Types[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			exp.Types[name] = typ
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(name, exp.Types)
+		if fam == "" {
+			return nil, fmt.Errorf("line %d: sample %s has no TYPE declaration before it", lineNo, name)
+		}
+		var le string
+		var rest []Label
+		for _, l := range labels {
+			if l.Name == "le" && strings.HasSuffix(name, "_bucket") {
+				le = l.Value
+				continue
+			}
+			rest = append(rest, l)
+		}
+		key := name + "{" + labelKey(labels) + "}"
+		if _, dup := exp.Samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		exp.Samples[key] = value
+		exp.Order = append(exp.Order, key)
+
+		if exp.Types[fam] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if le == "" {
+				return nil, fmt.Errorf("line %d: histogram bucket %s lacks an le label", lineNo, name)
+			}
+			bkey := fam + "{" + labelKey(rest) + "}"
+			bs := buckets[bkey]
+			if bs == nil {
+				bs = &bucketSeq{}
+				buckets[bkey] = bs
+			}
+			if le == "+Inf" {
+				bs.inf, bs.has = value, true
+			} else {
+				lef, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: unparseable le %q", lineNo, le)
+				}
+				bs.les = append(bs.les, lef)
+				bs.cums = append(bs.cums, value)
+			}
+		}
+	}
+
+	// Histogram closure: buckets cumulative and le-ascending, +Inf present
+	// and equal to _count.
+	for bkey, bs := range buckets {
+		if !bs.has {
+			return nil, fmt.Errorf("histogram %s has no +Inf bucket", bkey)
+		}
+		for i := 1; i < len(bs.cums); i++ {
+			if bs.les[i] <= bs.les[i-1] {
+				return nil, fmt.Errorf("histogram %s: le edges not ascending", bkey)
+			}
+			if bs.cums[i] < bs.cums[i-1] {
+				return nil, fmt.Errorf("histogram %s: bucket counts not cumulative", bkey)
+			}
+		}
+		if len(bs.cums) > 0 && bs.inf < bs.cums[len(bs.cums)-1] {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket below a finite bucket", bkey)
+		}
+		fam := strings.SplitN(bkey, "{", 2)[0]
+		rest := strings.TrimSuffix(strings.SplitN(bkey, "{", 2)[1], "}")
+		countKey := fam + "_count{" + rest + "}"
+		count, ok := exp.Samples[countKey]
+		if !ok {
+			return nil, fmt.Errorf("histogram %s lacks a _count sample", bkey)
+		}
+		if count != bs.inf {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", bkey, bs.inf, count)
+		}
+	}
+	return exp, nil
+}
+
+// familyOf resolves a sample name to its declared family: the name
+// itself, or the base of a histogram/summary suffix.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suf); found {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// labelKey renders labels canonically (sorted by name) for dup detection
+// and cross-scrape matching.
+func labelKey(labels []Label) string {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.Name + "=" + strconv.Quote(l.Value)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseSampleLine parses `name{labels} value` (no timestamp — the writer
+// never emits one, and the smoke check treats one as a violation).
+func parseSampleLine(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name = rest[:i]
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++ // skip escaped char
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set")
+		}
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("expected exactly one value after the series, got %q", rest)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", rest)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses the interior of a {label="value",...} set.
+func parseLabels(s string) ([]Label, error) {
+	var out []Label
+	seen := map[string]bool{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q lacks '='", s)
+		}
+		name := s[:eq]
+		if !labelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate label %q within one series", name)
+		}
+		seen[name] = true
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		var val strings.Builder
+		j := 1
+		closed := false
+		for j < len(s) {
+			c := s[j]
+			if c == '\\' {
+				if j+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch s[j+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("invalid escape \\%c in label %s", s[j+1], name)
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				j++
+				break
+			}
+			val.WriteByte(c)
+			j++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %s", name)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		s = s[j:]
+		if s == "" {
+			break
+		}
+		if !strings.HasPrefix(s, ",") {
+			return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+		}
+		s = s[1:]
+	}
+	return out, nil
+}
+
+// CheckCounterMonotonic verifies that every counter-typed series in prev
+// (histogram buckets, sums, and counts included) has a value in cur at
+// least as large — the cross-scrape monotonicity the CI metrics-smoke
+// job enforces. A counter series present in prev must still exist in cur.
+func CheckCounterMonotonic(prev, cur *Exposition) error {
+	for key, pv := range prev.Samples {
+		name := strings.SplitN(key, "{", 2)[0]
+		fam := familyOf(name, prev.Types)
+		if fam == "" {
+			continue
+		}
+		typ := prev.Types[fam]
+		monotonic := typ == "counter" || typ == "histogram"
+		if !monotonic {
+			continue
+		}
+		cv, ok := cur.Samples[key]
+		if !ok {
+			return fmt.Errorf("counter series %s disappeared between scrapes", key)
+		}
+		if cv < pv {
+			return fmt.Errorf("counter series %s went backwards: %v -> %v", key, pv, cv)
+		}
+	}
+	return nil
+}

@@ -85,6 +85,14 @@ func NewCache(capacity int) *Cache {
 // on first sight. Concurrent Gets for a cold key compile exactly once:
 // one caller does the work, the rest share the result.
 func (c *Cache) Get(g storage.Graph, src string) (*Prepared, error) {
+	p, _, err := c.GetWithInfo(g, src)
+	return p, err
+}
+
+// GetWithInfo is Get additionally reporting whether the plan was served
+// from the cache (a hit) rather than compiled (or piggy-backed on an
+// in-flight compile). PROFILE traces use it to attribute the plan phase.
+func (c *Cache) GetWithInfo(g storage.Graph, src string) (*Prepared, bool, error) {
 	return c.get(cacheKey{g: g, text: src}, func() (*Prepared, error) {
 		q, err := cypher.Parse(src)
 		if err != nil {
@@ -101,21 +109,23 @@ func (c *Cache) Get(g storage.Graph, src string) (*Prepared, error) {
 // key separately. Note that building the key renders the AST on every
 // call — hot paths should render once and use Get.
 func (c *Cache) GetParsed(g storage.Graph, q *cypher.Query) (*Prepared, error) {
-	return c.get(cacheKey{g: g, text: q.String()}, func() (*Prepared, error) {
+	p, _, err := c.get(cacheKey{g: g, text: q.String()}, func() (*Prepared, error) {
 		return Prepare(g, q)
 	})
+	return p, err
 }
 
 // get is the shared lookup/singleflight/insert path. compile runs with no
-// locks held, at most once per key across all concurrent callers.
-func (c *Cache) get(key cacheKey, compile func() (*Prepared, error)) (*Prepared, error) {
+// locks held, at most once per key across all concurrent callers. The
+// second result reports whether the plan came from the ready table.
+func (c *Cache) get(key cacheKey, compile func() (*Prepared, error)) (*Prepared, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.table[key]; ok {
 		c.hits++
 		c.lru.MoveToFront(el)
 		p := el.Value.(*cacheEntry).plan
 		c.mu.Unlock()
-		return p, nil
+		return p, true, nil
 	}
 	c.misses++
 	if f, ok := c.inflight[key]; ok {
@@ -124,7 +134,7 @@ func (c *Cache) get(key cacheKey, compile func() (*Prepared, error)) (*Prepared,
 		c.shared++
 		c.mu.Unlock()
 		<-f.done
-		return f.plan, f.err
+		return f.plan, false, f.err
 	}
 	// The sentinel error stands until compile assigns over it, so if
 	// compile panics the followers observe an error instead of a nil
@@ -146,7 +156,7 @@ func (c *Cache) get(key cacheKey, compile func() (*Prepared, error)) (*Prepared,
 		close(f.done)
 	}()
 	f.plan, f.err = compile()
-	return f.plan, f.err
+	return f.plan, false, f.err
 }
 
 // errInflightAbandoned is what singleflight followers see when the

@@ -97,7 +97,7 @@ func (p *Prepared) ExecuteParallelContextWithStats(ctx context.Context, workers 
 	err := p.runParallel(ctx, g, scans, min(workers, len(scans)), st, func(batch [][]graph.Value) error {
 		rows = append(rows, batch...)
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +131,7 @@ func (p *Prepared) StreamParallelContextWithStats(ctx context.Context, workers i
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		return p.runParallel(ctx, g, scans, min(workers, len(scans)), st, deliver)
+		return p.runParallel(ctx, g, scans, min(workers, len(scans)), st, deliver, nil)
 	}
 	// Serial fallback. Plain projections stream row by row through the
 	// machine's emit hook; shapes that buffer anyway (grouping, DISTINCT,
@@ -197,8 +197,10 @@ func (p *Prepared) planMorsels(g storage.FastGraph, workers int) []storage.Verte
 // runParallel is the morsel driver: it fans scans out over workers worker
 // goroutines, merges their results per the plan's shape, and hands
 // finished row batches to deliver on the calling goroutine. st receives
-// the exact merged work counters.
-func (p *Prepared) runParallel(ctx context.Context, g storage.FastGraph, scans []storage.VertexScan, workers int, st *Stats, deliver func([][]graph.Value) error) error {
+// the exact merged work counters. profSteps, when non-nil, must have one
+// slot per worker; each worker parks its raw PROFILE counters there
+// before its machine is released, and the profiled caller folds them.
+func (p *Prepared) runParallel(ctx context.Context, g storage.FastGraph, scans []storage.VertexScan, workers int, st *Stats, deliver func([][]graph.Value) error, profSteps [][]stepCounts) error {
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -254,7 +256,14 @@ func (p *Prepared) runParallel(ctx context.Context, g storage.FastGraph, scans [
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			m := p.pool.Get().(*machine)
+			var m *machine
+			if profSteps != nil {
+				// Profiled machines carry an instrumented step chain and
+				// bypass the pool entirely (release won't pool them back).
+				m = p.newProfiledMachine()
+			} else {
+				m = p.pool.Get().(*machine)
+			}
 			m.reset(p, &workerStats[w])
 			m.g = g // the pinned view, not necessarily p.g
 			m.done = wctx.Done()
@@ -309,6 +318,11 @@ func (p *Prepared) runParallel(ctx context.Context, g storage.FastGraph, scans [
 			}
 			if err != nil {
 				fail(err)
+			}
+			if profSteps != nil {
+				// Park the counters before release clears the machine's
+				// reference; the slice itself survives for the caller's fold.
+				profSteps[w] = m.psteps
 			}
 			switch {
 			case p.grouped:

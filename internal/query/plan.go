@@ -111,6 +111,14 @@ type machine struct {
 	// aggState.merge).
 	trackDistinct bool
 
+	// psteps, when non-nil, receives per-step PROFILE counters: one slot
+	// per compiled move plus a final slot for the emit step. It is
+	// allocated by buildMachine(profiled=true) BEFORE the step chain is
+	// compiled — the chain closures capture &psteps[i] directly — and its
+	// presence also marks the machine as single-use (release skips the
+	// pool), so pooled machines never carry profiling code.
+	psteps []stepCounts
+
 	slots []storage.VID // variable bindings; -1 = unbound
 	used  []storage.EID // edges bound on the current path (Cypher uniqueness)
 
@@ -248,7 +256,16 @@ func (p *Prepared) planParallel() {
 // newMachine builds a fresh execution context sized for the plan,
 // including its private step chain. Called by the pool on first use and
 // whenever the pool is empty.
-func (p *Prepared) newMachine() *machine {
+func (p *Prepared) newMachine() *machine { return p.buildMachine(false) }
+
+// newProfiledMachine builds a machine whose step chain carries the
+// PROFILE counter increments (m.psteps is allocated before the chain is
+// compiled, so moveStep/emitStep bake the increments in). Profiled
+// machines are built per call and never pooled — the pooled chain stays
+// free of profiling code entirely.
+func (p *Prepared) newProfiledMachine() *machine { return p.buildMachine(true) }
+
+func (p *Prepared) buildMachine(profiled bool) *machine {
 	m := &machine{
 		g:          p.g,
 		slots:      make([]storage.VID, p.nSlots),
@@ -258,9 +275,12 @@ func (p *Prepared) newMachine() *machine {
 	if p.grouped {
 		m.groups = map[string]*groupRow{}
 	}
+	if profiled {
+		m.psteps = make([]stepCounts, len(p.moves)+1)
+	}
 	next := p.emitStep(m)
 	for i := len(p.moves) - 1; i >= 0; i-- {
-		next = p.moveStep(m, p.moves[i], next)
+		next = p.moveStep(m, i, p.moves[i], next)
 	}
 	m.root = next
 	return m
@@ -359,6 +379,12 @@ func (p *Prepared) release(m *machine) {
 	m.ctx = nil
 	m.emit = nil
 	m.trackDistinct = false
+	if m.psteps != nil {
+		// Profiled machines carry an instrumented step chain; they are
+		// single-use and never pooled, so a later unprofiled execution
+		// cannot pick up (and pay for) the counter increments.
+		return
+	}
 	p.pool.Put(m)
 }
 
@@ -376,6 +402,11 @@ type move struct {
 	etype    storage.SymbolID
 	outgoing bool
 	fromSlot int
+	// scanName/typeName are the human-readable step targets PROFILE
+	// reports: the scanned label (or bound variable) and the expanded edge
+	// type. Display-only; execution goes through the interned IDs above.
+	scanName string
+	typeName string
 	// bound marks moves whose node variable is already bound when the
 	// move runs (join back-edges, repeated variables): the move checks
 	// instead of binding.
@@ -438,15 +469,19 @@ func (c *compiler) planPattern(pat *cypher.PathPattern, boundSlots map[int]bool)
 	var moves []move
 	addStart := func(n *cypher.NodePattern) {
 		mv := move{node: c.node(n), start: true, bound: boundSlots[c.slot(n.Var)]}
-		if !mv.bound {
+		if mv.bound {
+			mv.scanName = n.Var // PROFILE target: the already-bound variable
+		} else {
 			// Scan the most selective label; AnySymbol scans everything.
 			mv.scanLabel = storage.AnySymbol
 			if len(n.Labels) > 0 {
 				best := c.g.CountLabel(n.Labels[0])
 				mv.scanLabel = c.g.LabelID(n.Labels[0])
+				mv.scanName = n.Labels[0]
 				for _, l := range n.Labels[1:] {
 					if cnt := c.g.CountLabel(l); cnt < best {
 						mv.scanLabel, best = c.g.LabelID(l), cnt
+						mv.scanName = l
 					}
 				}
 			}
@@ -461,6 +496,7 @@ func (c *compiler) planPattern(pat *cypher.PathPattern, boundSlots map[int]bool)
 			outgoing: (rel.Dir == cypher.DirOut) == leftToRight,
 			fromSlot: c.slot(fromNode.Var),
 			bound:    boundSlots[c.slot(n.Var)],
+			typeName: rel.Type,
 		}
 		boundSlots[mv.node.slot] = true
 		moves = append(moves, mv)
@@ -503,18 +539,37 @@ func (c *compiler) node(n *cypher.NodePattern) cnode {
 	return cn
 }
 
-// moveStep builds m's executable step for one move. The iterator callbacks
+// moveStep builds m's executable step for move idx. The iterator callbacks
 // are constructed here, once per machine, and reused across executions and
-// rows.
-func (p *Prepared) moveStep(m *machine, mv move, next step) step {
+// rows. Profiled machines (m.psteps allocated before the chain is built)
+// get the PROFILE increments baked in as build-time wrappers — `produced`
+// by wrapping next, `visited` by wrapping the callback — so plain machines
+// run closures with no profiling code at all.
+func (p *Prepared) moveStep(m *machine, idx int, mv move, next step) step {
 	node := mv.node
+	var ps *stepCounts
+	if m.psteps != nil {
+		ps = &m.psteps[idx]
+		inner := next
+		next = func() error {
+			ps.produced++
+			return inner()
+		}
+	}
 	switch {
 	case mv.start && mv.bound:
-		return func() error {
+		check := func() error {
 			if !m.checkNode(&node, m.slots[node.slot]) {
 				return nil
 			}
 			return next()
+		}
+		if ps == nil {
+			return check
+		}
+		return func() error {
+			ps.visited++
+			return check()
 		}
 	case mv.start:
 		scan := func(v storage.VID) bool {
@@ -529,6 +584,13 @@ func (p *Prepared) moveStep(m *machine, mv move, next step) step {
 			m.err = next()
 			m.slots[node.slot] = unbound
 			return m.err == nil
+		}
+		if ps != nil {
+			plain := scan
+			scan = func(v storage.VID) bool {
+				ps.visited++
+				return plain(v)
+			}
 		}
 		// The chain is linked last move first, so the final assignment —
 		// the plan's root move — wins: m.rootScan is exactly the callback
@@ -598,6 +660,13 @@ func (p *Prepared) moveStep(m *machine, mv move, next step) step {
 				return m.err == nil
 			}
 		}
+		if ps != nil {
+			plain := expand
+			expand = func(e storage.EID, other storage.VID) bool {
+				ps.visited++
+				return plain(e, other)
+			}
+		}
 		etype, from, outgoing := mv.etype, mv.fromSlot, mv.outgoing
 		if outgoing {
 			return func() error {
@@ -615,8 +684,26 @@ func (p *Prepared) moveStep(m *machine, mv move, next step) step {
 // ---- row emission ----
 
 // emitStep builds m's chain terminator: WHERE filter, then group
-// accumulation or direct projection.
+// accumulation or direct projection. As in moveStep, the PROFILE counter
+// increments exist only in the profiled machine's variant of the closure.
 func (p *Prepared) emitStep(m *machine) step {
+	if m.psteps != nil {
+		ps := &m.psteps[len(p.moves)] // the emit step's PROFILE counter slot
+		return func() error {
+			ps.visited++
+			if p.where != nil {
+				val, err := p.where(m)
+				if err != nil {
+					return err
+				}
+				if ok, _ := truth(val); !ok {
+					return nil
+				}
+			}
+			ps.produced++
+			return p.emitRow(m)
+		}
+	}
 	return func() error {
 		if p.where != nil {
 			val, err := p.where(m)
@@ -627,23 +714,29 @@ func (p *Prepared) emitStep(m *machine) step {
 				return nil
 			}
 		}
-		if p.grouped {
-			return p.accumulateGroup(m)
-		}
-		row := make([]graph.Value, len(p.items))
-		for i := range p.items {
-			v, err := p.items[i].out(m)
-			if err != nil {
-				return err
-			}
-			row[i] = v
-		}
-		if m.emit != nil {
-			return m.emit(row)
-		}
-		m.rows = append(m.rows, row)
-		return nil
+		return p.emitRow(m)
 	}
+}
+
+// emitRow is the emit step's post-WHERE tail: group accumulation or
+// projection into the machine's sink.
+func (p *Prepared) emitRow(m *machine) error {
+	if p.grouped {
+		return p.accumulateGroup(m)
+	}
+	row := make([]graph.Value, len(p.items))
+	for i := range p.items {
+		v, err := p.items[i].out(m)
+		if err != nil {
+			return err
+		}
+		row[i] = v
+	}
+	if m.emit != nil {
+		return m.emit(row)
+	}
+	m.rows = append(m.rows, row)
+	return nil
 }
 
 func (p *Prepared) accumulateGroup(m *machine) error {

@@ -93,19 +93,20 @@ func (s *Server) maybeAutoCompact(mg storage.MutableGraph) {
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.m.compact.Observe(time.Since(start)) }()
+	rid := beginRequest(w, r)
 	if s.draining.Load() {
 		s.m.drained.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, http.StatusServiceUnavailable, rid, "server is draining")
 		return
 	}
 	mg, ok := s.data.Load().graph.(storage.MutableGraph)
 	if !ok {
-		writeError(w, http.StatusNotImplemented, "the served backend does not support compaction")
+		writeError(w, http.StatusNotImplemented, rid, "the served backend does not support compaction")
 		return
 	}
 	if !s.startCompact(mg) {
-		writeError(w, http.StatusConflict, storage.ErrCompactInProgress.Error())
+		writeError(w, http.StatusConflict, rid, storage.ErrCompactInProgress.Error())
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"status": "compaction started"})
+	writeJSON(w, http.StatusAccepted, map[string]any{"status": "compaction started", "request_id": rid})
 }

@@ -107,9 +107,13 @@ func appendJSONValue(dst []byte, v graph.Value) []byte {
 }
 
 // appendQueryResponse renders the whole POST /query success body.
-func appendQueryResponse(dst []byte, executed string, res *query.Result, st *query.Stats, elapsedUS int64) []byte {
+// profileJSON, when non-nil, is a pre-marshaled profile object appended
+// verbatim as the "profile" field (the PROFILE cold path).
+func appendQueryResponse(dst []byte, executed, rid string, res *query.Result, st *query.Stats, elapsedUS int64, profileJSON []byte) []byte {
 	dst = append(dst, `{"query":`...)
 	dst = appendJSONString(dst, executed)
+	dst = append(dst, `,"request_id":`...)
+	dst = appendJSONString(dst, rid)
 	dst = append(dst, `,"columns":[`...)
 	for i, c := range res.Columns {
 		if i > 0 {
@@ -141,5 +145,9 @@ func appendQueryResponse(dst []byte, executed string, res *query.Result, st *que
 	dst = strconv.AppendInt(dst, st.RowsEmitted, 10)
 	dst = append(dst, `},"elapsed_us":`...)
 	dst = strconv.AppendInt(dst, elapsedUS, 10)
+	if profileJSON != nil {
+		dst = append(dst, `,"profile":`...)
+		dst = append(dst, profileJSON...)
+	}
 	return append(dst, '}')
 }

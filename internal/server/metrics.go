@@ -1,92 +1,194 @@
 package server
 
+// The server's metric set, built on the central internal/obs registry.
+// Request-path counters and latency histograms are registered eagerly at
+// New; subsystems that keep their own atomics (plan cache, pager, WAL,
+// compaction) are bridged with func-backed series read at scrape time —
+// through s.data.Load(), so a Swap retargets every bridge atomically.
+// GET /metrics writes the registry in Prometheus text format; GET /stats
+// renders the same counters as JSON.
+
 import (
-	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
 )
 
-// histBuckets is the number of power-of-two latency buckets: bucket i
-// holds observations whose microsecond latency has bit length i, i.e.
-// lies in [2^(i-1), 2^i). 40 buckets reach past 2^39 µs (~9 days), far
-// beyond any request the per-request timeout lets live.
-const histBuckets = 40
+// Histogram and HistogramSnapshot are the obs types; aliased so the
+// /stats JSON shape and the shape tracker keep their existing names.
+type (
+	Histogram         = obs.Histogram
+	HistogramSnapshot = obs.HistogramSnapshot
+)
 
-// Histogram is a fixed-size log2 latency histogram safe for concurrent
-// Observe calls: every counter is atomic, so the hot path takes no locks
-// and a /stats scrape never blocks a request.
-type Histogram struct {
-	count   atomic.Int64
-	sumUS   atomic.Int64
-	buckets [histBuckets]atomic.Int64
+// metrics is the server's registered metric set. Counters are written on
+// the request path and read by /metrics and /stats scrapes.
+type metrics struct {
+	reg *obs.Registry
+
+	// Admission outcomes: pgs_server_requests_total{outcome}.
+	accepted *obs.Counter // requests that won an execution slot
+	shed     *obs.Counter // 429s: queue full at arrival
+	drained  *obs.Counter // 503s sent because the server is draining
+	timeouts *obs.Counter // request deadline expired (queued or mid-query)
+	canceled *obs.Counter // client went away (queued or mid-query)
+	failed   *obs.Counter // 4xx/5xx other than shed/drain/timeout
+
+	inflight *obs.Gauge // currently executing
+	queued   *obs.Gauge // currently waiting for a slot
+
+	// Per-endpoint latency: pgs_request_latency_seconds{endpoint}.
+	query   *Histogram
+	mutate  *Histogram
+	compact *Histogram
+	healthz *Histogram
+	stats   *Histogram
+
+	// Query work totals across all requests (the per-request values ride
+	// in the response body): pgs_query_*_total.
+	qVertices *obs.Counter
+	qEdges    *obs.Counter
+	qProps    *obs.Counter
+	qRows     *obs.Counter
+
+	slowQueries *obs.Counter
 }
 
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
+// newMetrics registers the server's own series into a fresh registry.
+// Func-backed bridges to the plan cache and the served store are added
+// separately (registerBridges) once the Server exists.
+func newMetrics() metrics {
+	reg := obs.NewRegistry()
+	outcome := func(v string) *obs.Counter {
+		return reg.NewCounter("pgs_server_requests_total",
+			"Requests by admission outcome.", obs.L("outcome", v))
 	}
-	i := bits.Len64(uint64(us))
-	if i >= histBuckets {
-		i = histBuckets - 1
+	lat := func(endpoint string) *Histogram {
+		return reg.NewHistogram("pgs_request_latency_seconds",
+			"End-to-end request latency by endpoint.", obs.L("endpoint", endpoint))
 	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(us)
+	return metrics{
+		reg:      reg,
+		accepted: outcome("accepted"),
+		shed:     outcome("shed"),
+		drained:  outcome("drained"),
+		timeouts: outcome("timeout"),
+		canceled: outcome("canceled"),
+		failed:   outcome("failed"),
+		inflight: reg.NewGauge("pgs_server_inflight", "Requests currently executing."),
+		queued:   reg.NewGauge("pgs_server_queued", "Requests waiting for an execution slot."),
+		query:    lat("/query"),
+		mutate:   lat("/mutate"),
+		compact:  lat("/admin/compact"),
+		healthz:  lat("/healthz"),
+		stats:    lat("/stats"),
+		qVertices: reg.NewCounter("pgs_query_vertices_scanned_total",
+			"Vertices scanned by all executed queries."),
+		qEdges: reg.NewCounter("pgs_query_edges_traversed_total",
+			"Edges traversed by all executed queries."),
+		qProps: reg.NewCounter("pgs_query_props_read_total",
+			"Property reads by all executed queries."),
+		qRows: reg.NewCounter("pgs_query_rows_emitted_total",
+			"Rows emitted by all executed queries."),
+		slowQueries: reg.NewCounter("pgs_server_slow_queries_total",
+			"Requests at or over the slow-query threshold."),
+	}
 }
 
-// Quantile returns an upper bound on the q-quantile latency (q in [0,1]):
-// the top of the bucket holding the rank-q observation. Zero when nothing
-// was observed. Concurrent Observes make the answer approximate — fine
-// for a stats endpoint, which is its only caller.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q*float64(total-1)) + 1
-	if rank > total {
-		rank = total
-	}
-	var seen int64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
-			if i == 0 {
-				return 0
-			}
-			// Upper bound of bucket i: 2^i - 1 microseconds.
-			return time.Duration((int64(1)<<i)-1) * time.Microsecond
+// registerBridges adds the func-backed series that read other subsystems'
+// own counters at scrape time. Every closure loads the served graph
+// through s.data, so the bridges follow a Swap without re-registration;
+// backends without the relevant reporter interface read as 0.
+func (s *Server) registerBridges() {
+	reg := s.m.reg
+
+	reg.GaugeFunc("pgs_server_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	// Plan cache.
+	cacheStat := func(pick func(s PlanCacheStats) float64) func() float64 {
+		return func() float64 {
+			cs := s.cache.Stats()
+			return pick(PlanCacheStats{
+				Hits: cs.Hits, Misses: cs.Misses, Shared: cs.Shared,
+				Size: cs.Size, Capacity: cs.Capacity,
+			})
 		}
 	}
-	return time.Duration((int64(1)<<(histBuckets-1))-1) * time.Microsecond
-}
+	reg.CounterFunc("pgs_plancache_hits_total", "Plan-cache lookups served from cache.",
+		cacheStat(func(c PlanCacheStats) float64 { return float64(c.Hits) }))
+	reg.CounterFunc("pgs_plancache_misses_total", "Plan-cache lookups that found no ready plan.",
+		cacheStat(func(c PlanCacheStats) float64 { return float64(c.Misses) }))
+	reg.CounterFunc("pgs_plancache_shared_total", "Cold lookups served by an in-flight compile.",
+		cacheStat(func(c PlanCacheStats) float64 { return float64(c.Shared) }))
+	reg.GaugeFunc("pgs_plancache_size", "Plans currently cached.",
+		cacheStat(func(c PlanCacheStats) float64 { return float64(c.Size) }))
+	reg.GaugeFunc("pgs_plancache_capacity", "Plan-cache capacity.",
+		cacheStat(func(c PlanCacheStats) float64 { return float64(c.Capacity) }))
 
-// HistogramSnapshot is the JSON shape of one endpoint's latency summary
-// in the /stats response.
-type HistogramSnapshot struct {
-	Count  int64 `json:"count"`
-	MeanUS int64 `json:"mean_us"`
-	P50US  int64 `json:"p50_us"`
-	P90US  int64 `json:"p90_us"`
-	P99US  int64 `json:"p99_us"`
-}
+	// Query-shape tracker overflow.
+	reg.CounterFunc("pgs_server_query_shapes_dropped_total",
+		"Shape-latency observations dropped because the tracker was full.",
+		func() float64 { return float64(s.shapes.dropped.Load()) })
 
-// Snapshot summarizes the histogram for the stats endpoint.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count: h.count.Load(),
-		P50US: h.Quantile(0.50).Microseconds(),
-		P90US: h.Quantile(0.90).Microseconds(),
-		P99US: h.Quantile(0.99).Microseconds(),
+	// Pager I/O (diskstore; memstore reads as 0).
+	pager := func(pick func(storage.Stats) int64) func() float64 {
+		return func() float64 {
+			if sr, ok := s.data.Load().graph.(storage.StatsReporter); ok {
+				return float64(pick(sr.Stats()))
+			}
+			return 0
+		}
 	}
-	if s.Count > 0 {
-		s.MeanUS = h.sumUS.Load() / s.Count
+	reg.CounterFunc("pgs_pager_page_hits_total", "Page-cache hits.",
+		pager(func(ps storage.Stats) int64 { return ps.PageHits }))
+	reg.CounterFunc("pgs_pager_page_misses_total", "Page-cache misses.",
+		pager(func(ps storage.Stats) int64 { return ps.PageMisses }))
+	reg.CounterFunc("pgs_pager_page_reads_total", "Pages read from disk.",
+		pager(func(ps storage.Stats) int64 { return ps.PageReads }))
+	reg.CounterFunc("pgs_pager_page_writes_total", "Pages written to disk.",
+		pager(func(ps storage.Stats) int64 { return ps.PageWrites }))
+
+	// Live-write storage: WAL, delta segment, compaction.
+	live := func(pick func(storage.LiveStats) float64) func() float64 {
+		return func() float64 {
+			if lr, ok := s.data.Load().graph.(storage.LiveStatsReporter); ok {
+				return pick(lr.LiveStats())
+			}
+			return 0
+		}
 	}
-	return s
+	reg.CounterFunc("pgs_wal_appends_total", "Mutation batches appended to the WAL.",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.WALAppends) }))
+	reg.CounterFunc("pgs_wal_syncs_total", "WAL fsyncs (group commits).",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.WALSyncs) }))
+	reg.CounterFunc("pgs_wal_bytes_total", "Bytes appended to the WAL.",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.WALBytes) }))
+	reg.CounterFunc("pgs_wal_sync_seconds_total", "Cumulative WAL fsync time.",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.WALSyncNanos) / 1e9 }))
+	reg.GaugeFunc("pgs_delta_vertices", "Vertices in the live delta segment.",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.DeltaVertices) }))
+	reg.GaugeFunc("pgs_delta_edges", "Edges in the live delta segment.",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.DeltaEdges) }))
+	reg.GaugeFunc("pgs_compact_generation", "Base file-set generation serving reads.",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.Generation) }))
+	reg.GaugeFunc("pgs_compact_fold_running", "1 while a background fold runs.",
+		live(func(ls storage.LiveStats) float64 {
+			if ls.FoldRunning {
+				return 1
+			}
+			return 0
+		}))
+	reg.GaugeFunc("pgs_compact_fold_progress_permille", "Background fold progress, 0-1000.",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.FoldProgress) }))
+	reg.GaugeFunc("pgs_compact_pinned_snapshots", "Acquired-but-unreleased store snapshots.",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.PinnedSnapshots) }))
+	reg.CounterFunc("pgs_compact_folds_total", "Folds committed since the store opened.",
+		live(func(ls storage.LiveStats) float64 { return float64(ls.Compactions) }))
 }
 
 // QueryShapeStats is one executed query text's latency summary in the
@@ -101,7 +203,9 @@ type QueryShapeStats struct {
 // so hostile traffic cannot balloon it. The hot path is one RLock'd map
 // lookup plus the histogram's atomic Observe; the write lock is taken
 // only the first time a shape is seen. Shapes arriving past the capacity
-// are counted in dropped rather than tracked.
+// are counted in dropped rather than tracked. Shape histograms stay out
+// of the Prometheus registry on purpose: an unbounded-cardinality label
+// (query text) has no place in an exposition; /stats reports the top-N.
 type shapeTracker struct {
 	mu      sync.RWMutex
 	shapes  map[string]*Histogram
@@ -156,23 +260,4 @@ func (t *shapeTracker) top(k int) []QueryShapeStats {
 		out = out[:k]
 	}
 	return out
-}
-
-// metrics is the server's counter set. Counters are atomics written on
-// the request path and read, racily but consistently enough, by /stats.
-type metrics struct {
-	accepted atomic.Int64 // requests that won an execution slot
-	shed     atomic.Int64 // 429s: queue full at arrival
-	drained  atomic.Int64 // 503s sent because the server is draining
-	timeouts atomic.Int64 // request deadline expired (queued or mid-query)
-	canceled atomic.Int64 // client went away (queued or mid-query)
-	failed   atomic.Int64 // 4xx/5xx other than shed/drain/timeout
-	inflight atomic.Int64 // currently executing
-	queued   atomic.Int64 // currently waiting for a slot
-
-	query   Histogram
-	mutate  Histogram
-	compact Histogram
-	healthz Histogram
-	stats   Histogram
 }

@@ -74,15 +74,17 @@ type mutateResponse struct {
 	Vertices  []storage.VID `json:"vertices"`
 	Edges     []storage.EID `json:"edges"`
 	ElapsedUS int64         `json:"elapsed_us"`
+	RequestID string        `json:"request_id"`
 }
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.m.mutate.Observe(time.Since(start)) }()
+	rid := beginRequest(w, r)
 
 	if s.draining.Load() {
 		s.m.drained.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, http.StatusServiceUnavailable, rid, "server is draining")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -93,14 +95,14 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
-		writeError(w, status, err.Error())
+		writeError(w, status, rid, err.Error())
 		return
 	}
 	defer release()
 
 	mg, ok := s.data.Load().graph.(storage.MutableGraph)
 	if !ok {
-		writeError(w, http.StatusNotImplemented, "the served backend does not support durable live writes")
+		writeError(w, http.StatusNotImplemented, rid, "the served backend does not support durable live writes")
 		return
 	}
 
@@ -109,45 +111,47 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		s.m.failed.Add(1)
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, rid,
 				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		writeError(w, http.StatusBadRequest, rid, fmt.Sprintf("read body: %v", err))
 		return
 	}
 	var req mutateRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		s.m.failed.Add(1)
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode JSON body: %v", err))
+		writeError(w, http.StatusBadRequest, rid, fmt.Sprintf("decode JSON body: %v", err))
 		return
 	}
 	batch, err := req.toBatch()
 	if err != nil {
 		s.m.failed.Add(1)
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, rid, err.Error())
 		return
 	}
 	if len(batch) == 0 {
 		s.m.failed.Add(1)
-		writeError(w, http.StatusBadRequest, "empty mutation batch")
+		writeError(w, http.StatusBadRequest, rid, "empty mutation batch")
 		return
 	}
 
 	res, err := mg.ApplyMutations(batch)
 	if err != nil {
 		s.m.failed.Add(1)
+		status := http.StatusBadRequest
 		if errors.Is(err, storage.ErrNotLive) {
-			writeError(w, http.StatusConflict, err.Error())
-			return
+			status = http.StatusConflict
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, status, rid, err.Error())
+		s.noteSlow("/mutate", rid, "", status, time.Since(start), nil, nil)
 		return
 	}
 	resp := mutateResponse{
 		Vertices:  res.Vertices,
 		Edges:     res.Edges,
 		ElapsedUS: time.Since(start).Microseconds(),
+		RequestID: rid,
 	}
 	if resp.Vertices == nil {
 		resp.Vertices = []storage.VID{}
@@ -157,6 +161,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.maybeAutoCompact(mg)
 	writeJSON(w, http.StatusOK, resp)
+	s.noteSlow("/mutate", rid, "", http.StatusOK, time.Since(start), nil, nil)
 }
 
 // toBatch lowers the JSON document into one storage.Mutation batch:

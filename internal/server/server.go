@@ -12,6 +12,15 @@
 //	GET  /healthz — liveness: {"status":"ok"} while serving
 //	GET  /stats   — admission counters, plan-cache, pager and live-write
 //	                storage stats, and per-endpoint latency histograms
+//	GET  /metrics — the same registry in Prometheus text exposition
+//
+// Observability: every request carries an X-Request-Id (client-sent and
+// sane, or generated), echoed in the response header and every error
+// body. A query sent with ?profile=1 or a leading PROFILE keyword
+// returns a per-phase trace (parse, rewrite, plan, execute) and the
+// executor's per-step operator counters. Requests at or over
+// Config.SlowQueryThreshold are counted and, when Config.SlowQueryLog is
+// set, logged as JSON lines.
 //
 // Load hardening: a bounded admission semaphore (MaxConcurrent executing,
 // at most MaxQueued waiting; beyond that requests shed with 429), a
@@ -98,6 +107,16 @@ type Config struct {
 	// so operators size the two knobs together (default
 	// DefaultQueryWorkers, i.e. serial).
 	QueryWorkers int
+	// SlowQueryThreshold marks /query and /mutate requests at or over
+	// this end-to-end latency as slow: they increment
+	// pgs_server_slow_queries_total and, when SlowQueryLog is set, emit a
+	// JSON line. 0 with a SlowQueryLog set logs every request (useful in
+	// tests); 0 without one disables the feature.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog, when non-nil, receives one JSON line per slow request
+	// (see slowlog.go for the record shape). Writes are serialized by the
+	// server; the writer itself need not be concurrency-safe.
+	SlowQueryLog io.Writer
 }
 
 // Defaults for the Config limit fields.
@@ -168,6 +187,7 @@ type Server struct {
 	m        metrics
 	shapes   *shapeTracker
 	compact  compactState
+	slowMu   sync.Mutex // serializes slow-query log lines
 
 	httpSrv *http.Server
 }
@@ -184,15 +204,18 @@ func New(cfg Config) (*Server, error) {
 		cache:   query.NewCache(cfg.PlanCacheSize),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		started: time.Now(),
+		m:       newMetrics(),
 		shapes:  newShapeTracker(cfg.MaxQueryShapes),
 	}
 	s.data.Store(&dataset{graph: cfg.Graph, mapping: cfg.Mapping})
+	s.registerBridges()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /mutate", s.handleMutate)
 	s.mux.HandleFunc("POST /admin/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -295,13 +318,46 @@ func (s *Server) admit(ctx context.Context) (release func(), status int, err err
 
 // ---- handlers ----
 
+// tracePhase is one timed phase of a profiled request.
+type tracePhase struct {
+	Name string `json:"name"`
+	US   int64  `json:"us"`
+}
+
+// queryTrace is the "profile" object of a profiled /query response.
+type queryTrace struct {
+	// Phases times the request pipeline: parse, rewrite (when a mapping
+	// is configured), plan (cache fetch or compile), execute.
+	Phases       []tracePhase `json:"phases"`
+	PlanCacheHit bool         `json:"plan_cache_hit"`
+	// SnapshotGeneration is the base file-set generation the query read
+	// (live backends only).
+	SnapshotGeneration int64 `json:"snapshot_generation,omitempty"`
+	// Plan is the executor's per-step operator trace.
+	Plan *query.Profile `json:"plan"`
+}
+
+// stripProfilePrefix detects the PROFILE query prefix (case-insensitive,
+// followed by whitespace) and returns the bare query.
+func stripProfilePrefix(src string) (string, bool) {
+	const kw = "PROFILE"
+	if len(src) > len(kw) && strings.EqualFold(src[:len(kw)], kw) {
+		rest := strings.TrimLeft(src[len(kw):], " \t\r\n")
+		if len(rest) < len(src)-len(kw) { // at least one space followed
+			return rest, true
+		}
+	}
+	return src, false
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.m.query.Observe(time.Since(start)) }()
+	rid := beginRequest(w, r)
 
 	if s.draining.Load() {
 		s.m.drained.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, http.StatusServiceUnavailable, rid, "server is draining")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -314,7 +370,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
-		writeError(w, status, err.Error())
+		writeError(w, status, rid, err.Error())
 		return
 	}
 	defer release()
@@ -322,29 +378,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	src, status, err := s.readQuery(w, r)
 	if err != nil {
 		s.m.failed.Add(1)
-		writeError(w, status, err.Error())
+		writeError(w, status, rid, err.Error())
 		return
 	}
+	// PROFILE mode: ?profile=1 or a leading PROFILE keyword.
+	profiled := false
+	if v := r.URL.Query().Get("profile"); v == "1" || v == "true" {
+		profiled = true
+	}
+	if bare, ok := stripProfilePrefix(src); ok {
+		src, profiled = bare, true
+	}
+	var trace *queryTrace
+	phase := func(name string, since time.Time) {
+		if trace != nil {
+			trace.Phases = append(trace.Phases, tracePhase{Name: name, US: time.Since(since).Microseconds()})
+		}
+	}
+	if profiled {
+		trace = &queryTrace{Phases: make([]tracePhase, 0, 4)}
+	}
 
+	parseStart := time.Now()
 	parsed, err := cypher.Parse(src)
 	if err != nil {
 		s.m.failed.Add(1)
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse: %v", err))
+		writeError(w, http.StatusBadRequest, rid, fmt.Sprintf("parse: %v", err))
 		return
 	}
+	phase("parse", parseStart)
 	// The swap read-lock covers dataset load through plan fetch, so a
 	// concurrent Swap cannot purge the graph between the two (see Swap).
 	s.swapMu.RLock()
 	d := s.data.Load()
 	executed := parsed
 	if d.mapping != nil {
+		rwStart := time.Now()
 		executed, _, err = rewrite.Rewrite(parsed, d.mapping, s.cfg.RewriteOpts)
 		if err != nil {
 			s.swapMu.RUnlock()
 			s.m.failed.Add(1)
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("rewrite: %v", err))
+			writeError(w, http.StatusBadRequest, rid, fmt.Sprintf("rewrite: %v", err))
 			return
 		}
+		phase("rewrite", rwStart)
 	}
 	// Render the canonical text once; it serves as the cache key (Get,
 	// unlike GetParsed, renders nothing per call), the response's
@@ -352,12 +429,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// report groups requests that execute identically, whatever their
 	// source formatting.
 	text := executed.String()
-	plan, err := s.cache.Get(d.graph, text)
+	planStart := time.Now()
+	plan, cacheHit, err := s.cache.GetWithInfo(d.graph, text)
 	s.swapMu.RUnlock()
 	if err != nil {
 		s.m.failed.Add(1)
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("compile: %v", err))
+		writeError(w, http.StatusBadRequest, rid, fmt.Sprintf("compile: %v", err))
 		return
+	}
+	phase("plan", planStart)
+	if trace != nil {
+		trace.PlanCacheHit = cacheHit
+		if lr, ok := d.graph.(storage.LiveStatsReporter); ok {
+			trace.SnapshotGeneration = lr.LiveStats().Generation
+		}
 	}
 	// Track the shape only once a plan exists: uncompilable texts must
 	// not occupy the bounded tracker — top_queries reports *executed*
@@ -370,30 +455,64 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.shapes.observe(text, time.Since(execStart)) }()
 
 	var st query.Stats
-	res, err := plan.ExecuteParallelContextWithStats(ctx, s.cfg.QueryWorkers, &st)
+	var res *query.Result
+	if trace != nil {
+		res, trace.Plan, err = plan.ExecuteParallelContextProfiled(ctx, s.cfg.QueryWorkers, &st)
+	} else {
+		res, err = plan.ExecuteParallelContextWithStats(ctx, s.cfg.QueryWorkers, &st)
+	}
+	phase("execute", execStart)
+	s.m.qVertices.Add(st.VerticesScanned)
+	s.m.qEdges.Add(st.EdgesTraversed)
+	s.m.qProps.Add(st.PropsRead)
+	s.m.qRows.Add(st.RowsEmitted)
 	if err != nil {
+		var status int
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.m.timeouts.Add(1)
-			writeError(w, http.StatusGatewayTimeout, "query exceeded the request timeout")
+			status = http.StatusGatewayTimeout
+			writeError(w, status, rid, "query exceeded the request timeout")
 		case errors.Is(err, context.Canceled):
 			// The client is gone; the status is written into the void but
 			// keeps the connection state machine honest.
 			s.m.canceled.Add(1)
-			writeError(w, http.StatusServiceUnavailable, "request canceled")
+			status = http.StatusServiceUnavailable
+			writeError(w, status, rid, "request canceled")
 		default:
 			s.m.failed.Add(1)
-			writeError(w, http.StatusInternalServerError, fmt.Sprintf("execute: %v", err))
+			status = http.StatusInternalServerError
+			writeError(w, status, rid, fmt.Sprintf("execute: %v", err))
 		}
+		s.noteSlow("/query", rid, text, status, time.Since(start), &st, traceProfile(trace))
 		return
 	}
 
+	var profileJSON []byte
+	if trace != nil {
+		// Cold path by definition; reflection-based marshaling is fine.
+		profileJSON, err = json.Marshal(trace)
+		if err != nil {
+			s.m.failed.Add(1)
+			writeError(w, http.StatusInternalServerError, rid, fmt.Sprintf("encode profile: %v", err))
+			return
+		}
+	}
 	enc := getEncoder()
-	enc.buf = appendQueryResponse(enc.buf, text, res, &st, time.Since(start).Microseconds())
+	enc.buf = appendQueryResponse(enc.buf, text, rid, res, &st, time.Since(start).Microseconds(), profileJSON)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", fmt.Sprint(len(enc.buf)))
 	w.Write(enc.buf)
 	putEncoder(enc)
+	s.noteSlow("/query", rid, text, http.StatusOK, time.Since(start), &st, traceProfile(trace))
+}
+
+// traceProfile unwraps the executor profile from a trace that may be nil.
+func traceProfile(t *queryTrace) *query.Profile {
+	if t == nil {
+		return nil
+	}
+	return t.Plan
 }
 
 // readQuery extracts the Cypher text from the request body: a JSON
@@ -433,6 +552,7 @@ func (s *Server) readQuery(w http.ResponseWriter, r *http.Request) (string, int,
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.m.healthz.Observe(time.Since(start)) }()
+	beginRequest(w, r)
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
@@ -594,7 +714,16 @@ func (s *Server) Stats() StatsResponse {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.m.stats.Observe(time.Since(start)) }()
+	beginRequest(w, r)
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the metric registry in Prometheus text exposition
+// format 0.0.4. The same numbers back the JSON /stats view.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	beginRequest(w, r)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.reg.WritePrometheus(w)
 }
 
 // ---- response helpers ----
@@ -612,6 +741,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(data)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// writeError renders one error body; every error response carries the
+// request ID so a client can quote it back when reporting a failure.
+func writeError(w http.ResponseWriter, status int, rid, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg, "request_id": rid})
 }
