@@ -9,10 +9,11 @@
 //	pgsbench -exp parallel
 //	pgsbench -exp serve -serve-reqs 200
 //	pgsbench -exp open,bulkload
+//	pgsbench -exp compress -compress-verts 20000
 //	pgsbench -exp fig11 -json results.json
 //
 // Experiments: fig8, fig9, fig10, fig11, fig12, table2, motivating,
-// parallel, serve, open, bulkload, crash, compact, all.
+// parallel, serve, open, bulkload, crash, compact, compress, all.
 //
 // -json writes every table's rows as one machine-readable document
 // (invocation metadata plus a section per table) for CI trend tracking;
@@ -37,12 +38,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pgsbench: ")
-	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|serve|open|bulkload|crash|compact|all")
+	exp := flag.String("exp", "all", "experiment: fig8|fig9|fig10|fig11|fig12|table2|motivating|parallel|serve|open|bulkload|crash|compact|compress|all")
 	medCard := flag.Int("med-card", 120, "MED base cardinality per concept")
 	finCard := flag.Int("fin-card", 40, "FIN base cardinality per concept")
 	seed := flag.Int64("seed", 2021, "generation seed")
 	reps := flag.Int("reps", 3, "query repetitions per measurement")
 	cache := flag.Int("cache-pages", 64, "diskstore page cache size")
+	mmap := flag.Bool("mmap", false, "serve diskstore vertex/edge reads from a read-only memory map instead of the page cache")
 	tight := flag.Int("tight-pages", 16, "page budget of the disk-bound parallel-scaling variant")
 	queryWorkers := flag.String("query-workers", "1,2,4,8",
 		"comma-separated morsel worker counts for the intra-query half of -exp parallel")
@@ -54,6 +56,8 @@ func main() {
 	crashRounds := flag.Int("crash-rounds", 12, "SIGKILL rounds in the crash experiment")
 	compactVerts := flag.Int("compact-verts", 20000, "base vertices in the compact experiment")
 	compactReaders := flag.Int("compact-readers", 4, "concurrent readers in the compact experiment")
+	compressVerts := flag.Int("compress-verts", 20000, "vertices in the compress experiment")
+	compressEdges := flag.Int("compress-edges", 0, "edges in the compress experiment (0 = 3x vertices)")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file (- for stdout)")
 	flag.Parse()
 
@@ -65,7 +69,7 @@ func main() {
 
 	opts := bench.Options{
 		MedCard: *medCard, FinCard: *finCard, Seed: *seed,
-		Reps: *reps, CachePages: *cache,
+		Reps: *reps, CachePages: *cache, Mmap: *mmap,
 	}
 	// -json collects every printed table's rows into one machine-readable
 	// report; a nil *Report makes every Add a no-op.
@@ -73,7 +77,7 @@ func main() {
 	if *jsonOut != "" {
 		report = &bench.Report{Meta: map[string]any{
 			"exp": *exp, "med_card": *medCard, "fin_card": *finCard,
-			"seed": *seed, "reps": *reps, "cache_pages": *cache,
+			"seed": *seed, "reps": *reps, "cache_pages": *cache, "mmap": *mmap,
 		}}
 	}
 	want := map[string]bool{}
@@ -323,6 +327,23 @@ func main() {
 		title := fmt.Sprintf("Background compaction — read latency during fold vs quiesced (diskstore, %d readers)", *compactReaders)
 		fmt.Println(bench.FormatCompactReport(title, crep))
 		report.Add("compact", title, crep)
+	}
+	if run("compress") {
+		ran = true
+		// The format-v5 story in one table: the same graph in the v4
+		// record-array layout and the v5 delta-varint layout, traversed
+		// under a tight page budget with the mmap read path off and on,
+		// plus the bloom-guard skip rate only v5 statistics can deliver.
+		rows, err := bench.Compress(bench.CompressOptions{
+			Vertices: *compressVerts, Edges: *compressEdges,
+			Seed: *seed, TightPages: *tight,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("Adjacency compression — v4 vs v5, tight cache (%d pages), mmap off/on", *tight)
+		fmt.Println(bench.FormatCompressTable(title, rows))
+		report.Add("compress", title, rows)
 	}
 	if run("open") {
 		ran = true

@@ -15,11 +15,13 @@
 // server returns for PROFILE queries.
 //
 // -stats prints plan-cache effectiveness after the run (hits, misses,
-// singleflight shares, compiles) and, on the diskstore backend, each
-// store's pager I/O counters plus its format/live-write state (segmented
-// adjacency, delta segment sizes, WAL activity) — so -parallel runs
-// surface how well the shared-plan path and the page cache actually held
-// up.
+// singleflight shares, compiles), each backend's per-label vertex counts,
+// and, on the diskstore backend, each store's pager I/O counters plus its
+// format/live-write state (segmented adjacency, compressed-adjacency size
+// and ratio on format v5, delta segment sizes, WAL activity) — so
+// -parallel runs surface how well the shared-plan path and the page cache
+// actually held up. -mmap serves the vertex/edge files from a read-only
+// memory map instead of the page cache.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -75,6 +78,7 @@ func main() {
 	queryWorkers := flag.Int("query-workers", 1, "morsel workers inside each query execution (intra-query parallelism)")
 	backend := flag.String("backend", "memstore", "storage backend: memstore or diskstore")
 	cachePages := flag.Int("cache-pages", 64, "diskstore page cache size")
+	mmap := flag.Bool("mmap", false, "serve diskstore vertex/edge reads from a read-only memory map instead of the page cache")
 	stats := flag.Bool("stats", false, "print plan-cache stats (and pager I/O on diskstore) after the run")
 	profile := flag.Bool("profile", false, "print the per-step operator trace (visited/produced per plan step) for each schema")
 	flag.Parse()
@@ -150,7 +154,7 @@ func main() {
 			if err != nil {
 				fatalf("%v", err)
 			}
-			st, err := diskstore.Open(d, diskstore.Options{CachePages: *cachePages})
+			st, err := diskstore.Open(d, diskstore.Options{CachePages: *cachePages, Mmap: *mmap})
 			if err != nil {
 				os.RemoveAll(d)
 				fatalf("%v", err)
@@ -212,10 +216,28 @@ func main() {
 				ls := d.LiveStats()
 				fmt.Printf("%s store: format v%d, segmented adjacency=%v, live writes=%v, delta %d vertices / %d edges\n",
 					side.tag, f.Version, f.Segmented, ls.Live, ls.DeltaVertices, ls.DeltaEdges)
+				if f.Compressed && d.NumEdges() > 0 {
+					bpe := float64(f.EdgeBytes) / float64(d.NumEdges())
+					fmt.Printf("%s adjacency: %d bytes compressed (%.2f B/edge, %.1fx vs 64 B v4 records)\n",
+						side.tag, f.EdgeBytes, bpe, 64/bpe)
+				}
 				if ls.WALAppends > 0 {
 					fmt.Printf("%s wal: %d batches in %d fsyncs, %d bytes\n",
 						side.tag, ls.WALAppends, ls.WALSyncs, ls.WALBytes)
 				}
+			}
+			if sg, ok := side.g.(storage.Statistics); ok {
+				labels := sg.LabelCounts()
+				names := make([]string, 0, len(labels))
+				for name := range labels {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				parts := make([]string, 0, len(names))
+				for _, name := range names {
+					parts = append(parts, fmt.Sprintf("%s=%d", name, labels[name]))
+				}
+				fmt.Printf("%s labels: %s\n", side.tag, strings.Join(parts, " "))
 			}
 		}
 	}

@@ -67,6 +67,14 @@ func TestDocsPresentAndLinked(t *testing.T) {
 			// documented alongside the code that implements them.
 			"v4", "index.db", "segmented", "Compact", "Finalize",
 			"BulkLoader", "BatchBuilder", "writeFileAtomic", "commit point",
+			// Format v5: the delta-varint adjacency layout, the mmap read
+			// contract, and the persisted-statistics block (with its two
+			// consumers) must stay documented alongside the code.
+			"Format v5", "delta-varint", "uvarint", "firstOutEID",
+			"bytes-per-edge", "Options.Mmap", "drops its mapping",
+			"PGSIDX05", "bloom", "MayHaveProp", "EdgeTypeCounts",
+			"FromStorage", "pgs_stats_bloom_skips_total", "-exp compress",
+			"compression_ratio",
 			// Serving layer: admission control, shutdown semantics, and
 			// the stats endpoint schema must stay documented.
 			"Serving layer", "pgsserve", "429", "admission", "drain",

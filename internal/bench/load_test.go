@@ -90,7 +90,7 @@ func TestBulkLoadMatchesIncremental(t *testing.T) {
 	if ts, ok := storage.Builder(bulk).(storage.TypeSegmentedGraph); !ok || !ts.SegmentedAdjacency() {
 		t.Error("bulk-loaded diskstore is not type-segmented")
 	}
-	if ds, ok := bulk.(*diskstore.Store); !ok || ds.Format().Version != 4 {
-		t.Error("bulk-loaded diskstore is not format v4")
+	if ds, ok := bulk.(*diskstore.Store); !ok || ds.Format().Version < 4 {
+		t.Error("bulk-loaded diskstore is not format v4+")
 	}
 }

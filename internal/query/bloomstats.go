@@ -1,0 +1,23 @@
+package query
+
+import "sync/atomic"
+
+// Process-wide counters for the statistics-guarded root scan (see
+// rootProbe in plan.go). They are package-level rather than per-Stats
+// because a skip is a property of the store's persisted filters, not of
+// one execution's work: observability surfaces (/metrics, /stats)
+// bridge them as monotone totals.
+var (
+	bloomSkips atomic.Int64 // root scans skipped: statistics proved them empty
+	bloomFP    atomic.Int64 // guarded scans that ran ("maybe") but matched nothing
+)
+
+// BloomSkips reports how many root label scans were skipped because the
+// store's persisted statistics proved no vertex could match the plan's
+// inline property constraints.
+func BloomSkips() int64 { return bloomSkips.Load() }
+
+// BloomFP reports how many statistics-guarded root scans ran on a
+// "maybe" answer and then matched nothing — the observable false
+// positives of the store's per-(label,property) bloom filters.
+func BloomFP() int64 { return bloomFP.Load() }

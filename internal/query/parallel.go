@@ -184,6 +184,12 @@ func (p *Prepared) planMorsels(g storage.FastGraph, workers int) []storage.Verte
 	if workers <= 1 || !p.parallelOK {
 		return nil
 	}
+	if p.probe != nil && p.probe.provablyEmpty(g) {
+		// The statistics guard proves the root scan empty: fall back to
+		// the serial path, whose root step performs (and counts) the
+		// actual skip — no point partitioning a scan that won't run.
+		return nil
+	}
 	if g.CountLabelID(p.rootLabel) < MinParallelRootCount {
 		return nil
 	}

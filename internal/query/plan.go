@@ -57,6 +57,14 @@ type Prepared struct {
 	parallelOK bool
 	rootLabel  storage.SymbolID
 
+	// probe, when non-nil, lets executions consult the store's persisted
+	// statistics (storage.Statistics) before the root label scan: if every
+	// inline property constraint on the root node is provably absent under
+	// that label, the whole scan is skipped. Probes are re-evaluated per
+	// execution — live writes flip the store's answers back to "maybe", so
+	// a plan compiled before a write never wrongly skips after it.
+	probe *rootProbe
+
 	// pool recycles machines across executions. A machine is created on
 	// first use (or after a GC drained the pool) and costs one step-chain
 	// build; steady-state executions reuse it allocation-free.
@@ -118,6 +126,12 @@ type machine struct {
 	// presence also marks the machine as single-use (release skips the
 	// pool), so pooled machines never carry profiling code.
 	psteps []stepCounts
+
+	// rootMatched records whether the root scan accepted at least one
+	// vertex this execution; a probed scan that ran (the statistics said
+	// "maybe") but matched nothing was a bloom false positive, counted
+	// for the stats_bloom_fp metric.
+	rootMatched bool
 
 	slots []storage.VID // variable bindings; -1 = unbound
 	used  []storage.EID // edges bound on the current path (Cypher uniqueness)
@@ -232,8 +246,28 @@ func Prepare(g storage.Graph, q *cypher.Query) (*Prepared, error) {
 	p.uniqEdges = expands > 1
 	p.nSlots = len(c.order)
 	p.planParallel()
+	p.planProbe()
 	p.pool.New = func() any { return p.newMachine() }
 	return p, nil
+}
+
+// planProbe arms the statistics guard for eligible plans: the root move
+// must be an unbound scan of a named label with at least one inline
+// property constraint, and the store must expose storage.Statistics.
+// Everything else — bound starts, label-less scans, property-free
+// roots — runs unguarded: the guard could never prove those empty.
+func (p *Prepared) planProbe() {
+	if len(p.moves) == 0 || !p.moves[0].start || p.moves[0].bound {
+		return
+	}
+	mv := &p.moves[0]
+	if mv.scanName == "" || len(mv.node.props) == 0 {
+		return
+	}
+	if _, ok := p.g.(storage.Statistics); !ok {
+		return
+	}
+	p.probe = &rootProbe{label: mv.scanName, props: mv.node.props}
 }
 
 // planParallel is the compile-time half of the parallelism decision: it
@@ -420,10 +454,40 @@ type cnode struct {
 	props  []cprop
 }
 
-// cprop is one inline property equality constraint.
+// cprop is one inline property equality constraint. keyName keeps the
+// source-level property name alongside the interned ID: statistics
+// probes (storage.Statistics.MayHaveProp) take names, and a name that
+// never interned (key == NoSymbol) is itself a provably-empty signal.
 type cprop struct {
-	key  storage.SymbolID
-	want graph.Value
+	key     storage.SymbolID
+	keyName string
+	want    graph.Value
+}
+
+// rootProbe is the compiled bloom/statistics guard for a plan whose root
+// is an unbound label scan with inline property constraints.
+type rootProbe struct {
+	label string
+	props []cprop
+}
+
+// provablyEmpty reports whether g's statistics prove that no vertex
+// under the probed label carries one of the root node's required
+// property values — in which case the label scan cannot emit a row and
+// may be skipped outright. Conservative: a backend without statistics
+// (or one whose answers are currently diluted by live writes) makes
+// this return false and the scan runs normally.
+func (rp *rootProbe) provablyEmpty(g storage.FastGraph) bool {
+	st, ok := g.(storage.Statistics)
+	if !ok {
+		return false
+	}
+	for i := range rp.props {
+		if !st.MayHaveProp(rp.label, rp.props[i].keyName, rp.props[i].want) {
+			return true
+		}
+	}
+	return false
 }
 
 func (m *machine) checkNode(n *cnode, v storage.VID) bool {
@@ -534,7 +598,7 @@ func (c *compiler) node(n *cypher.NodePattern) cnode {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		cn.props = append(cn.props, cprop{key: c.g.KeyID(k), want: n.Props[k]})
+		cn.props = append(cn.props, cprop{key: c.g.KeyID(k), keyName: k, want: n.Props[k]})
 	}
 	return cn
 }
@@ -580,6 +644,7 @@ func (p *Prepared) moveStep(m *machine, idx int, mv move, next step) step {
 			if !m.checkNode(&node, v) {
 				return true
 			}
+			m.rootMatched = true
 			m.slots[node.slot] = v
 			m.err = next()
 			m.slots[node.slot] = unbound
@@ -597,6 +662,27 @@ func (p *Prepared) moveStep(m *machine, idx int, mv move, next step) step {
 		// the morsel driver must feed partitioned scans into.
 		m.rootScan = scan
 		label := mv.scanLabel
+		if idx == 0 && p.probe != nil {
+			// Statistics-guarded root: consult the store's persisted
+			// per-(label,property) filters before paying for the scan. A
+			// definitive "absent" answer skips the scan entirely; a
+			// "maybe" that then matches nothing is a false positive.
+			// Re-probed on every execution, so live writes (which flip
+			// the store's answers back to "maybe") are always honored.
+			probe := p.probe
+			return func() error {
+				if probe.provablyEmpty(m.g) {
+					bloomSkips.Add(1)
+					return nil
+				}
+				m.rootMatched = false
+				m.g.ForEachVertexID(label, scan)
+				if m.err == nil && !m.rootMatched {
+					bloomFP.Add(1)
+				}
+				return m.err
+			}
+		}
 		return func() error {
 			m.g.ForEachVertexID(label, scan)
 			return m.err

@@ -419,5 +419,28 @@ func TestStatsAndMetricsAgree(t *testing.T) {
 	if got := exp.Samples["pgs_plancache_hits_total{}"]; int64(got) != st.PlanCache.Hits {
 		t.Errorf("plancache hits: exposition %v != stats %d", got, st.PlanCache.Hits)
 	}
+
+	// The statistics-guard counters must agree between the two views, and
+	// a backend with persisted statistics must populate the graph section
+	// with real per-label counts.
+	if got := exp.Samples["pgs_stats_bloom_skips_total{}"]; int64(got) != st.Bloom.Skips {
+		t.Errorf("bloom skips: exposition %v != stats %d", got, st.Bloom.Skips)
+	}
+	if got := exp.Samples["pgs_stats_bloom_fp_total{}"]; int64(got) != st.Bloom.FP {
+		t.Errorf("bloom fp: exposition %v != stats %d", got, st.Bloom.FP)
+	}
+	if st.Graph == nil {
+		t.Fatal("stats lack the graph section on a statistics-reporting backend")
+	}
+	if st.Graph.Vertices <= 0 || len(st.Graph.LabelCounts) == 0 {
+		t.Errorf("graph stats incomplete: %+v", st.Graph)
+	}
+	total := 0
+	for _, n := range st.Graph.LabelCounts {
+		total += n
+	}
+	if total < st.Graph.Vertices {
+		t.Errorf("label counts sum %d < %d vertices", total, st.Graph.Vertices)
+	}
 	_ = fmt.Sprint() // keep fmt imported if assertions change
 }

@@ -576,7 +576,15 @@ type StatsResponse struct {
 	// POST /mutate, whether base traversals still run on the segmented
 	// fast path, the delta-segment gauges, and WAL activity including
 	// mean fsync latency.
-	Storage   *StorageStats                `json:"storage,omitempty"`
+	Storage *StorageStats `json:"storage,omitempty"`
+	// Graph is present only when the backend persists statistics
+	// (storage.Statistics): per-label vertex counts and per-type edge
+	// counts — the same numbers optimizer.FromStorage feeds Equation 5.
+	Graph *GraphStats `json:"graph,omitempty"`
+	// Bloom reports the statistics-guarded root scans: probes the bloom
+	// filters proved empty (skipped without scanning) and guarded scans
+	// that ran anyway and matched nothing (observable false positives).
+	Bloom     BloomStats                   `json:"bloom"`
 	Endpoints map[string]HistogramSnapshot `json:"endpoints"`
 	// TopQueries lists the executed query shapes with the highest p99
 	// latency, worst first (Config.TopQueries entries at most).
@@ -648,6 +656,30 @@ type StorageStats struct {
 	// LastCompactError is the most recent background fold failure, empty
 	// while folds succeed.
 	LastCompactError string `json:"last_compact_error,omitempty"`
+	// Compressed reports the delta-varint adjacency layout (format v5);
+	// EdgeBytes is its logical size, BytesPerEdge that size per edge, and
+	// CompressionRatio the saving against the 64-byte v4 edge records.
+	Compressed       bool    `json:"compressed"`
+	EdgeBytes        int64   `json:"edge_bytes,omitempty"`
+	BytesPerEdge     float64 `json:"bytes_per_edge,omitempty"`
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
+}
+
+// GraphStats is the persisted-statistics view of the served graph.
+type GraphStats struct {
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// LabelCounts and EdgeTypeCounts come from storage.Statistics;
+	// EdgeTypeCounts is absent when the store predates the v5 statistics
+	// block.
+	LabelCounts    map[string]int `json:"label_counts,omitempty"`
+	EdgeTypeCounts map[string]int `json:"edge_type_counts,omitempty"`
+}
+
+// BloomStats mirrors the query package's statistics-guard counters.
+type BloomStats struct {
+	Skips int64 `json:"skips"`
+	FP    int64 `json:"fp"`
 }
 
 // Stats assembles the current StatsResponse; the /stats handler and the
@@ -706,8 +738,27 @@ func (s *Server) Stats() StatsResponse {
 		if ls.WALSyncs > 0 {
 			ss.WALSyncMeanUS = ls.WALSyncNanos / ls.WALSyncs / 1000
 		}
+		if ls.Compressed {
+			ss.Compressed = true
+			ss.EdgeBytes = ls.EdgeBytes
+			if nE := g.NumEdges(); nE > 0 && ls.EdgeBytes > 0 {
+				ss.BytesPerEdge = float64(ls.EdgeBytes) / float64(nE)
+				// Against the 64-byte fixed records every pre-v5 layout
+				// stores per edge.
+				ss.CompressionRatio = 64 / ss.BytesPerEdge
+			}
+		}
 		resp.Storage = ss
 	}
+	if st, ok := g.(storage.Statistics); ok {
+		resp.Graph = &GraphStats{
+			Vertices:       g.NumVertices(),
+			Edges:          g.NumEdges(),
+			LabelCounts:    st.LabelCounts(),
+			EdgeTypeCounts: st.EdgeTypeCounts(),
+		}
+	}
+	resp.Bloom = BloomStats{Skips: query.BloomSkips(), FP: query.BloomFP()}
 	return resp
 }
 

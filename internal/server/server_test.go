@@ -465,6 +465,9 @@ func TestDiskstorePagerStats(t *testing.T) {
 	}
 	defer ds.Close()
 	buildMedGraph(t, ds)
+	if err := ds.Finalize(); err != nil {
+		t.Fatal(err)
+	}
 	_, ts := newMedServer(t, Config{Graph: ds})
 	status, qr := post(t, ts, drugQuery, "text/plain")
 	if status != http.StatusOK {
@@ -484,6 +487,28 @@ func TestDiskstorePagerStats(t *testing.T) {
 	}
 	if st.Pager.PageHits+st.Pager.PageMisses == 0 {
 		t.Error("pager stats all zero after a query")
+	}
+
+	// A freshly finalized store uses the current (v5) layout, so /stats
+	// must report the compressed adjacency and its ratio over the 64-byte
+	// v4 records, plus the persisted per-label counts.
+	if !ds.Format().Compressed {
+		t.Fatalf("fixture store not compressed: %+v", ds.Format())
+	}
+	if st.Storage == nil || !st.Storage.Compressed {
+		t.Fatalf("storage stats missing compression: %+v", st.Storage)
+	}
+	if st.Storage.BytesPerEdge <= 0 || st.Storage.BytesPerEdge >= 64 {
+		t.Errorf("bytes_per_edge = %v, want in (0, 64)", st.Storage.BytesPerEdge)
+	}
+	if st.Storage.CompressionRatio < 2 {
+		t.Errorf("compression_ratio = %v, want >= 2", st.Storage.CompressionRatio)
+	}
+	if st.Graph == nil || st.Graph.LabelCounts["Drug"] == 0 {
+		t.Errorf("graph stats missing persisted label counts: %+v", st.Graph)
+	}
+	if len(st.Graph.EdgeTypeCounts) == 0 {
+		t.Errorf("v5 store reported no edge-type counts: %+v", st.Graph)
 	}
 }
 

@@ -1,0 +1,70 @@
+package diskstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestBloomNoFalseNegatives pins the bloom contract the scan planner
+// relies on: a negative answer is definitive.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	const n = 5000
+	b := newBloom(n)
+	for i := 0; i < n; i++ {
+		b.add(hashValue(graph.S(fmt.Sprintf("member-%d", i))))
+	}
+	for i := 0; i < n; i++ {
+		if !b.mayHave(hashValue(graph.S(fmt.Sprintf("member-%d", i)))) {
+			t.Fatalf("false negative for member-%d", i)
+		}
+	}
+}
+
+// TestBloomFalsePositiveRate checks the sizing constants deliver the
+// advertised rate: at design capacity (bloomBitsPerEntry bits per entry,
+// bloomK probes) the false-positive rate must stay at or below 1%.
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const (
+		n      = 5000
+		probes = 20000
+	)
+	b := newBloom(n)
+	for i := 0; i < n; i++ {
+		b.add(hashValue(graph.S(fmt.Sprintf("member-%d", i))))
+	}
+	fp := 0
+	for i := 0; i < probes; i++ {
+		if b.mayHave(hashValue(graph.S(fmt.Sprintf("absent-%d", i)))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.01 {
+		t.Fatalf("false-positive rate %.4f (%d/%d) exceeds 1%% at design capacity", rate, fp, probes)
+	}
+}
+
+// TestBloomIntValues checks non-string values hash through the same
+// canonical-key path (ints and strings must not collide systematically).
+func TestBloomIntValues(t *testing.T) {
+	const n = 1000
+	b := newBloom(n)
+	for i := 0; i < n; i++ {
+		b.add(hashValue(graph.I(int64(i))))
+	}
+	for i := 0; i < n; i++ {
+		if !b.mayHave(hashValue(graph.I(int64(i)))) {
+			t.Fatalf("false negative for int %d", i)
+		}
+	}
+	fp := 0
+	for i := n; i < n+10000; i++ {
+		if b.mayHave(hashValue(graph.I(int64(i)))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.01 {
+		t.Fatalf("int false-positive rate %.4f exceeds 1%%", rate)
+	}
+}

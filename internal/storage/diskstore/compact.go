@@ -94,9 +94,9 @@ func (s *Store) foldBackground() error {
 	s.symMu.RUnlock()
 	s.liveMu.Unlock()
 
-	if alreadyFolded && len(fd.verts) == 0 && len(fd.edges) == 0 &&
+	if alreadyFolded && old.version >= formatVersion && len(fd.verts) == 0 && len(fd.edges) == 0 &&
 		len(fd.labelAdds) == 0 && len(fd.propOver) == 0 {
-		return nil // nothing new since the last fold
+		return nil // nothing new since the last fold, layout current
 	}
 
 	// Stage 2 — build generation gen+1 in fold.tmp using the ordinary
@@ -238,17 +238,16 @@ func (s *Store) foldBackground() error {
 		ebatch = ebatch[:0]
 		return nil
 	}
-	for e := int64(0); e < old.numEdges; e++ {
-		er, err := old.readEdge(storage.EID(e))
-		if err != nil {
-			return fail(err)
-		}
-		ebatch = append(ebatch, storage.BulkEdge{Src: storage.VID(er.src), Dst: storage.VID(er.dst), Type: types[er.typeID]})
+	// The layout-aware enumerator reads records or compressed segments,
+	// whichever the old epoch holds.
+	if err := old.forEachEdgeLite(func(el edgeLite) error {
+		ebatch = append(ebatch, storage.BulkEdge{Src: storage.VID(el.src), Dst: storage.VID(el.dst), Type: types[el.typeID]})
 		if len(ebatch) == foldBatch {
-			if err := flushE(); err != nil {
-				return fail(err)
-			}
+			return flushE()
 		}
+		return nil
+	}); err != nil {
+		return fail(err)
 	}
 	for _, fe := range fd.edges {
 		ebatch = append(ebatch, storage.BulkEdge{Src: fe.src, Dst: fe.dst, Type: types[fe.typeID]})
@@ -318,14 +317,20 @@ func (s *Store) foldBackground() error {
 		s.removeGenFiles(newGen)
 		return err
 	}
+	if s.opts.Mmap {
+		pg.enableMmap(fileVertices, fileEdges)
+	}
 	newEp := &epoch{
 		gen:         newGen,
 		version:     bep.version,
 		segmented:   true,
+		compressed:  bep.compressed,
+		edgeBytes:   bep.edgeBytes,
 		pager:       pg,
 		numVertices: bep.numVertices, numEdges: bep.numEdges,
 		numProps: bep.numProps, numDegs: bep.numDegs, blobSize: bep.blobSize,
-		byLabel: bep.byLabel,
+		byLabel:    bep.byLabel,
+		typeCounts: bep.typeCounts, blooms: bep.blooms, statsValid: bep.statsValid,
 		baseSeq: fence,
 	}
 	newEp.pins.Store(1) // the store's own reference
@@ -340,8 +345,10 @@ func (s *Store) foldBackground() error {
 		Labels: labels, Types: types, Keys: keys,
 		NumVertices: newEp.numVertices, NumEdges: newEp.numEdges, NumProps: newEp.numProps,
 		NumDegs: newEp.numDegs, BlobSize: newEp.blobSize,
-		Segmented: true,
-		WalSeq:    fence,
+		Segmented:  true,
+		Compressed: newEp.compressed,
+		EdgeBytes:  newEp.edgeBytes,
+		WalSeq:     fence,
 	}
 	data, err := json.Marshal(m)
 	if err != nil {

@@ -173,6 +173,16 @@ func (d *delta) empty() bool {
 		len(d.labelAdds) == 0 && len(d.propOver) == 0
 }
 
+// statsDirty reports delta content that can invalidate the base's
+// persisted vertex statistics (bloom filters): new vertices, label
+// additions, or property overrides. Edge-only deltas stay clean — edges
+// carry no vertex properties, so the filters remain definitive.
+func (d *delta) statsDirty() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.verts) > 0 || len(d.labelAdds) > 0 || len(d.propOver) > 0
+}
+
 // counts returns the number of delta vertices/edges visible through w
 // beyond its base — the "unfolded delta size" for that epoch.
 func (d *delta) counts(w vis) (nv, ne int64) {

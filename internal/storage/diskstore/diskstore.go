@@ -69,10 +69,20 @@ type Options struct {
 	// with the default page size).
 	CachePages int
 
-	// formatVersion forces the on-disk format of a newly created store
-	// (tests only: it lets the current code synthesize legacy v2/v3
-	// stores). Zero means the current format.
-	formatVersion int
+	// Format forces the on-disk format of a newly created store (tests
+	// and benchmarks: it lets the current code synthesize legacy v2/v3/v4
+	// stores for compatibility and comparison runs). Zero means the
+	// current format. Finalize never downgrades below v4 — legacy v2/v3
+	// stores upgrade on Finalize exactly as before.
+	Format int
+
+	// Mmap maps the read-mostly record files (edges.db, vertices.db)
+	// read-only into memory and serves page loads from the mapping
+	// instead of the clock-sweep pager copy. The pager keeps ownership of
+	// every write path and of the non-mapped files; the first write to a
+	// mapped file atomically drops its mapping (see pager.write). No-op
+	// on platforms without mmap support.
+	Mmap bool
 }
 
 func (o Options) withDefaults() Options {
@@ -89,7 +99,7 @@ func (o Options) withDefaults() Options {
 // untyped degree counters to vertex records (bytes 41-48). Version 3
 // added per-type degree records (degrees.db, chained off bytes 49-56 of
 // the vertex record) so typed Degree lookups no longer walk the adjacency
-// chain. Version 4 — current — adds:
+// chain. Version 4 added:
 //
 //   - a persisted derived-structure file (index.db) holding the label-scan
 //     index and redundant symbol tables, so Open is O(index size) instead
@@ -101,13 +111,26 @@ func (o Options) withDefaults() Options {
 //     edges.db), so typed traversals seek to their segment and never read
 //     other types' edge records.
 //
-// Version 2 and 3 stores remain readable: they open in a legacy mode that
-// rebuilds the label index by scanning vertices, answers typed queries
-// the old way, and keeps writing a same-version manifest on Flush
-// (opening never silently upgrades a store; Compact upgrades explicitly).
+// Version 5 — current — adds:
+//
+//   - delta-varint compressed adjacency ("compressed" manifest flag):
+//     after Finalize/Compact, edges.db holds gap-encoded (src, type)
+//     segments instead of 64-byte edge records, and the degree record
+//     doubles as the segment descriptor (byte offsets + lengths + the
+//     first out-EID); see segcodec.go for the exact encoding;
+//   - a persisted statistics block in index.db: per-edge-type counts and
+//     per-(label, property-key) bloom filters, surfaced through
+//     storage.Statistics (the label counts come from the label index
+//     itself).
+//
+// Version 2-4 stores remain readable: they open in a legacy mode that
+// answers queries the old way and keeps writing a same-version manifest
+// on Flush (opening never silently upgrades a store; Compact upgrades
+// explicitly). Incremental AddEdge on a non-live v5 store falls back to
+// the uncompressed record layout until the next Finalize/Compact.
 // Version 1 and unknown versions are rejected — v1 vertex records would
 // silently read their degree counters as zero.
-const formatVersion = 4
+const formatVersion = 5
 
 type manifest struct {
 	Version int `json:"version"`
@@ -127,6 +150,12 @@ type manifest struct {
 	// Segmented records the type-segmented adjacency invariant (v4; see
 	// formatVersion).
 	Segmented bool `json:"segmented,omitempty"`
+	// Compressed records that edges.db holds delta-varint segments rather
+	// than 64-byte edge records (v5; see formatVersion). EdgeBytes is the
+	// logical size of the segment data — the bytes-on-disk numerator of
+	// the compression ratio.
+	Compressed bool  `json:"compressed,omitempty"`
+	EdgeBytes  int64 `json:"edge_bytes,omitempty"`
 	// WalSeq fences WAL replay: the highest WAL sequence number folded
 	// into the base by a committed Compact. Records at or below it are
 	// skipped (and a fully stale log truncated) at Open, so a crash
@@ -171,7 +200,12 @@ type epoch struct {
 	gen       int64
 	version   int
 	segmented bool
-	pager     *pager
+	// compressed reports that edges.db holds delta-varint segments (v5)
+	// instead of edge records; degree records then carry the segment
+	// descriptors and edgeBytes the logical segment-data size.
+	compressed bool
+	edgeBytes  int64
+	pager      *pager
 
 	numVertices int64
 	numEdges    int64
@@ -180,6 +214,15 @@ type epoch struct {
 	blobSize    int64
 
 	byLabel map[int][]storage.VID
+
+	// Persisted statistics (v5, from Finalize or index.db): base edge
+	// counts per type ID, and per-(label, key) bloom filters over the
+	// property values present at finalize time. statsValid distinguishes
+	// "no pair exists" (definitive) from "statistics unavailable"
+	// (missing/torn index, legacy format, post-finalize build mutations).
+	typeCounts []int64
+	blooms     map[uint64]*bloom
+	statsValid bool
 
 	// baseSeq is the highest WAL sequence folded into this generation's
 	// files; delta entries at or below it are already in the base and
@@ -205,8 +248,10 @@ func (ep *epoch) degSize() int64 {
 	return degRecSize
 }
 
-// closeFiles closes the generation's backing files.
+// closeFiles closes the generation's backing files (and any mappings
+// over them).
 func (ep *epoch) closeFiles() error {
+	ep.pager.closeMaps()
 	var first error
 	for _, f := range ep.pager.files {
 		if err := f.Close(); err != nil && first == nil {
@@ -315,15 +360,22 @@ type Store struct {
 
 // FormatInfo describes how a store was opened; see (*Store).Format.
 type FormatInfo struct {
-	// Version is the on-disk format version (2-4).
+	// Version is the on-disk format version (2-5).
 	Version int
 	// Generation is the base file generation currently serving reads.
 	Generation int64
 	// Segmented reports the type-segmented adjacency invariant.
 	Segmented bool
+	// Compressed reports the delta-varint adjacency layout (v5).
+	Compressed bool
 	// IndexLoaded reports that Open restored the label index from
 	// index.db rather than scanning every vertex record.
 	IndexLoaded bool
+	// EdgeBytes is the logical adjacency size in edges.db: segment bytes
+	// on a compressed store, numEdges × 64 on a record-layout store.
+	// EdgeBytes / NumEdges is the bytes-per-edge figure the compress
+	// bench reports.
+	EdgeBytes int64
 }
 
 // Format reports the store's on-disk format version and how it was
@@ -331,7 +383,15 @@ type FormatInfo struct {
 // fast way" is observable.
 func (s *Store) Format() FormatInfo {
 	ep := s.curEp()
-	return FormatInfo{Version: ep.version, Generation: ep.gen, Segmented: ep.segmented, IndexLoaded: s.indexLoaded}
+	eb := ep.numEdges * edgeRecSize
+	if ep.compressed {
+		eb = ep.edgeBytes
+	}
+	return FormatInfo{
+		Version: ep.version, Generation: ep.gen,
+		Segmented: ep.segmented, Compressed: ep.compressed,
+		IndexLoaded: s.indexLoaded, EdgeBytes: eb,
+	}
 }
 
 // SegmentedAdjacency reports whether adjacency is currently grouped by
@@ -397,9 +457,12 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Mmap {
+		pg.enableMmap(fileVertices, fileEdges)
+	}
 	version := formatVersion
-	if opts.formatVersion != 0 {
-		version = opts.formatVersion
+	if opts.Format != 0 {
+		version = opts.Format
 	}
 	ep := &epoch{
 		gen:       gen,
@@ -423,6 +486,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		// Only v4 degree records carry the segment heads the seek path
 		// needs; never trust a segmented claim on a legacy manifest.
 		ep.segmented = m.Segmented && m.Version >= 4
+		ep.compressed = m.Compressed && m.Version >= 5
+		ep.edgeBytes = m.EdgeBytes
 		ep.numVertices, ep.numEdges, ep.numProps, ep.blobSize = m.NumVertices, m.NumEdges, m.NumProps, m.BlobSize
 		ep.numDegs = m.NumDegs
 		ep.baseSeq = m.WalSeq
@@ -576,6 +641,12 @@ func (s *Store) markDirty() error {
 			return err
 		}
 	}
+	// Build-mode mutations can change label membership and property
+	// values, so the persisted statistics stop being definitive the same
+	// instant the index file goes (Finalize rebuilds them).
+	s.cur.statsValid = false
+	s.cur.typeCounts = nil
+	s.cur.blooms = nil
 	s.indexCurrent = false
 	s.dirty = true
 	return nil
@@ -624,8 +695,10 @@ func (s *Store) Flush() error {
 		Labels: s.labels, Types: s.types, Keys: s.keys,
 		NumVertices: ep.numVertices, NumEdges: ep.numEdges, NumProps: ep.numProps,
 		NumDegs: ep.numDegs, BlobSize: ep.blobSize,
-		Segmented: ep.segmented && ep.version >= 4,
-		WalSeq:    s.walFoldedSeq,
+		Segmented:  ep.segmented && ep.version >= 4,
+		Compressed: ep.compressed && ep.version >= 5,
+		EdgeBytes:  ep.edgeBytes,
+		WalSeq:     s.walFoldedSeq,
 	}
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -776,15 +849,25 @@ type edgeRec struct {
 // segment in the vertex's out/in chains, valid while the store's
 // segmented invariant holds. Legacy (v3) records are 32 bytes and have no
 // segment heads.
+//
+// On a compressed (v5) epoch the descriptor bytes are reinterpreted:
+// bytes 21-36 hold the byte offsets of the type's out/in varint segments
+// in edges.db (stored +1; 0 = empty), bytes 37-44 their encoded lengths,
+// and bytes 45-52 the EID of the segment's first out-edge (+1) — out-EIDs
+// are contiguous per segment, so one stored EID recovers all of them.
 type degRec struct {
 	inUse  bool
 	typeID uint32
 	outDeg uint32
 	inDeg  uint32
 	next   int64 // deg id + 1
-	// v4 only: heads of this type's adjacency segments (edge id + 1).
+	// v4 uncompressed: heads of this type's adjacency segments (edge id + 1).
 	firstOut int64
 	firstIn  int64
+	// v5 compressed: varint segment descriptors (offsets stored +1).
+	outOff, inOff int64
+	outLen, inLen uint32
+	firstOutEID   int64 // EID of the segment's first out-edge, stored +1
 }
 
 type propRec struct {
@@ -898,8 +981,16 @@ func (ep *epoch) readDeg(d int64) (degRec, error) {
 		next:   int64(binary.LittleEndian.Uint64(buf[13:])),
 	}
 	if size == degRecSizeV4 {
-		r.firstOut = int64(binary.LittleEndian.Uint64(buf[21:]))
-		r.firstIn = int64(binary.LittleEndian.Uint64(buf[29:]))
+		if ep.compressed {
+			r.outOff = int64(binary.LittleEndian.Uint64(buf[21:]))
+			r.inOff = int64(binary.LittleEndian.Uint64(buf[29:]))
+			r.outLen = binary.LittleEndian.Uint32(buf[37:])
+			r.inLen = binary.LittleEndian.Uint32(buf[41:])
+			r.firstOutEID = int64(binary.LittleEndian.Uint64(buf[45:]))
+		} else {
+			r.firstOut = int64(binary.LittleEndian.Uint64(buf[21:]))
+			r.firstIn = int64(binary.LittleEndian.Uint64(buf[29:]))
+		}
 	}
 	return r, nil
 }
@@ -915,8 +1006,16 @@ func (ep *epoch) writeDeg(d int64, r degRec) error {
 	binary.LittleEndian.PutUint32(buf[9:], r.inDeg)
 	binary.LittleEndian.PutUint64(buf[13:], uint64(r.next))
 	if size == degRecSizeV4 {
-		binary.LittleEndian.PutUint64(buf[21:], uint64(r.firstOut))
-		binary.LittleEndian.PutUint64(buf[29:], uint64(r.firstIn))
+		if ep.compressed {
+			binary.LittleEndian.PutUint64(buf[21:], uint64(r.outOff))
+			binary.LittleEndian.PutUint64(buf[29:], uint64(r.inOff))
+			binary.LittleEndian.PutUint32(buf[37:], r.outLen)
+			binary.LittleEndian.PutUint32(buf[41:], r.inLen)
+			binary.LittleEndian.PutUint64(buf[45:], uint64(r.firstOutEID))
+		} else {
+			binary.LittleEndian.PutUint64(buf[21:], uint64(r.firstOut))
+			binary.LittleEndian.PutUint64(buf[29:], uint64(r.firstIn))
+		}
 	}
 	return ep.pager.write(fileDegrees, d*size, buf[:size])
 }
@@ -1273,8 +1372,13 @@ func (s *Store) AddEdge(src, dst storage.VID, etype string) (storage.EID, error)
 	e := storage.EID(ep.numEdges)
 	ep.numEdges++
 	// Prepending to the chain heads interleaves types; the segmented
-	// invariant is gone until the next Finalize/Compact.
+	// invariant is gone until the next Finalize/Compact. Likewise the
+	// record falls back to the uncompressed layout — safe, because a
+	// compressed store that holds edges is always live (writes route
+	// through the delta instead), so this path only runs while edges.db
+	// is still empty.
 	ep.segmented = false
+	ep.compressed = false
 
 	srcRec, err := ep.readVertex(src)
 	if err != nil {

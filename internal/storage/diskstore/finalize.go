@@ -13,6 +13,7 @@ package diskstore
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/storage"
@@ -84,6 +85,7 @@ func (s *Store) AddEdgeBatch(batch []storage.BulkEdge) error {
 	}
 	ep := s.cur
 	ep.segmented = false
+	ep.compressed = false // bare records follow; see AddEdge
 	s.needFinalize = true
 	for _, be := range batch {
 		if err := s.check(be.Src); err != nil {
@@ -143,12 +145,23 @@ func (s *Store) Finalize() error {
 	if err := s.markDirty(); err != nil {
 		return err
 	}
-	if ep.version < 4 {
-		// The rebuild writes current-format degree records and flushes a
-		// current-format manifest + index; this is the explicit upgrade
-		// path, never taken by plain Open/Flush.
-		ep.version = 4
+	// The rebuild writes target-format degree records and flushes a
+	// matching manifest + index; this is the explicit upgrade path, never
+	// taken by plain Open/Flush. Stores pinned to a legacy format via
+	// Options.Format still upgrade to at least v4 (the segmented layout
+	// the rebuild produces), but stay below v5 so tests and benchmarks
+	// can synthesize uncompressed stores.
+	target := formatVersion
+	if s.opts.Format != 0 {
+		target = s.opts.Format
+		if target < 4 {
+			target = 4
+		}
 	}
+	if ep.version < target {
+		ep.version = target
+	}
+	compress := ep.version >= 5
 	// The fold and the rewrite below mutate base records in place, and
 	// cache eviction may push any subset of the new pages to disk at any
 	// moment — a crash leaves files in a mixed old/new state that the
@@ -160,23 +173,33 @@ func (s *Store) Finalize() error {
 	if err := s.placeFinalizeMarker(); err != nil {
 		return err
 	}
+	var extra []edgeLite
 	if wasLive {
-		if err := s.foldDelta(); err != nil {
+		var err error
+		if extra, err = s.foldDelta(); err != nil {
 			return err
 		}
 	}
-	nE := int(ep.numEdges)
-	recs := make([]edgeLite, nE)
-	for e := 0; e < nE; e++ {
-		er, err := ep.readEdge(storage.EID(e))
-		if err != nil {
-			return fmt.Errorf("diskstore: finalize: read edge %d: %w", e, err)
-		}
-		if !er.inUse {
-			return fmt.Errorf("diskstore: finalize: edge %d not in use", e)
-		}
-		recs[e] = edgeLite{src: er.src, dst: er.dst, typeID: er.typeID}
+	// Gather base edges through the layout-aware enumerator: a legacy or
+	// v4 base is read as 64-byte records, an already-compressed v5 base is
+	// decoded from its segments. Delta edges ride along after the base so
+	// the stable sort preserves ingest order.
+	recs := make([]edgeLite, 0, int(ep.numEdges)+len(extra))
+	if err := ep.forEachEdgeLite(func(el edgeLite) error {
+		recs = append(recs, el)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("diskstore: finalize: %w", err)
 	}
+	if int64(len(recs)) != ep.numEdges {
+		return fmt.Errorf("diskstore: finalize: gathered %d base edges, expected %d", len(recs), ep.numEdges)
+	}
+	recs = append(recs, extra...)
+	nE := len(recs)
+	ep.numEdges = int64(nE)
+	// Everything below writes the target layout; the old bytes in
+	// edges.db are dead once the gather above is done.
+	ep.compressed = compress
 
 	// New edge order, clustered by (src, type): the new ID of edge
 	// perm[k] is k, so a vertex's out-chain is the contiguous run of its
@@ -192,6 +215,12 @@ func (s *Store) Finalize() error {
 		}
 		if a.typeID != b.typeID {
 			return a.typeID < b.typeID
+		}
+		if compress && a.dst != b.dst {
+			// v5 gap-encodes each segment's dst list, which requires it
+			// sorted; v4 keeps plain ingest order so its layout is
+			// byte-identical to what earlier releases wrote.
+			return a.dst < b.dst
 		}
 		return perm[i] < perm[j] // stable: keep ingest order within a segment
 	})
@@ -217,35 +246,53 @@ func (s *Store) Finalize() error {
 		}
 		return newID[inOrder[i]] < newID[inOrder[j]]
 	})
-	nextIn := make([]int64, nE) // indexed by new ID; new EID+1 or 0
-	for i := 0; i+1 < nE; i++ {
-		a, b := inOrder[i], inOrder[i+1]
-		if recs[a].dst == recs[b].dst {
-			nextIn[newID[a]] = int64(newID[b]) + 1
+	// Edge records (and their chain links) exist only in the uncompressed
+	// layout; a compressed epoch's edges.db holds nothing but segments.
+	if !compress {
+		nextIn := make([]int64, nE) // indexed by new ID; new EID+1 or 0
+		for i := 0; i+1 < nE; i++ {
+			a, b := inOrder[i], inOrder[i+1]
+			if recs[a].dst == recs[b].dst {
+				nextIn[newID[a]] = int64(newID[b]) + 1
+			}
 		}
-	}
-
-	// Rewrite edges.db in the new order — one sequential pass.
-	for k, old := range perm {
-		r := recs[old]
-		var nextOut int64
-		if k+1 < nE && recs[perm[k+1]].src == r.src {
-			nextOut = int64(k) + 2
-		}
-		if err := ep.writeEdge(storage.EID(k), edgeRec{
-			inUse: true, typeID: r.typeID, src: r.src, dst: r.dst,
-			nextOut: nextOut, nextIn: nextIn[k],
-		}); err != nil {
-			return err
+		// Rewrite edges.db in the new order — one sequential pass.
+		for k, old := range perm {
+			r := recs[old]
+			var nextOut int64
+			if k+1 < nE && recs[perm[k+1]].src == r.src {
+				nextOut = int64(k) + 2
+			}
+			if err := ep.writeEdge(storage.EID(k), edgeRec{
+				inUse: true, typeID: r.typeID, src: r.src, dst: r.dst,
+				nextOut: nextOut, nextIn: nextIn[k],
+			}); err != nil {
+				return err
+			}
 		}
 	}
 
 	// Per-vertex: adjacency heads, untyped degree counters, and the
-	// ascending-type degree chain with segment heads. degrees.db is
-	// rewritten from scratch.
+	// ascending-type degree chain with segment heads (v4) or segment
+	// descriptors (v5). degrees.db is rewritten from scratch. In
+	// compressed mode the same pass emits the delta-varint segments at a
+	// running cursor and accumulates the statistics block: per-edge-type
+	// counts and per-(label, key) bloom hashes over every property value.
 	ep.numDegs = 0
 	oi, ii := 0, 0
 	var degs []degRec
+	var cursor int64
+	var segBuf []byte
+	var hashAcc map[uint64][]uint64
+	var typeCounts []int64
+	var labelIDs []int
+	if compress {
+		hashAcc = make(map[uint64][]uint64)
+		typeCounts = make([]int64, len(s.types))
+		for i := range recs {
+			typeCounts[recs[i].typeID]++
+		}
+	}
 	for v := int64(0); v < ep.numVertices; v++ {
 		rec, err := ep.readVertex(storage.VID(v))
 		if err != nil {
@@ -262,11 +309,16 @@ func (s *Store) Finalize() error {
 		rec.outDeg = uint32(oi - outStart)
 		rec.inDeg = uint32(ii - inStart)
 		rec.firstOut, rec.firstIn, rec.firstDeg = 0, 0, 0
-		if oi > outStart {
-			rec.firstOut = int64(outStart) + 1
-		}
-		if ii > inStart {
-			rec.firstIn = int64(newID[inOrder[inStart]]) + 1
+		if !compress {
+			// Adjacency heads point at edge records; a compressed vertex
+			// reaches its edges only through the degree chain's segment
+			// descriptors.
+			if oi > outStart {
+				rec.firstOut = int64(outStart) + 1
+			}
+			if ii > inStart {
+				rec.firstIn = int64(newID[inOrder[inStart]]) + 1
+			}
 		}
 		// Merge the two type-grouped runs into one ascending-type chain.
 		degs = degs[:0]
@@ -283,17 +335,57 @@ func (s *Store) Finalize() error {
 			}
 			dr := degRec{inUse: true, typeID: t}
 			if o < oi && recs[perm[o]].typeID == t {
-				dr.firstOut = int64(o) + 1
-				for o < oi && recs[perm[o]].typeID == t {
-					o++
-					dr.outDeg++
+				if compress {
+					dr.firstOutEID = int64(o) + 1
+					segBuf = segBuf[:0]
+					first := o
+					var prev int64
+					for o < oi && recs[perm[o]].typeID == t {
+						d := recs[perm[o]].dst
+						segBuf = appendOutSeg(segBuf, d, prev, o == first)
+						prev = d
+						o++
+						dr.outDeg++
+					}
+					dr.outOff = cursor + 1
+					dr.outLen = uint32(len(segBuf))
+					if err := ep.pager.write(fileEdges, cursor, segBuf); err != nil {
+						return err
+					}
+					cursor += int64(len(segBuf))
+				} else {
+					dr.firstOut = int64(o) + 1
+					for o < oi && recs[perm[o]].typeID == t {
+						o++
+						dr.outDeg++
+					}
 				}
 			}
 			if i < ii && recs[inOrder[i]].typeID == t {
-				dr.firstIn = int64(newID[inOrder[i]]) + 1
-				for i < ii && recs[inOrder[i]].typeID == t {
-					i++
-					dr.inDeg++
+				if compress {
+					segBuf = segBuf[:0]
+					first := i
+					var prevSrc, prevEid int64
+					for i < ii && recs[inOrder[i]].typeID == t {
+						src := recs[inOrder[i]].src
+						eid := int64(newID[inOrder[i]])
+						segBuf = appendInSeg(segBuf, src, prevSrc, eid, prevEid, i == first)
+						prevSrc, prevEid = src, eid
+						i++
+						dr.inDeg++
+					}
+					dr.inOff = cursor + 1
+					dr.inLen = uint32(len(segBuf))
+					if err := ep.pager.write(fileEdges, cursor, segBuf); err != nil {
+						return err
+					}
+					cursor += int64(len(segBuf))
+				} else {
+					dr.firstIn = int64(newID[inOrder[i]]) + 1
+					for i < ii && recs[inOrder[i]].typeID == t {
+						i++
+						dr.inDeg++
+					}
 				}
 			}
 			degs = append(degs, dr)
@@ -311,9 +403,62 @@ func (s *Store) Finalize() error {
 			}
 			ep.numDegs += int64(len(degs))
 		}
+		if compress {
+			// Statistics: hash every property value once, bucketed by each
+			// label the vertex carries. Filters are sized after the pass,
+			// when per-bucket cardinalities are known.
+			labelIDs = labelIDs[:0]
+			for w, word := range rec.labels {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= 1 << b
+					labelIDs = append(labelIDs, w*64+b)
+				}
+			}
+			if len(labelIDs) > 0 {
+				for p := rec.firstProp; p != 0; {
+					pr, err := ep.readProp(p - 1)
+					if err != nil {
+						return err
+					}
+					p = pr.next
+					val, err := ep.decodeValue(pr)
+					if err != nil {
+						return err
+					}
+					h := hashValue(val)
+					for _, lid := range labelIDs {
+						k := bloomKey(lid, int(pr.keyID))
+						hashAcc[k] = append(hashAcc[k], h)
+					}
+				}
+			}
+		}
 		if err := ep.writeVertex(storage.VID(v), rec); err != nil {
 			return err
 		}
+	}
+	if compress {
+		// Segments are strictly smaller than the records they replace
+		// (<= 27 bytes/edge worst case vs 64), so the rewrite never caught
+		// up with itself and the tail past the cursor is dead — reclaim it.
+		ep.edgeBytes = cursor
+		if err := ep.pager.truncate(fileEdges, cursor); err != nil {
+			return err
+		}
+		blooms := make(map[uint64]*bloom, len(hashAcc))
+		for k, hs := range hashAcc {
+			b := newBloom(len(hs))
+			for _, h := range hs {
+				b.add(h)
+			}
+			blooms[k] = b
+		}
+		ep.typeCounts = typeCounts
+		ep.blooms = blooms
+		ep.statsValid = true
+	} else {
+		ep.edgeBytes = 0
 	}
 	ep.segmented = true
 	s.needFinalize = false
@@ -330,20 +475,23 @@ func (s *Store) Finalize() error {
 	return nil
 }
 
-// foldDelta appends the delta segment's visible state to the base files
-// so the rebuild that follows links it. It consumes a frozen copy of the
-// delta (freeze with an unbounded watermark — the caller has exclusive
-// access, so everything is visible): delta vertices keep their VIDs (the
-// delta numbered them past the base, so appending in VID order
-// reproduces the live IDs) and delta edges keep their ingest order (bare
-// records only — Finalize's rewrite links and renumbers them). Once the
-// fold is in the base, the WAL records it absorbed are dead weight:
-// walFoldedSeq advances to fence them out of replay, and the next Flush
-// — the manifest commit that makes the fold durable — truncates the log
-// (pendingCheckpoint). The caller has switched live routing off and
-// placed the finalize marker, so every write here uses the base build
-// path and a crash mid-fold is detected at next Open.
-func (s *Store) foldDelta() error {
+// foldDelta appends the delta segment's visible vertex/label/property
+// state to the base files so the rebuild that follows links it, and
+// returns the delta's edges in ingest order for the caller to merge into
+// its gather (Finalize renumbers and writes them — appending records
+// here would corrupt a compressed base, whose edges.db holds segments,
+// not records). It consumes a frozen copy of the delta (freeze with an
+// unbounded watermark — the caller has exclusive access, so everything
+// is visible): delta vertices keep their VIDs (the delta numbered them
+// past the base, so appending in VID order reproduces the live IDs).
+// Once the fold is in the base, the WAL records it absorbed are dead
+// weight: walFoldedSeq advances to fence them out of replay, and the
+// next Flush — the manifest commit that makes the fold durable —
+// truncates the log (pendingCheckpoint). The caller has switched live
+// routing off and placed the finalize marker, so every write here uses
+// the base build path and a crash mid-fold is detected at next Open;
+// the caller's tail also restarts the delta at the new base boundaries.
+func (s *Store) foldDelta() ([]edgeLite, error) {
 	ep := s.cur
 	w := vis{baseVerts: ep.numVertices, baseEdges: ep.numEdges, baseSeq: ep.baseSeq, maxSeq: ^uint64(0)}
 	fd := s.delta.freeze(w)
@@ -360,7 +508,7 @@ func (s *Store) foldDelta() error {
 			}
 		}
 		if err := ep.writeVertex(v, rec); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	// Label additions on base vertices (delta-vertex labels were folded
@@ -370,7 +518,7 @@ func (s *Store) foldDelta() error {
 	for v, ids := range fd.labelAdds {
 		rec, err := ep.readVertex(v)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		changed := false
 		for _, id := range ids {
@@ -383,22 +531,16 @@ func (s *Store) foldDelta() error {
 		}
 		if changed {
 			if err := ep.writeVertex(v, rec); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
-	// Delta edges in EID order: sequential appends reproduce the live
-	// EIDs (not that they survive — the rebuild renumbers; what matters
-	// is that ingest order is preserved for the stable sort).
-	for _, fe := range fd.edges {
-		e := storage.EID(ep.numEdges)
-		ep.numEdges++
-		if err := ep.writeEdge(e, edgeRec{
-			inUse: true, typeID: fe.typeID,
-			src: int64(fe.src), dst: int64(fe.dst),
-		}); err != nil {
-			return err
-		}
+	// Delta edges in EID order, handed back rather than written: ingest
+	// order is preserved for the stable sort, and the caller's rebuild
+	// assigns their final IDs and bytes.
+	extra := make([]edgeLite, len(fd.edges))
+	for i, fe := range fd.edges {
+		extra[i] = edgeLite{src: int64(fe.src), dst: int64(fe.dst), typeID: fe.typeID}
 	}
 	// Properties last, once every vertex they touch has a base record:
 	// delta-vertex values and base-vertex overrides both go through the
@@ -407,14 +549,14 @@ func (s *Store) foldDelta() error {
 		fv := &fd.verts[i]
 		for keyID, val := range fv.props {
 			if err := s.SetProp(fv.v, s.keys[keyID], val); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
 	for v, m := range fd.propOver {
 		for keyID, val := range m {
 			if err := s.SetProp(v, s.keys[keyID], val); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
@@ -424,7 +566,5 @@ func (s *Store) foldDelta() error {
 	}
 	// The base now holds everything up to the fence.
 	ep.baseSeq = s.walFoldedSeq
-	s.delta = newDelta(ep.numVertices, ep.numEdges)
-	s.delta.appliedSeq.Store(s.walFoldedSeq)
-	return nil
+	return extra, nil
 }

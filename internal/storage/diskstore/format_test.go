@@ -18,13 +18,14 @@ import (
 )
 
 // TestConformanceLegacyLayouts runs the full conformance suite against
-// stores forced to write the v3 and v2 layouts, proving the v4 code keeps
-// serving (and building) legacy stores correctly.
+// stores forced to write the v2, v3, and v4 (uncompressed) layouts,
+// proving the v5 code keeps serving (and building) legacy stores
+// correctly.
 func TestConformanceLegacyLayouts(t *testing.T) {
-	for _, version := range []int{2, 3} {
-		t.Run(map[int]string{2: "v2", 3: "v3"}[version], func(t *testing.T) {
+	for _, version := range []int{2, 3, 4} {
+		t.Run(map[int]string{2: "v2", 3: "v3", 4: "v4"}[version], func(t *testing.T) {
 			storetest.Run(t, func(t *testing.T) storage.Builder {
-				s, err := Open(t.TempDir(), Options{PageSize: 512, CachePages: 16, formatVersion: version})
+				s, err := Open(t.TempDir(), Options{PageSize: 512, CachePages: 16, Format: version})
 				if err != nil {
 					t.Fatalf("Open: %v", err)
 				}
@@ -286,7 +287,7 @@ var upgradeQueries = []string{
 // identical query results (and fingerprints, and fast-path equivalence).
 func TestCompactUpgradeRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	v3, err := Open(dir, Options{PageSize: 512, CachePages: 32, formatVersion: 3})
+	v3, err := Open(dir, Options{PageSize: 512, CachePages: 32, Format: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,6 +406,80 @@ func TestGoldenV3Store(t *testing.T) {
 	}
 	if got := storetest.Fingerprint(v4); got != string(want) {
 		t.Error("upgraded golden store diverges from the recorded fingerprint")
+	}
+}
+
+// TestGoldenV4Store opens the committed v4 fixture (testdata/golden-v4,
+// written with Options{Format: 4} before compression became the
+// default: segmented adjacency, uncompressed 64-byte edge records, a
+// PGSIDX04 index), verifies it bit for bit against its recorded
+// fingerprint, queries it, and Compacts it — which must upgrade it to
+// the compressed v5 layout with identical observable contents and a
+// populated statistics block.
+//
+// Regenerate with:
+//
+//	s, _ := Open(dir, Options{PageSize: 512, CachePages: 64, Format: 4})
+//	storetest.BuildRandomBulk(s, 21, 60, 160, 32)
+//	fp := storetest.Fingerprint(s); s.Close()  // then write FINGERPRINT.txt
+func TestGoldenV4Store(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden-v4/FINGERPRINT.txt")
+	if err != nil {
+		t.Fatalf("missing golden fixture: %v", err)
+	}
+	dir := copyDir(t, "testdata/golden-v4")
+	s, err := Open(dir, Options{PageSize: 512, CachePages: 32})
+	if err != nil {
+		t.Fatalf("golden v4 store rejected: %v", err)
+	}
+	if got := s.Format(); got.Version != 4 || !got.Segmented || !got.IndexLoaded || got.Compressed {
+		t.Fatalf("golden store opened as %+v, want v4 segmented+indexed uncompressed", got)
+	}
+	if got := storetest.Fingerprint(s); got != string(want) {
+		t.Error("golden v4 store no longer reproduces its recorded fingerprint")
+	}
+	storetest.CheckFastEquivalence(t, s, storage.Fast(s))
+	var wantRows [][][]string
+	for _, q := range upgradeQueries {
+		wantRows = append(wantRows, runQuerySorted(t, s, q))
+	}
+	if len(wantRows[0]) == 0 {
+		t.Error("golden store query returned no rows")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	v5, err := Open(dir, Options{PageSize: 512, CachePages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v5.Close()
+	if got := v5.Format(); got.Version != formatVersion || !got.Compressed || !got.IndexLoaded {
+		t.Fatalf("upgraded golden store opened as %+v, want v%d compressed+indexed", got, formatVersion)
+	}
+	if got := storetest.Fingerprint(v5); got != string(want) {
+		t.Error("upgraded golden store diverges from the recorded fingerprint")
+	}
+	for i, q := range upgradeQueries {
+		got := runQuerySorted(t, v5, q)
+		if len(got) != len(wantRows[i]) {
+			t.Fatalf("query %q: %d rows after upgrade, want %d", q, len(got), len(wantRows[i]))
+		}
+		for r := range got {
+			for c := range got[r] {
+				if got[r][c] != wantRows[i][r][c] {
+					t.Fatalf("query %q row %d col %d: %q after upgrade, want %q", q, r, c, got[r][c], wantRows[i][r][c])
+				}
+			}
+		}
+	}
+	// The upgrade must also have produced the v5 statistics block.
+	if storage.Statistics(v5).EdgeTypeCounts() == nil {
+		t.Error("upgraded golden store has no persisted edge-type counts")
 	}
 }
 

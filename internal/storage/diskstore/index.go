@@ -10,13 +10,24 @@ package diskstore
 //
 // Layout (little-endian):
 //
-//	magic   [8]byte  "PGSIDX04"
+//	magic   [8]byte  "PGSIDX04" (v4 stores) / "PGSIDX05" (v5 stores)
 //	crc32   u32      IEEE CRC of everything after this field
 //	numVertices, numEdges, numDegs  u64 × 3   (validated vs manifest)
 //	labels, types, keys   3 × (u32 count, then per entry u32 len + bytes)
 //	label index           u32 count (== len(labels)), then per label:
 //	                      u64 entry count + that many u64 VIDs, in the
 //	                      in-memory (insertion) order of the scan index
+//
+// A v5 index appends a statistics block after the postings:
+//
+//	present  u8   0 = the epoch carried no statistics (stop here),
+//	              1 = counts + blooms follow
+//	type counts    u32 count, then u64 per edge type (typeID order)
+//	bloom filters  u32 count, then per filter: u32 labelID, u32 keyID,
+//	               u64 m (bits), u32 k, and m/8 bytes of filter bits
+//
+// The block is advisory like everything else here: a store that loads
+// postings but not statistics just answers "maybe" to every bloom probe.
 import (
 	"encoding/binary"
 	"hash/crc32"
@@ -26,7 +37,20 @@ import (
 	"repro/internal/storage"
 )
 
-const indexMagic = "PGSIDX04"
+const (
+	indexMagicV4 = "PGSIDX04"
+	indexMagicV5 = "PGSIDX05"
+)
+
+// indexMagicFor returns the magic the epoch's format version writes — v4
+// keeps its exact legacy layout so downgrade-free round trips stay
+// byte-compatible; v5 adds the statistics block.
+func indexMagicFor(ep *epoch) string {
+	if ep.version >= 5 {
+		return indexMagicV5
+	}
+	return indexMagicV4
+}
 
 // indexPath is the index file of one base generation (index.db, or
 // index.db.gN for generation N — the index describes one generation's
@@ -69,8 +93,31 @@ func (s *Store) writeIndex(ep *epoch) error {
 			u64(uint64(v))
 		}
 	}
-	out := make([]byte, 0, len(indexMagic)+4+len(buf))
-	out = append(out, indexMagic...)
+	magic := indexMagicFor(ep)
+	if magic == indexMagicV5 {
+		if !ep.statsValid {
+			buf = append(buf, 0)
+		} else {
+			buf = append(buf, 1)
+			u32(uint32(len(ep.typeCounts)))
+			for _, c := range ep.typeCounts {
+				u64(uint64(c))
+			}
+			u32(uint32(len(ep.blooms)))
+			// Map order is fine: entries carry their own (label, key) ids.
+			for k, b := range ep.blooms {
+				u32(uint32(k >> 32))
+				u32(uint32(k))
+				u64(b.m())
+				u32(b.k)
+				for _, w := range b.bits {
+					u64(w)
+				}
+			}
+		}
+	}
+	out := make([]byte, 0, len(magic)+4+len(buf))
+	out = append(out, magic...)
 	binary.LittleEndian.PutUint32(scratch[:4], crc32.ChecksumIEEE(buf))
 	out = append(out, scratch[:4]...)
 	out = append(out, buf...)
@@ -83,12 +130,13 @@ func (s *Store) writeIndex(ep *epoch) error {
 // false without touching store state, and the caller rebuilds by
 // scanning.
 func (s *Store) loadIndex(ep *epoch) bool {
+	magic := indexMagicFor(ep)
 	data, err := os.ReadFile(s.indexPath(ep.gen))
-	if err != nil || len(data) < len(indexMagic)+4 || string(data[:len(indexMagic)]) != indexMagic {
+	if err != nil || len(data) < len(magic)+4 || string(data[:len(magic)]) != magic {
 		return false
 	}
-	payload := data[len(indexMagic)+4:]
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[len(indexMagic):]) {
+	payload := data[len(magic)+4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[len(magic):]) {
 		return false
 	}
 	r := idxReader{data: payload, ok: true}
@@ -126,10 +174,57 @@ func (s *Store) loadIndex(ep *epoch) bool {
 			byLabel[id] = vids
 		}
 	}
+	// v5 statistics block — consumed before the trailing-bytes check so a
+	// stats-bearing file still validates end-to-end.
+	var typeCounts []int64
+	var blooms map[uint64]*bloom
+	statsValid := false
+	if magic == indexMagicV5 {
+		present := r.take(1)
+		if present == nil {
+			return false
+		}
+		if present[0] == 1 {
+			nt := r.u32()
+			if !r.ok || uint64(nt) > uint64(len(r.data))/8 {
+				return false
+			}
+			typeCounts = make([]int64, nt)
+			for i := range typeCounts {
+				typeCounts[i] = int64(r.u64())
+			}
+			nb := r.u32()
+			if !r.ok || nb > uint32(bloomMaxBits) {
+				return false
+			}
+			blooms = make(map[uint64]*bloom, nb)
+			for i := uint32(0); i < nb; i++ {
+				labelID := r.u32()
+				keyID := r.u32()
+				m := r.u64()
+				k := r.u32()
+				if !r.ok || m == 0 || m%64 != 0 || m > bloomMaxBits || k == 0 || k > 64 {
+					return false
+				}
+				bits := make([]uint64, m/64)
+				for j := range bits {
+					bits[j] = r.u64()
+				}
+				if !r.ok {
+					return false
+				}
+				blooms[bloomKey(int(labelID), int(keyID))] = &bloom{k: k, bits: bits}
+			}
+			statsValid = true
+		}
+	}
 	if !r.ok || len(r.data) != 0 {
 		return false
 	}
 	ep.byLabel = byLabel
+	ep.typeCounts = typeCounts
+	ep.blooms = blooms
+	ep.statsValid = statsValid
 	return true
 }
 

@@ -48,6 +48,8 @@ func (s *Store) LiveStats() storage.LiveStats {
 	ls := storage.LiveStats{
 		Live:            s.liveMode.Load(),
 		Segmented:       ep.segmented,
+		Compressed:      ep.compressed,
+		EdgeBytes:       ep.edgeBytes,
 		Generation:      s.generation.Load(),
 		FoldRunning:     s.folding.Load(),
 		FoldProgress:    s.foldProgress.Load(),

@@ -1,0 +1,19 @@
+//go:build linux
+
+package diskstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. MAP_SHARED keeps the mapping
+// coherent with pager write-back that happens after the mapping is
+// dropped but before close (the dropped mapping is only read until then).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapRegion(data []byte) {
+	_ = syscall.Munmap(data)
+}

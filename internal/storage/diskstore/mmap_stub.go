@@ -1,0 +1,16 @@
+//go:build !linux
+
+package diskstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile on platforms without a wired-up mmap syscall: always refuses,
+// so Options.Mmap degrades to the ordinary page-cache read path.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errors.New("diskstore: mmap not supported on this platform")
+}
+
+func munmapRegion(_ []byte) {}

@@ -100,7 +100,24 @@ type pager struct {
 	shardShift uint
 	shards     []shard
 
+	// Optional read-only mmap fast path (Options.Mmap). A non-nil entry
+	// serves in-range reads of that file straight from the kernel's page
+	// cache, bypassing the clock sweep entirely; the pager keeps ownership
+	// of every write path, and the first write or truncate to a mapped
+	// file atomically drops its mapping, falling back to the page cache.
+	// Dropped mappings are retired, not unmapped: a concurrent reader may
+	// still be copying from the old bytes, so the memory stays valid until
+	// closeMaps (file close), when no readers remain.
+	maps    [numFiles]atomic.Pointer[mmapRegion]
+	mapMu   sync.Mutex
+	retired []*mmapRegion
+
 	stats pagerStats
+}
+
+// mmapRegion is one live read-only file mapping.
+type mmapRegion struct {
+	data []byte
 }
 
 // pagerShards picks the shard count for a page budget: up to 16 shards,
@@ -302,10 +319,61 @@ func (p *pager) grow(f fileID, end int64) {
 	}
 }
 
+// enableMmap maps the given files read-only, if the platform supports it
+// and the file is non-empty. Failure to map (unsupported platform, empty
+// file, kernel refusal) is not an error — the pager simply keeps serving
+// that file through the page cache.
+func (p *pager) enableMmap(files ...fileID) {
+	for _, f := range files {
+		size := p.sizes[f].Load()
+		if size <= 0 {
+			continue
+		}
+		data, err := mmapFile(p.files[f], size)
+		if err != nil {
+			continue
+		}
+		p.maps[f].Store(&mmapRegion{data: data})
+	}
+}
+
+// dropMap retires the file's mapping (if any) so subsequent reads go
+// through the page cache. Called on the first write or truncate to a
+// mapped file.
+func (p *pager) dropMap(f fileID) {
+	if m := p.maps[f].Swap(nil); m != nil {
+		p.mapMu.Lock()
+		p.retired = append(p.retired, m)
+		p.mapMu.Unlock()
+	}
+}
+
+// closeMaps unmaps every live and retired mapping. Callers must ensure no
+// reads are in flight (same contract as closing the files).
+func (p *pager) closeMaps() {
+	p.mapMu.Lock()
+	retired := p.retired
+	p.retired = nil
+	p.mapMu.Unlock()
+	for _, m := range retired {
+		munmapRegion(m.data)
+	}
+	for f := range p.maps {
+		if m := p.maps[f].Swap(nil); m != nil {
+			munmapRegion(m.data)
+		}
+	}
+}
+
 // read copies n bytes at off in the file into buf. Reads may span pages
 // (needed for blob data); record reads never do because record sizes
 // divide the page size.
 func (p *pager) read(f fileID, off int64, buf []byte) error {
+	if m := p.maps[f].Load(); m != nil && off >= 0 && off+int64(len(buf)) <= int64(len(m.data)) {
+		copy(buf, m.data[off:])
+		p.stats.hits.Add(1)
+		return nil
+	}
 	for len(buf) > 0 {
 		pageNo := off / int64(p.pageSize)
 		within := int(off % int64(p.pageSize))
@@ -324,7 +392,10 @@ func (p *pager) read(f fileID, off int64, buf []byte) error {
 }
 
 // write copies buf to off in the file, through the cache (write-back).
+// Writing to an mmapped file drops its mapping first: the mapping is a
+// read-only snapshot and must not alias pages the cache now owns.
 func (p *pager) write(f fileID, off int64, buf []byte) error {
+	p.dropMap(f)
 	for len(buf) > 0 {
 		pageNo := off / int64(p.pageSize)
 		within := int(off % int64(p.pageSize))
@@ -340,6 +411,39 @@ func (p *pager) write(f fileID, off int64, buf []byte) error {
 		buf = buf[n:]
 		off += int64(n)
 	}
+	return nil
+}
+
+// truncate shrinks the file to size bytes, discarding any cached frames
+// that lie wholly past the new end (their dirty bytes are dead by
+// definition — the caller declared everything past size garbage). The
+// frame straddling the boundary may keep stale tail bytes; harmless,
+// because all reads past a truncate use explicit in-range lengths.
+// Single-writer contract, like flush.
+func (p *pager) truncate(f fileID, size int64) error {
+	p.dropMap(f)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for j := 0; j < len(sh.clock); {
+			pg := sh.clock[j]
+			if pg.key.file == f && pg.key.page*int64(p.pageSize) >= size {
+				pg.mu.Lock()
+				pg.dirty = false
+				pg.mu.Unlock()
+				delete(sh.table, pg.key)
+				sh.removeAt(j)
+				continue
+			}
+			j++
+		}
+		sh.hand = 0
+		sh.mu.Unlock()
+	}
+	if err := p.files[f].Truncate(size); err != nil {
+		return fmt.Errorf("diskstore: truncate %d: %w", f, err)
+	}
+	p.sizes[f].Store(size)
 	return nil
 }
 

@@ -429,6 +429,11 @@ func (ep *epoch) forEachBase(v storage.VID, etype storage.SymbolID, out bool, fn
 	if err != nil {
 		return false
 	}
+	if ep.compressed {
+		// A compressed epoch has no edge records at all — every
+		// traversal, typed or not, decodes varint segments.
+		return ep.forEachCompressed(rec, etype, out, fn)
+	}
 	if etype != storage.AnySymbol && ep.segmented {
 		return ep.forEachSegment(rec, uint32(etype), out, fn)
 	}

@@ -66,6 +66,7 @@ var (
 	_ storage.BatchBuilder       = (*Store)(nil)
 	_ storage.TypeSegmentedGraph = (*Store)(nil)
 	_ storage.Snapshotter        = (*Store)(nil)
+	_ storage.Statistics         = (*Store)(nil)
 )
 
 // New returns an empty in-memory store.
@@ -594,4 +595,54 @@ func (s *Store) DegreeID(v storage.VID, etype storage.SymbolID, out bool) int {
 		}
 	}
 	return n
+}
+
+// LabelCounts returns the exact number of vertices per label
+// (storage.Statistics).
+func (s *Store) LabelCounts() map[string]int {
+	out := make(map[string]int, len(s.labels))
+	for id, name := range s.labels {
+		out[name] = len(s.byLabel[int32(id)])
+	}
+	return out
+}
+
+// EdgeTypeCounts returns the exact number of edges per edge type,
+// counted on demand — memstore keeps no running per-type totals, and
+// statistics consumers call this once per plan, not per tuple.
+func (s *Store) EdgeTypeCounts() map[string]int {
+	out := make(map[string]int, len(s.types))
+	for _, name := range s.types {
+		out[name] = 0
+	}
+	for i := range s.vertices {
+		for _, e := range s.vertices[i].out {
+			out[s.types[e.etype]]++
+		}
+	}
+	return out
+}
+
+// MayHaveProp reports whether any vertex with the label carries val for
+// the key (storage.Statistics). Memstore answers exactly: it scans the
+// label's vertices and stops at the first match, so a "no" costs the
+// same scan the caller was about to run — and makes every later scan of
+// the same empty probe free to skip.
+func (s *Store) MayHaveProp(label, key string, val graph.Value) bool {
+	lid, ok := s.labelIDs[label]
+	if !ok {
+		return false
+	}
+	kid, ok := s.keyIDs[key]
+	if !ok {
+		return false
+	}
+	for _, v := range s.byLabel[lid] {
+		for _, p := range s.vertices[v].props {
+			if p.key == kid && p.val.Equal(val) {
+				return true
+			}
+		}
+	}
+	return false
 }

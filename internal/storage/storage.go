@@ -318,6 +318,11 @@ type LiveStats struct {
 	PinnedSnapshots int64
 	// Compactions counts folds committed since open.
 	Compactions int64
+	// Compressed reports that the base adjacency is stored as delta-varint
+	// segments (diskstore format v5); EdgeBytes is their logical size in
+	// bytes (0 when not compressed — the base stores fixed-size records).
+	Compressed bool
+	EdgeBytes  int64
 }
 
 // LiveStatsReporter is implemented by backends with a live-write path.
@@ -341,4 +346,27 @@ type StatsReporter interface {
 	Stats() Stats
 	// ResetStats zeroes the counters (e.g. between benchmark phases).
 	ResetStats()
+}
+
+// Statistics is the data-statistics surface backends expose to the
+// optimizer and the query planner: real cardinalities instead of
+// uniformity assumptions, and value-presence filters that let a planner
+// prove a property-constrained scan empty without running it.
+//
+// The answers may be approximate in the conservative direction only:
+// counts should be exact or near-exact, and MayHaveProp must never
+// return false when a matching vertex exists — false is a definitive
+// "no vertex with this label has this value for this key", true means
+// "possibly" (subject to bloom false positives or absent statistics).
+type Statistics interface {
+	// LabelCounts returns the number of vertices per label, keyed by
+	// label name.
+	LabelCounts() map[string]int
+	// EdgeTypeCounts returns the number of edges per edge type, keyed by
+	// type name. A nil map means the backend has no edge statistics (the
+	// caller should fall back to its defaults).
+	EdgeTypeCounts() map[string]int
+	// MayHaveProp reports whether any vertex with the label may carry the
+	// given value for the given property key. False is definitive.
+	MayHaveProp(label, key string, val graph.Value) bool
 }
